@@ -1,0 +1,64 @@
+"""Ablation — the paper's closed-form fit vs standard joint OLS.
+
+Section III-E prints an unusual least-squares derivation: a
+through-origin slope (``a = Σxy/Σx²``) with a mean-residual intercept.
+This ablation compares it against textbook joint OLS on the actual
+chunk-run series of all three kernels — both must predict the full
+model's count, and on (near-)linear series they should agree closely,
+which is why the paper's simpler form is adequate.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.kernels import dft, heat_diffusion, linear_regression
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, FalseSharingPredictor
+
+THREADS = 4
+
+KERNELS = {
+    "heat": heat_diffusion(rows=6, cols=1026),
+    "dft": dft(samples=4, freqs=768),
+    "linreg": linear_regression(THREADS, tasks=96, total_points=480),
+}
+
+
+def run_ablation() -> ExperimentResult:
+    machine = paper_machine()
+    model = FalseSharingModel(machine)
+    res = ExperimentResult(
+        "Ablation fit method",
+        f"paper closed-form fit vs joint OLS (T={THREADS}, FS chunk)",
+        ("kernel", "full model", "paper fit", "OLS fit",
+         "paper err %", "OLS err %"),
+    )
+    for name, k in KERNELS.items():
+        full = model.analyze(k.nest, THREADS, chunk=k.fs_chunk).fs_cases
+        preds = {}
+        for method in ("paper", "ols"):
+            p = FalseSharingPredictor(
+                model, n_runs=k.pred_chunk_runs, method=method
+            ).predict(k.nest, THREADS, chunk=k.fs_chunk)
+            preds[method] = p.predicted_fs_cases
+        err = {
+            m: 100.0 * abs(v - full) / full if full else 0.0
+            for m, v in preds.items()
+        }
+        res.add_row(
+            name, full, int(preds["paper"]), int(preds["ols"]),
+            round(err["paper"], 2), round(err["ols"], 2),
+        )
+    return res
+
+
+def test_ablation_fit_method(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    for row in result.rows:
+        _, full, paper_pred, ols_pred, paper_err, ols_err = row
+        # Both fitting rules predict the full model closely (DFT's prefix
+        # includes cold-start cycles that drag the slope ~10% low — the
+        # same underestimate visible in Table V of EXPERIMENTS.md)…
+        assert paper_err < 12.0 and ols_err < 12.0
+        # …and agree with each other (the paper's simpler form suffices).
+        assert abs(paper_pred - ols_pred) <= max(0.05 * full, 16)

@@ -1,0 +1,65 @@
+"""Ablation — sensitivity to the lockstep interleaving order.
+
+The model assumes a deterministic interleaving: all threads advance one
+iteration per step, processed in ascending id order within the step.
+Real executions interleave nondeterministically.  If the model's FS
+counts depended strongly on that arbitrary choice, its predictions
+would be fragile; this ablation permutes the within-step order and
+measures the spread.
+"""
+
+import random
+
+from repro.analysis.report import ExperimentResult
+from repro.kernels import dft, heat_diffusion, linear_regression
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel
+
+THREADS = 4
+
+KERNELS = {
+    "heat": lambda: heat_diffusion(rows=6, cols=1026),
+    "dft": lambda: dft(samples=4, freqs=768),
+    "linreg": lambda: linear_regression(THREADS, tasks=96, total_points=480),
+}
+
+
+def run_ablation() -> ExperimentResult:
+    machine = paper_machine()
+    rng = random.Random(1234)
+    orders = [
+        tuple(range(THREADS)),
+        tuple(reversed(range(THREADS))),
+        tuple(rng.sample(range(THREADS), THREADS)),
+    ]
+    res = ExperimentResult(
+        "Ablation interleave",
+        f"FS cases vs within-step thread order (T={THREADS}, FS chunk)",
+        ("kernel", "ascending", "descending", "shuffled", "max spread %"),
+    )
+    for name, factory in KERNELS.items():
+        k = factory()
+        counts = []
+        for order in orders:
+            model = FalseSharingModel(machine, thread_order=order)
+            counts.append(model.analyze(k.nest, THREADS, chunk=k.fs_chunk).fs_cases)
+        spread = 100.0 * (max(counts) - min(counts)) / max(max(counts), 1)
+        res.add_row(name, counts[0], counts[1], counts[2], round(spread, 2))
+    return res
+
+
+def test_ablation_interleave_order(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    by = {row[0]: row for row in result.rows}
+    # Read-dominated kernels (DFT's RMWs, linreg's accumulators) are
+    # exactly order-invariant: every access finds the line dirty no
+    # matter who ran first.
+    assert by["dft"][4] == 0.0
+    assert by["linreg"][4] == 0.0
+    # Write-write handoff chains (heat) shift modestly with the order —
+    # ascending ids maximize the within-step handoff chain.  The spread
+    # stays well below the effect sizes the model reports (~2x between
+    # chunk configs), so the arbitrary order is not load-bearing.
+    assert by["heat"][4] < 20.0

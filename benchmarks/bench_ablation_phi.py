@@ -1,0 +1,60 @@
+"""Ablation — φ-literal counting vs write-invalidate semantics.
+
+The paper's Section III-D counts FS via φ on newly inserted lines and
+never says remote copies are invalidated; our default detector adds
+write-invalidate semantics (the protocol the paper's own background
+section describes).  This ablation quantifies the difference on the
+three kernels.
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.kernels import dft, heat_diffusion, linear_regression
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel
+
+
+KERNELS = {
+    "heat": lambda: heat_diffusion(rows=6, cols=1026),
+    "dft": lambda: dft(samples=4, freqs=768),
+    "linreg": lambda: linear_regression(4, tasks=96, total_points=480),
+}
+
+
+def run_ablation() -> ExperimentResult:
+    machine = paper_machine()
+    res = ExperimentResult(
+        "Ablation φ",
+        "FS cases: write-invalidate vs literal φ counting (T=4, FS chunk)",
+        ("kernel", "invalidate mode", "literal mode", "literal/invalidate"),
+    )
+    for name, factory in KERNELS.items():
+        k = factory()
+        inv = FalseSharingModel(machine, mode="invalidate").analyze(
+            k.nest, 4, chunk=k.fs_chunk
+        )
+        lit = FalseSharingModel(machine, mode="literal").analyze(
+            k.nest, 4, chunk=k.fs_chunk
+        )
+        ratio = lit.fs_cases / inv.fs_cases if inv.fs_cases else float("nan")
+        res.add_row(name, inv.fs_cases, lit.fs_cases, round(ratio, 2))
+    return res
+
+
+def test_ablation_phi_semantics(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    for row in result.rows:
+        kernel, inv, lit = row[0], row[1], row[2]
+        assert inv > 0 and lit > 0
+        # The two semantics diverge by construction: without
+        # invalidations, stale copies stay resident, so repeat accesses
+        # hit the thread's own state and φ is never re-evaluated — the
+        # literal reading *undercounts* steady-state ping-pong (most
+        # visible for DFT's read-modify-writes).  This bench documents
+        # the size of that gap; the detector defaults to the
+        # write-invalidate semantics for exactly this reason.
+        if kernel == "dft":
+            assert lit < inv

@@ -1,0 +1,63 @@
+"""Baseline — compile-time model vs runtime (trace-based) detection.
+
+The paper's positioning (Sections I/V): runtime detectors must observe
+every access of an execution, while the compile-time model "does not
+cause any performance degradation in program execution" and, with the
+LR predictor, evaluates only a prefix of iterations.  This bench runs
+both on the same kernels and reports (a) agreement on the diagnosis and
+(b) the work each had to do.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.baselines import RuntimeFSDetector
+from repro.kernels import heat_diffusion, linear_regression
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, FalseSharingPredictor
+
+THREADS = 4
+
+
+def run_comparison() -> ExperimentResult:
+    machine = paper_machine()
+    model = FalseSharingModel(machine)
+    runtime = RuntimeFSDetector(machine)
+    res = ExperimentResult(
+        "Baseline runtime",
+        f"compile-time model vs trace-based detection (T={THREADS}, FS chunk)",
+        ("kernel", "runtime FS events", "model FS cases",
+         "predictor FS cases", "runtime accesses", "predictor accesses"),
+    )
+    for name, k in (
+        ("heat", heat_diffusion(rows=6, cols=1026)),
+        ("linreg", linear_regression(THREADS, tasks=96, total_points=480)),
+    ):
+        rt = runtime.run(k.nest, THREADS, chunk=k.fs_chunk)
+        m = model.analyze(k.nest, THREADS, chunk=k.fs_chunk)
+        pred = FalseSharingPredictor(model, n_runs=k.pred_chunk_runs).predict(
+            k.nest, THREADS, chunk=k.fs_chunk
+        )
+        res.add_row(
+            name,
+            rt.stats.false_sharing_events,
+            m.fs_cases,
+            int(pred.predicted_fs_cases),
+            rt.stats.accesses,
+            pred.prefix_result.accesses,
+        )
+    return res
+
+
+def test_baseline_runtime_comparison(benchmark):
+    result = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    for row in result.rows:
+        _, rt_events, model_cases, pred_cases, rt_accesses, pred_accesses = row
+        # Same diagnosis: both see substantial FS, within a small factor.
+        assert rt_events > 0 and model_cases > 0
+        assert 0.3 < rt_events / model_cases < 3.0
+        # The predictor examines a strict subset of what the trace tool
+        # must process (that is the compile-time pitch).
+        assert pred_accesses < rt_accesses
+        # And the prediction still matches the full model.
+        assert abs(pred_cases - model_cases) / model_cases < 0.2

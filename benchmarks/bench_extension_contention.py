@@ -1,0 +1,79 @@
+"""Extension — shared-cache and bus contention terms (paper Section VI).
+
+The paper's future work: add shared-cache and bus interference to the
+cost model.  This bench exercises both extensions on a streaming kernel
+and checks the structural claims: contention is zero for cache-resident,
+compute-bound loops and grows with thread count and traffic once the
+shared resources saturate.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.costmodels import ContentionModel, ProcessorModel
+from repro.machine import paper_machine
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+    Schedule,
+)
+
+
+def stream_nest(n: int) -> ParallelLoopNest:
+    a = ArrayDecl.create("sa", DOUBLE, (n,))
+    b = ArrayDecl.create("sb", DOUBLE, (n,))
+    i = AffineExpr.var("i")
+    stmt = Assign(
+        ArrayRef(b, (i,), is_write=True),
+        BinOp("*", LoadExpr(ArrayRef(a, (i,))), Const(1.5, DOUBLE)),
+    )
+    return ParallelLoopNest(
+        "stream.i", Loop.create("i", 0, n, [stmt]), "i",
+        schedule=Schedule("static", None),
+    )
+
+
+def run_extension() -> ExperimentResult:
+    machine = paper_machine()
+    contention = ContentionModel(machine, bus_bytes_per_cycle=8.0)
+    processor = ProcessorModel(machine)
+    res = ExperimentResult(
+        "Extension contention",
+        "streaming copy: shared-L3 pressure and bus utilization vs threads",
+        ("array doubles", "threads", "L3 pressure", "bus util",
+         "contention (Mcycles)"),
+    )
+    for n in (50_000, 2_000_000):
+        nest = stream_nest(n)
+        per_iter = processor.cycles_per_iter(nest)
+        for threads in (2, 12, 48):
+            est = contention.estimate(
+                nest, threads, machine_cycles_per_iter=per_iter
+            )
+            res.add_row(
+                n, threads, round(est.l3_pressure, 3),
+                round(est.bus_utilization, 2), est.total / 1e6,
+            )
+    return res
+
+
+def test_extension_contention(benchmark):
+    result = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    rows = result.rows
+    small = [r for r in rows if r[0] == 50_000]
+    big = [r for r in rows if r[0] == 2_000_000]
+    # Cache-resident streams see no shared-cache contention.
+    assert all(r[2] < 1.0 for r in small)
+    # The 32 MB stream overwhelms one socket's L3.
+    assert any(r[2] > 1.0 for r in big)
+    # Bus utilization grows with thread count for the big stream.
+    utils = [r[3] for r in big]
+    assert utils == sorted(utils)

@@ -1,0 +1,58 @@
+"""Extension — do the model's verdicts transfer across machines?
+
+A compile-time model is only useful if its *decisions* (which chunk,
+whether to pad) survive a change of target machine even when the
+absolute numbers move.  This bench runs the chunk-size optimizer for the
+linreg kernel on the paper's 2012 48-core server and on a modern
+single-socket desktop and checks decision stability, then verifies both
+decisions on the matching simulators.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.kernels import linear_regression
+from repro.machine import desktop_machine, paper_machine
+from repro.sim import MulticoreSimulator
+from repro.transform import ChunkSizeOptimizer
+
+THREADS = 8
+CANDIDATES = (1, 2, 4, 8)
+
+
+def run_extension():
+    machines = {
+        "2012 server (48c)": paper_machine(),
+        "desktop (8c)": desktop_machine(),
+    }
+    res = ExperimentResult(
+        "Extension portability",
+        f"linreg chunk recommendation across machines (T={THREADS})",
+        ("machine", "recommended chunk", "sim time chunk=1 (ms)",
+         "sim time recommended (ms)", "speedup"),
+    )
+    recs = {}
+    for name, machine in machines.items():
+        k = linear_regression(THREADS, tasks=96, total_points=480)
+        rec = ChunkSizeOptimizer(machine, use_predictor=False).recommend(
+            k.nest, THREADS, candidates=CANDIDATES
+        )
+        sim = MulticoreSimulator(machine)
+        naive = sim.run(k.nest, THREADS, chunk=1)
+        chosen = sim.run(k.nest, THREADS, chunk=rec.best_chunk)
+        recs[name] = (rec, naive, chosen)
+        res.add_row(
+            name, rec.best_chunk,
+            naive.seconds * 1e3, chosen.seconds * 1e3,
+            f"{naive.cycles / chosen.cycles:.2f}x",
+        )
+    return res, recs
+
+
+def test_extension_portability(benchmark):
+    res, recs = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    print()
+    print(res.to_text())
+    for name, (rec, naive, chosen) in recs.items():
+        # The decision transfers: a larger-than-1 chunk wins everywhere,
+        # and actually speeds up the simulated execution on that machine.
+        assert rec.best_chunk > 1, f"{name}: expected chunk > 1"
+        assert chosen.cycles < naive.cycles, f"{name}: fix must help"

@@ -1,0 +1,22 @@
+"""Fig. 2 — linear regression execution time vs chunk size.
+
+Paper claim: time falls as the chunk grows from 1 upward (the authors
+report up to ~30% by chunk 30), then flattens.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2_chunk_size_sweep(benchmark, suite):
+    def checks(res):
+        times = res.column("time (ms)")
+        chunks = res.column("chunk")
+        assert times[-1] < times[0], "larger chunks must beat chunk=1"
+        # Flattening: the last halving of the sweep changes time far less
+        # than the first step away from chunk=1.
+        first_gain = times[0] - times[1]
+        tail_gain = abs(times[-2] - times[-1])
+        assert tail_gain < first_gain
+        assert chunks[0] == 1
+
+    run_and_report(benchmark, suite.run_fig2, checks)

@@ -1,0 +1,21 @@
+"""Fig. 6 — FS cases grow linearly with chunk runs.
+
+Paper claim: the cumulative FS count is linear in the chunk-run index,
+which is what justifies the linear-regression prediction model.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+from repro.model import ols_fit
+
+
+def test_fig6_linearity(benchmark, suite):
+    def checks(res):
+        y = np.asarray(res.column("cumulative FS cases"), dtype=float)
+        x = np.arange(1, len(y) + 1, dtype=float)
+        fit = ols_fit(x, y)
+        assert fit.r2 > 0.99, f"series must be linear, got R^2={fit.r2}"
+        assert fit.a > 0
+
+    run_and_report(benchmark, suite.run_fig6, checks)

@@ -1,0 +1,18 @@
+"""Fig. 8 — heat: measured vs modeled vs predicted FS% across threads.
+
+Paper claim: the three series coincide for the innermost-parallel heat
+kernel.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig8_heat_summary(benchmark, suite):
+    def checks(res):
+        for T, measured, modeled, predicted in res.rows:
+            assert abs(modeled - predicted) < 6, (
+                f"model and prediction must agree at T={T}"
+            )
+            assert abs(measured - modeled) < 20
+
+    run_and_report(benchmark, suite.run_fig8, checks)

@@ -1,0 +1,16 @@
+"""Fig. 9 — DFT: measured vs modeled vs predicted FS% across threads.
+
+Paper claim: the three series coincide for the innermost-parallel DFT
+kernel.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig9_dft_summary(benchmark, suite):
+    def checks(res):
+        for T, measured, modeled, predicted in res.rows:
+            assert abs(modeled - predicted) < 6
+            assert abs(measured - modeled) < 12
+
+    run_and_report(benchmark, suite.run_fig9, checks)

@@ -1,0 +1,112 @@
+"""Micro-benchmarks — raw throughput of the model's hot paths.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the components the whole evaluation leans on: the φ/mask detector, the
+ownership-list generator and the end-to-end model, reported in
+accesses/iterations per second.
+"""
+
+import numpy as np
+
+from repro.kernels import heat_diffusion
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, FSDetector
+from repro.model.ownership import OwnershipListGenerator
+
+
+def test_detector_throughput(benchmark):
+    """φ/mask detection on a pre-generated 4-thread block."""
+    rng = np.random.default_rng(7)
+    steps, refs, threads = 2000, 6, 4
+    lines = [
+        rng.integers(0, 256, size=(steps, refs)).astype(np.int64)
+        for _ in range(threads)
+    ]
+    writes = np.array([False, False, False, False, True, True])
+
+    def run():
+        d = FSDetector(threads, 8192)
+        d.process_block(lines, writes)
+        return d.stats.fs_cases
+
+    fs = benchmark(run)
+    assert fs >= 0
+    accesses = steps * refs * threads
+    benchmark.extra_info["accesses_per_round"] = accesses
+
+
+def test_ownership_generation_throughput(benchmark):
+    """Vectorized line-id generation for the heat kernel."""
+    k = heat_diffusion(rows=6, cols=1026)
+
+    def run():
+        gen = OwnershipListGenerator(k.nest, 4, line_size=64)
+        total = 0
+        for block in gen.blocks():
+            total += sum(mat.size for mat in block.lines)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+    benchmark.extra_info["line_ids_per_round"] = total
+
+
+def test_end_to_end_model_throughput(benchmark):
+    """Full Section III pipeline on the tiny heat kernel."""
+    machine = paper_machine()
+    model = FalseSharingModel(machine)
+    k = heat_diffusion(rows=6, cols=1026)
+
+    def run():
+        return model.analyze(k.nest, 4, chunk=1).fs_cases
+
+    fs = benchmark(run)
+    assert fs > 0
+
+
+def test_simulator_throughput(benchmark):
+    """Full MESI simulation of the tiny heat kernel."""
+    from repro.sim import MulticoreSimulator
+
+    machine = paper_machine()
+    sim = MulticoreSimulator(machine)
+    k = heat_diffusion(rows=6, cols=1026)
+
+    def run():
+        return sim.run(k.nest, 4, chunk=1).counters.accesses
+
+    accesses = benchmark(run)
+    assert accesses > 0
+    benchmark.extra_info["accesses_per_round"] = accesses
+
+
+def test_runtime_detector_throughput(benchmark):
+    """The trace-based baseline on the same kernel (it must process
+    every access — the cost the compile-time model avoids)."""
+    from repro.baselines import RuntimeFSDetector
+
+    machine = paper_machine()
+    rt = RuntimeFSDetector(machine)
+    k = heat_diffusion(rows=6, cols=1026)
+
+    def run():
+        return rt.run(k.nest, 4, chunk=1).stats.accesses
+
+    accesses = benchmark(run)
+    assert accesses > 0
+
+
+def test_predictor_throughput(benchmark):
+    """The paper's LR predictor: the cheap path."""
+    from repro.model import FalseSharingPredictor
+
+    machine = paper_machine()
+    model = FalseSharingModel(machine)
+    k = heat_diffusion(rows=6, cols=1026)
+    predictor = FalseSharingPredictor(model, n_runs=k.pred_chunk_runs)
+
+    def run():
+        return predictor.predict(k.nest, 4, chunk=1).predicted_fs_cases
+
+    cases = benchmark(run)
+    assert cases > 0

@@ -1,0 +1,66 @@
+"""Robustness — elasticity of the modeled FS% to machine constants.
+
+The paper never publishes its Open64 constants; ours are calibrated
+(note 5 of EXPERIMENTS.md).  This bench perturbs each constant by +25%
+(−25% for the bounded prefetch coverage) and reports how the headline
+modeled FS% moves per kernel — the constants that matter are exactly
+the ones the calibration harness measures.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.analysis.sensitivity import sensitivity
+from repro.kernels import dft, heat_diffusion
+from repro.machine import paper_machine
+
+THREADS = 4
+
+KERNELS = {
+    "heat": heat_diffusion(rows=6, cols=1026),
+    "dft": dft(samples=4, freqs=768),
+}
+
+
+def run_sensitivity() -> ExperimentResult:
+    machine = paper_machine()
+    res = ExperimentResult(
+        "Sensitivity",
+        f"elasticity of modeled FS% to machine constants (T={THREADS})",
+        ("constant", *(f"{k} elasticity" for k in KERNELS)),
+    )
+    per_kernel = {
+        name: {e.constant: e for e in sensitivity(machine, k, THREADS)}
+        for name, k in KERNELS.items()
+    }
+    constants = next(iter(per_kernel.values())).keys()
+    for const in constants:
+        res.add_row(
+            const,
+            *(round(per_kernel[k][const].elasticity, 3) for k in KERNELS),
+        )
+    return res, per_kernel
+
+
+def test_sensitivity_structure(benchmark):
+    res, per_kernel = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    print()
+    print(res.to_text())
+
+    heat = per_kernel["heat"]
+    dft_e = per_kernel["dft"]
+    # Direction checks — the constants must matter the way the physics says:
+    # heat's FS is write-type: the invalidation cost drives it, the
+    # read-transfer cost does not.
+    assert abs(heat["invalidate_cycles"].elasticity) > abs(
+        heat["remote_fetch_cycles"].elasticity
+    )
+    # DFT's FS is read-type: the opposite ordering.
+    assert abs(dft_e["remote_fetch_cycles"].elasticity) > abs(
+        dft_e["invalidate_cycles"].elasticity
+    )
+    # DFT's percentage is diluted by trig compute: the call latency has
+    # a visible *negative* elasticity (more compute -> smaller FS share).
+    assert dft_e["call_latency"].elasticity < 0
+    # Nothing explodes: all elasticities bounded (|e| <= 1 ~ proportional).
+    for entries in per_kernel.values():
+        for e in entries.values():
+            assert abs(e.elasticity) < 1.5

@@ -1,0 +1,19 @@
+"""Table II — DFT: measured vs modeled FS overhead.
+
+Paper claim: the heaviest FS of the three kernels (~32–37%), modeled
+close to measured, roughly flat across threads.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table2_dft_overheads(benchmark, suite):
+    def checks(res):
+        measured = res.column("measured FS %")
+        modeled = res.column("modeled FS %")
+        for m, mod in zip(measured, modeled):
+            assert abs(m - mod) < 12, f"model must track measurement ({m} vs {mod})"
+        assert min(modeled) > 15, "DFT is the FS-heaviest kernel"
+        assert max(modeled) - min(modeled) < 10  # flat across threads
+
+    run_and_report(benchmark, suite.run_table2, checks)

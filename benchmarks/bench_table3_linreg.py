@@ -1,0 +1,25 @@
+"""Table III — linear regression: the paper's reported divergence.
+
+Paper claim: for this outer-loop-parallel kernel the modeled percentage
+declines roughly ∝ 1/threads (the total chunk-run count depends on the
+thread count) while the measured effect does not follow it down.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table3_linreg_divergence(benchmark, suite):
+    def checks(res):
+        threads = res.column("threads")
+        measured = res.column("measured FS %")
+        modeled = res.column("modeled FS %")
+        # Modeled declines with threads...
+        assert modeled[-1] < modeled[0] * 0.75
+        # ...roughly tracking 1/threads:
+        ratio = modeled[0] / modeled[-1]
+        t_ratio = threads[-1] / threads[0]
+        assert ratio > t_ratio * 0.3
+        # ...while the measured effect stays material.
+        assert min(measured) > 10
+
+    run_and_report(benchmark, suite.run_table3, checks)

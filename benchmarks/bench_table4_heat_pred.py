@@ -1,0 +1,20 @@
+"""Table IV — heat: LR-predicted vs fully-modeled FS cases.
+
+Paper claim: predictions from 20 chunk runs match the full model's
+counts closely, at a small fraction of the evaluation cost.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table4_heat_prediction(benchmark, suite):
+    def checks(res):
+        for row in res.rows:
+            pred_fs, model_fs = row[1], row[4]
+            if model_fs:
+                rel = abs(pred_fs - model_fs) / model_fs
+                assert rel < 0.2, f"prediction off by {rel:.0%} at T={row[0]}"
+            pred_pct, model_pct = row[3], row[6]
+            assert abs(pred_pct - model_pct) < 8
+
+    run_and_report(benchmark, suite.run_table4, checks)

@@ -1,0 +1,14 @@
+"""Table V — DFT: LR-predicted vs fully-modeled FS cases (50 chunk runs)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table5_dft_prediction(benchmark, suite):
+    def checks(res):
+        for row in res.rows:
+            pred_fs, model_fs = row[1], row[4]
+            if model_fs:
+                assert abs(pred_fs - model_fs) / model_fs < 0.2
+            assert abs(row[3] - row[6]) < 8  # pred % vs model %
+
+    run_and_report(benchmark, suite.run_table5, checks)

@@ -1,0 +1,19 @@
+"""Table VI — linear regression: LR-predicted vs modeled FS cases.
+
+Paper claim: prediction from 10 chunk runs matches the full model, and
+both decline with the thread count (total work is M/num_threads).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table6_linreg_prediction(benchmark, suite):
+    def checks(res):
+        model_fs = [row[4] for row in res.rows]
+        assert model_fs[-1] < model_fs[0], "FS cases decline with threads"
+        for row in res.rows:
+            pred, model = row[1], row[4]
+            if model:
+                assert abs(pred - model) / model < 0.25
+
+    run_and_report(benchmark, suite.run_table6, checks)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(at ``tiny`` scale by default so the suite stays interactive; set
+``REPRO_BENCH_SCALE=full`` to reproduce the EXPERIMENTS.md numbers).
+The pytest-benchmark timings measure the cost of the regeneration
+itself — i.e. the model/simulator throughput on that experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentSuite
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite(scale=bench_scale())
+
+
+def run_and_report(benchmark, driver, checks=None):
+    """Benchmark one experiment driver and print its table.
+
+    ``checks`` is an optional callable receiving the ExperimentResult —
+    the per-experiment shape assertions (who wins, what declines).
+    """
+    result = benchmark.pedantic(driver, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    if checks is not None:
+        checks(result)
+    return result

@@ -1,0 +1,53 @@
+"""Eliminate false sharing by padding — advised and verified by the model.
+
+The classic cure for struct-array false sharing (Jeremiassen & Eggers,
+the paper's ref. [10]): pad each element out to a cache-line multiple.
+The :class:`PaddingAdvisor` finds the victim array with the FS model,
+constructs the padded layout, *re-verifies* the rewritten loop with the
+model, and here we double-check the cure end-to-end on the simulator.
+
+Run:  python examples/pad_shared_structs.py
+"""
+
+from repro import MulticoreSimulator, paper_machine
+from repro.kernels import build_linreg_nest
+from repro.transform import PaddingAdvisor
+
+THREADS = 8
+
+
+def main() -> None:
+    machine = paper_machine()
+    nest = build_linreg_nest(tasks=240, ppt=96)
+
+    advisor = PaddingAdvisor(machine)
+    advices = advisor.advise(nest, THREADS)
+    if not advices:
+        print("no padding opportunities found")
+        return
+
+    for adv in advices:
+        print(f"victim array        : {adv.array}")
+        print(f"element size        : {adv.element_bytes} B -> {adv.padded_bytes} B "
+              f"(+{adv.pad_bytes} B padding per element)")
+        print(f"extra memory        : {adv.extra_memory_bytes:,} B total")
+        print(f"model FS cases      : {adv.fs_before:,} -> {adv.fs_after:,} "
+              f"({adv.fs_reduction_percent:.1f}% removed)")
+        print()
+
+    # Validate the top recommendation on the execution substrate.
+    adv = advices[0]
+    sim = MulticoreSimulator(machine)
+    before = sim.run(nest, THREADS, chunk=1)
+    after = sim.run(adv.nest_after, THREADS, chunk=1)
+    speedup = before.cycles / after.cycles
+    print("simulator validation (chunk=1, the worst case):")
+    print(f"  original : {before.seconds * 1e3:.3f} ms, "
+          f"{before.counters.coherence_events:,} coherence events")
+    print(f"  padded   : {after.seconds * 1e3:.3f} ms, "
+          f"{after.counters.coherence_events:,} coherence events")
+    print(f"  speedup  : {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

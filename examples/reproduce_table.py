@@ -1,0 +1,39 @@
+"""Reproduce one of the paper's tables end to end, at your chosen scale.
+
+Runs Table II (DFT: measured vs modeled FS overhead) — the paper's
+strongest accuracy result — and prints it next to the paper's claim.
+Use ``--scale full`` for the EXPERIMENTS.md configuration (minutes) or
+the default ``tiny`` for a quick look (seconds).
+
+Run:  python examples/reproduce_table.py [--scale tiny|full]
+"""
+
+import argparse
+
+from repro.analysis import ExperimentSuite, PAPER_EXPECTATIONS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    parser.add_argument(
+        "--table",
+        choices=("1", "2", "3", "4", "5", "6"),
+        default="2",
+        help="which paper table to regenerate (default: Table II)",
+    )
+    args = parser.parse_args()
+
+    suite = ExperimentSuite(scale=args.scale)
+    driver = getattr(suite, f"run_table{args.table}")
+    result = driver()
+
+    print(result.to_text())
+    print()
+    expectation = PAPER_EXPECTATIONS.get(result.experiment)
+    if expectation:
+        print(f"paper's claim: {expectation}")
+
+
+if __name__ == "__main__":
+    main()

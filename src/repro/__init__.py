@@ -1,0 +1,78 @@
+"""repro — compile-time detection of false sharing via loop cost modeling.
+
+A production-quality reproduction of Tolubaeva, Yan & Chapman,
+*Compile-Time Detection of False Sharing via Loop Cost Modeling*
+(IPPS 2012).  The package contains:
+
+* :mod:`repro.model` — the paper's contribution: the compile-time false
+  sharing (FS) cost model, the stack-distance cache-state machinery and
+  the linear-regression FS predictor;
+* :mod:`repro.frontend` / :mod:`repro.ir` — a pycparser-based C/OpenMP
+  frontend and a high-level loop IR (the Open64/WHIRL stand-in);
+* :mod:`repro.costmodels` — Open64-style processor/cache/TLB/parallel
+  loop cost models (Eq. 1 of the paper);
+* :mod:`repro.sim` — a multicore MESI cache simulator standing in for
+  the paper's 48-core testbed ("measured" numbers);
+* :mod:`repro.kernels` — the heat diffusion, DFT and Phoenix linear
+  regression kernels used in the evaluation;
+* :mod:`repro.transform` — model-guided mitigation (chunk-size
+  optimizer, padding advisor);
+* :mod:`repro.analysis` — drivers regenerating every table and figure.
+
+Top-level names are loaded lazily (PEP 562) so ``import repro`` stays
+cheap and submodules can be used independently.
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+#: attribute name -> (module, attribute) for lazy loading
+_LAZY = {
+    "MachineConfig": ("repro.machine", "MachineConfig"),
+    "paper_machine": ("repro.machine", "paper_machine"),
+    "tiny_machine": ("repro.machine", "tiny_machine"),
+    "FalseSharingModel": ("repro.model", "FalseSharingModel"),
+    "FalseSharingPredictor": ("repro.model", "FalseSharingPredictor"),
+    "FSModelResult": ("repro.model", "FSModelResult"),
+    "fs_overhead_percent": ("repro.model", "fs_overhead_percent"),
+    "TotalCostModel": ("repro.costmodels", "TotalCostModel"),
+    "MulticoreSimulator": ("repro.sim", "MulticoreSimulator"),
+    "SimResult": ("repro.sim", "SimResult"),
+    "parse_c_source": ("repro.frontend", "parse_c_source"),
+    "ParallelLoopNest": ("repro.ir", "ParallelLoopNest"),
+    "Schedule": ("repro.ir", "Schedule"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.costmodels import TotalCostModel
+    from repro.frontend import parse_c_source
+    from repro.ir import ParallelLoopNest, Schedule
+    from repro.machine import MachineConfig, paper_machine, tiny_machine
+    from repro.model import (
+        FalseSharingModel,
+        FalseSharingPredictor,
+        FSModelResult,
+        fs_overhead_percent,
+    )
+    from repro.sim import MulticoreSimulator, SimResult

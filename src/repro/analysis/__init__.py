@@ -1,0 +1,48 @@
+"""Experiment drivers and reporting for the paper's tables and figures.
+
+``ExperimentSuite`` regenerates every table/figure; ``runner`` writes
+EXPERIMENTS.md; ``paper`` holds the paper's reported numbers for
+side-by-side comparison.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentSuite,
+    FULL_SCALE,
+    PAPER_THREADS,
+    TINY_SCALE,
+    TINY_THREADS,
+)
+from repro.analysis.export import (
+    load_results_json,
+    result_to_csv,
+    results_to_csv_dir,
+    results_to_json,
+)
+from repro.analysis.paper import PAPER_EXPECTATIONS
+from repro.analysis.report import ExperimentResult, format_cell, render_all
+from repro.analysis.sensitivity import (
+    DEFAULT_CONSTANTS,
+    SensitivityEntry,
+    modeled_percent,
+    sensitivity,
+)
+
+__all__ = [
+    "ExperimentSuite",
+    "FULL_SCALE",
+    "PAPER_THREADS",
+    "TINY_SCALE",
+    "TINY_THREADS",
+    "PAPER_EXPECTATIONS",
+    "ExperimentResult",
+    "format_cell",
+    "render_all",
+    "load_results_json",
+    "result_to_csv",
+    "results_to_csv_dir",
+    "results_to_json",
+    "DEFAULT_CONSTANTS",
+    "SensitivityEntry",
+    "modeled_percent",
+    "sensitivity",
+]

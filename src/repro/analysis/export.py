@@ -1,0 +1,78 @@
+"""Export experiment results to machine-readable formats.
+
+EXPERIMENTS.md carries the human-readable tables; downstream plotting
+and regression-tracking want CSV/JSON.  These writers are deliberately
+dependency-free (csv/json from the stdlib).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.report import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one experiment's rows as CSV (header included)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.columns)
+        writer.writerows(result.rows)
+    return path
+
+
+def results_to_csv_dir(
+    results: Sequence[ExperimentResult], directory: str | Path
+) -> list[Path]:
+    """Write each result to ``<directory>/<experiment>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = []
+    for res in results:
+        slug = (
+            res.experiment.lower().replace(".", "").replace(" ", "_")
+        )
+        out.append(result_to_csv(res, directory / f"{slug}.csv"))
+    return out
+
+
+def results_to_json(
+    results: Sequence[ExperimentResult], path: str | Path
+) -> Path:
+    """Write a batch of results as one JSON document."""
+    path = Path(path)
+    payload = [
+        {
+            "experiment": res.experiment,
+            "title": res.title,
+            "columns": list(res.columns),
+            "rows": [list(row) for row in res.rows],
+            "notes": list(res.notes),
+            "elapsed_seconds": res.elapsed_seconds,
+        }
+        for res in results
+    ]
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_results_json(path: str | Path) -> list[ExperimentResult]:
+    """Round-trip loader for :func:`results_to_json` output."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    out = []
+    for item in payload:
+        res = ExperimentResult(
+            experiment=item["experiment"],
+            title=item["title"],
+            columns=tuple(item["columns"]),
+            notes=list(item["notes"]),
+            elapsed_seconds=item["elapsed_seconds"],
+        )
+        for row in item["rows"]:
+            res.add_row(*row)
+        out.append(res)
+    return out

@@ -1,0 +1,95 @@
+"""The paper's reported numbers and the reproduction's known deviations.
+
+Kept as data so EXPERIMENTS.md always carries the paper's side of the
+comparison next to the regenerated numbers, and so tests can assert the
+reproduction's qualitative claims (who wins, what is flat, what
+declines) without hard-coding strings in several places.
+"""
+
+from __future__ import annotations
+
+#: What the paper reports for each experiment (its Tables I-VI and
+#: Figures 2/6/8/9), phrased as the *claim to reproduce*.
+PAPER_EXPECTATIONS: dict[str, str] = {
+    "Fig. 2": (
+        "execution time of the linear regression kernel falls as the chunk "
+        "size grows from 1 to 30 (up to ~30% on the authors' machine), then "
+        "flattens."
+    ),
+    "Fig. 6": (
+        "cumulative FS cases grow linearly with the number of chunk runs — "
+        "the premise of the linear-regression prediction model."
+    ),
+    "Table I": (
+        "heat diffusion: modeled FS ≈ 6.9–7.2%, essentially flat from 2 to "
+        "48 threads, and close to the measured percentage."
+    ),
+    "Table II": (
+        "DFT: modeled FS ≈ 31.5–36.7%, roughly flat/slightly rising with "
+        "threads, close to the measured percentage — the heaviest FS of the "
+        "three kernels."
+    ),
+    "Table III": (
+        "linear regression: modeled FS declines ~16% → ~1.7% as threads "
+        "grow (chunk runs ∝ 1/threads) while the measured effect does not — "
+        "the paper's own reported divergence for outer-loop parallelization."
+    ),
+    "Table IV": (
+        "heat: FS cases predicted from 20 chunk runs match the "
+        "fully-modeled counts closely (within a few percent), at a tiny "
+        "fraction of the evaluation cost."
+    ),
+    "Table V": "DFT: prediction from 50 chunk runs matches the full model.",
+    "Table VI": (
+        "linear regression: prediction from 10 chunk runs matches the full "
+        "model; both decline with the thread count."
+    ),
+    "Fig. 8": (
+        "heat: measured, modeled and predicted FS percentages coincide "
+        "across thread counts."
+    ),
+    "Fig. 9": (
+        "DFT: measured, modeled and predicted FS percentages coincide "
+        "across thread counts."
+    ),
+}
+
+
+def deviations_section() -> str:
+    """The standing deviations section appended to EXPERIMENTS.md."""
+    return """\
+## Known deviations from the paper
+
+1. **Problem sizes are reduced.**  The paper runs 5000²-scale loops on
+   real hardware; the pure-Python model/simulator pair runs reduced
+   grids (sizes recorded in each table's note).  FS *rates* per
+   iteration are size-independent for these kernels, so percentages are
+   comparable; absolute case counts are not.
+2. **"Measured" numbers come from a simulator.**  The MESI simulator is
+   a lockstep, cycle-approximate machine: it exposes every coherence
+   event on the critical path, where real hardware overlaps many of
+   them.  Absolute FS percentages therefore run higher than the paper's
+   (heat ~30% here vs ~7% there); the reproduced claims are the
+   *relative* ones — heat ≪ DFT, flat across threads, model ≈
+   measurement for innermost-parallel kernels, and the linreg
+   divergence.
+3. **Normalization of Eq. (5).**  The paper does not publish its
+   ``Ñ_fs`` normalization; DESIGN.md documents ours (Eq. (1) over the
+   thread-independent reference nest).  It reproduces the paper's
+   qualitative behaviour, including the ∝1/threads decline of linreg's
+   modeled percentage.
+4. **DFT non-FS chunk.**  With line-aligned outputs, chunk=16 leaves
+   zero FS in our DFT (the paper reports a nonzero count, suggesting
+   unaligned allocation on their system); the resulting percentages are
+   unaffected.
+5. **Cost-model constants** (latencies, penalties, libm call cost,
+   prefetch coverage) are calibrated once in ``repro/machine`` — the
+   paper does not publish Open64's internal values.  The same constants
+   feed both the model and the simulator, so their agreement is not an
+   artifact of tuning one against the other per experiment.
+6. **The 40-thread rows wobble.**  Problem sizes divide evenly by every
+   other thread count in the paper's sweep, but not by 40 (nor do the
+   paper's 5000-scale sizes); the resulting load imbalance perturbs the
+   measured (simulated) percentage at T=40 only.  The model's percentage
+   is unaffected because Eq. (5)'s normalization is thread-independent.
+"""

@@ -1,0 +1,95 @@
+"""Plain-text table rendering for experiment results.
+
+The drivers in :mod:`repro.analysis.experiments` return structured
+results; this module renders them the way the paper prints its tables —
+monospace columns with a caption — for terminals, logs and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Human formatting: thousands separators, trimmed floats.
+
+    >>> format_cell(1234567)
+    '1,234,567'
+    >>> format_cell(3.14159)
+    '3.142'
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure series."""
+
+    experiment: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as a monospace table with caption and notes."""
+        cells = [[format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines = [f"{self.experiment}: {self.title}", header, sep]
+        for r in cells:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if self.elapsed_seconds:
+            lines.append(f"  (generated in {self.elapsed_seconds:.1f}s)")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavored markdown table."""
+        lines = [f"### {self.experiment}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---:" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(format_cell(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+
+def render_all(results: Sequence[ExperimentResult], markdown: bool = False) -> str:
+    """Render a batch of results with blank-line separation."""
+    parts = [r.to_markdown() if markdown else r.to_text() for r in results]
+    return "\n\n".join(parts)

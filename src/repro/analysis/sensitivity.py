@@ -1,0 +1,139 @@
+"""Sensitivity analysis: which machine constants actually matter?
+
+The cost-model constants in :mod:`repro.machine` are calibrated, not
+published by the paper (deviation note 5).  A reproduction leaning on
+unpublished constants owes the reader an elasticity analysis: perturb
+each constant and report how much the headline output — the modeled FS
+percentage of Eq. (5) — moves.
+
+``Elasticity`` here is the standard log-derivative approximation:
+``(Δoutput/output) / (Δinput/input)`` for a given relative perturbation.
+Constants with |elasticity| ≪ 1 are not load-bearing; constants near or
+above 1 deserve the calibration harness's scrutiny (they get it — see
+:mod:`repro.machine.calibrate`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.costmodels import TotalCostModel
+from repro.kernels.base import KernelInstance
+from repro.machine import MachineConfig
+from repro.model import FalseSharingModel, fs_overhead_percent
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Elasticity of the modeled FS% to one machine constant."""
+
+    constant: str
+    base_value: float
+    base_output: float
+    perturbed_output: float
+    elasticity: float
+
+
+def _with_constant(machine: MachineConfig, name: str, value: float) -> MachineConfig:
+    """Return a copy of ``machine`` with one named constant replaced."""
+    if name in ("remote_fetch_cycles", "invalidate_cycles", "upgrade_cycles"):
+        return dataclasses.replace(
+            machine,
+            coherence=dataclasses.replace(machine.coherence, **{name: int(value)}),
+        )
+    if name == "prefetch_coverage":
+        return dataclasses.replace(machine, prefetch_coverage=float(value))
+    if name == "mem_latency_cycles":
+        return dataclasses.replace(machine, mem_latency_cycles=int(value))
+    if name == "call_latency":
+        table = dict(machine.op_latencies.table)
+        table["call"] = int(value)
+        return dataclasses.replace(
+            machine,
+            op_latencies=dataclasses.replace(machine.op_latencies, table=table),
+        )
+    raise KeyError(f"unknown constant {name!r}")
+
+
+def _constant_value(machine: MachineConfig, name: str) -> float:
+    if name in ("remote_fetch_cycles", "invalidate_cycles", "upgrade_cycles"):
+        return float(getattr(machine.coherence, name))
+    if name == "prefetch_coverage":
+        return machine.prefetch_coverage
+    if name == "mem_latency_cycles":
+        return float(machine.mem_latency_cycles)
+    if name == "call_latency":
+        return float(machine.op_latencies["call"])
+    raise KeyError(name)
+
+
+#: Constants the analysis perturbs by default.
+DEFAULT_CONSTANTS = (
+    "remote_fetch_cycles",
+    "invalidate_cycles",
+    "mem_latency_cycles",
+    "call_latency",
+    "prefetch_coverage",
+)
+
+
+def modeled_percent(
+    machine: MachineConfig, kernel: KernelInstance, threads: int
+) -> float:
+    """The Eq. (5) modeled FS% for a kernel on a machine."""
+    model = FalseSharingModel(machine)
+    tm = TotalCostModel(machine)
+    r_fs = model.analyze(kernel.nest, threads, chunk=kernel.fs_chunk)
+    r_nfs = model.analyze(kernel.nest, threads, chunk=kernel.nfs_chunk)
+    return fs_overhead_percent(
+        r_fs, r_nfs, machine, kernel.reference_nest, tm
+    ).percent
+
+
+def sensitivity(
+    machine: MachineConfig,
+    kernel: KernelInstance,
+    threads: int = 4,
+    constants: tuple[str, ...] = DEFAULT_CONSTANTS,
+    perturbation: float = 0.25,
+    output_fn: Callable[[MachineConfig, KernelInstance, int], float] | None = None,
+) -> list[SensitivityEntry]:
+    """Elasticity of the modeled FS% to each constant.
+
+    Parameters
+    ----------
+    perturbation:
+        Relative bump applied to each constant (default +25%).
+    output_fn:
+        Override the measured output (default: Eq. (5) modeled percent).
+    """
+    if not 0 < perturbation < 1:
+        raise ValueError("perturbation must be in (0, 1)")
+    out_fn = output_fn or modeled_percent
+    base_output = out_fn(machine, kernel, threads)
+    entries = []
+    for name in constants:
+        base_value = _constant_value(machine, name)
+        if name == "prefetch_coverage":
+            # Bounded in [0, 1]: perturb downward instead.
+            new_value = base_value * (1 - perturbation)
+            rel_in = -perturbation
+        else:
+            new_value = base_value * (1 + perturbation)
+            rel_in = perturbation
+        perturbed = out_fn(_with_constant(machine, name, new_value), kernel, threads)
+        rel_out = (
+            (perturbed - base_output) / base_output if base_output else 0.0
+        )
+        entries.append(
+            SensitivityEntry(
+                constant=name,
+                base_value=base_value,
+                base_output=base_output,
+                perturbed_output=perturbed,
+                elasticity=rel_out / rel_in,
+            )
+        )
+    return entries

@@ -1,0 +1,15 @@
+"""Baseline detectors the paper positions itself against.
+
+Currently: the runtime/trace-based detector family (Section V's related
+work) — full-trace replay with word-granularity true/false sharing
+classification.
+"""
+
+from repro.baselines.runtime_detector import (
+    RuntimeFSDetector,
+    RuntimeReport,
+    RuntimeStats,
+    WORD_BYTES,
+)
+
+__all__ = ["RuntimeFSDetector", "RuntimeReport", "RuntimeStats", "WORD_BYTES"]

@@ -1,0 +1,161 @@
+"""Runtime (trace-based) false-sharing detection — the baseline family.
+
+The paper's related work detects FS *after the fact*: instrument the
+binary, capture every memory access, and classify coherence events
+offline (Günther & Weidendorfer's DBI tool, MemSpy, Liu's analysis —
+refs [8], [16], [13]).  This module implements that approach over the
+reproduction's execution traces so the compile-time model can be
+compared against the baseline it claims to replace:
+
+* it observes the *executed* interleaved access stream (thread, byte
+  address, read/write) — nothing is predicted;
+* it tracks the last writer of every cache line *and of every word*,
+  classifying each cross-thread event as **true sharing** (the accessor
+  touches the very word another thread wrote) or **false sharing**
+  (same line, different word) — the word-granularity classification is
+  exactly what runtime tools add over hardware counters;
+* like all trace tools it pays per-access cost proportional to the
+  whole execution, the overhead the paper's Section V holds against it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.ir.loops import ParallelLoopNest
+from repro.ir.refs import AddressSpace
+from repro.ir.validate import validate_nest
+from repro.machine import MachineConfig
+from repro.model.ownership import OwnershipListGenerator
+
+#: Classification granularity: one machine word.
+WORD_BYTES = 8
+
+
+@dataclass
+class RuntimeStats:
+    """Counts produced by a trace pass."""
+
+    accesses: int = 0
+    false_sharing_events: int = 0
+    true_sharing_events: int = 0
+    lines_with_false_sharing: int = 0
+    fs_by_line: Counter = field(default_factory=Counter)
+
+    @property
+    def sharing_events(self) -> int:
+        return self.false_sharing_events + self.true_sharing_events
+
+
+@dataclass
+class RuntimeReport:
+    """Outcome of a runtime-detection pass over one execution."""
+
+    nest_name: str
+    num_threads: int
+    chunk: int
+    stats: RuntimeStats
+    space: AddressSpace
+    line_size: int
+
+    def victim_arrays(self) -> list[tuple[str, int]]:
+        """Arrays ranked by attributed false-sharing events."""
+        per_array: Counter = Counter()
+        for line, events in self.stats.fs_by_line.items():
+            addr = line * self.line_size
+            name = "<unknown>"
+            for arr in self.space.arrays():
+                base = self.space.base(arr.name)
+                if base <= addr < base + arr.size_bytes():
+                    name = arr.name
+                    break
+            per_array[name] += events
+        return per_array.most_common()
+
+
+class RuntimeFSDetector:
+    """Trace-based FS detection with true/false classification.
+
+    Parameters
+    ----------
+    machine:
+        Supplies the cache line size (the sharing granularity).
+    """
+
+    def __init__(self, machine: MachineConfig, block_steps: int = 4096) -> None:
+        self.machine = machine
+        self.block_steps = block_steps
+
+    def run(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        chunk: int | None = None,
+        space: AddressSpace | None = None,
+        max_steps: int | None = None,
+    ) -> RuntimeReport:
+        """Replay the execution trace and classify sharing events.
+
+        An event is recorded whenever a thread touches a cache line whose
+        last writer is a different thread; it is *true* sharing when the
+        accessed word itself was last written by that other thread,
+        *false* sharing otherwise.  The line's writer is updated on every
+        write, mirroring what a DBI tool observes through its hooks.
+        """
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        if chunk is not None:
+            nest = nest.with_chunk(chunk)
+        validate_nest(nest)
+        gen = OwnershipListGenerator(
+            nest, num_threads, line_size=self.machine.line_size,
+            space=space, block_steps=self.block_steps,
+        )
+        writes = tuple(bool(w) for w in gen.write_mask)
+        n_refs = len(writes)
+        line_size = self.machine.line_size
+
+        line_writer: dict[int, int] = {}
+        word_writer: dict[int, int] = {}
+        stats = RuntimeStats()
+        fs_lines: set[int] = set()
+
+        for start, envs in gen.enum.blocks(max_steps):
+            addr_blocks = [gen.addresses_for_env(e).tolist() for e in envs]
+            lengths = [len(b) for b in addr_blocks]
+            n_steps = max(lengths, default=0)
+            for s in range(n_steps):
+                for t in range(num_threads):
+                    if s >= lengths[t]:
+                        continue
+                    row = addr_blocks[t][s]
+                    for k in range(n_refs):
+                        addr = row[k]
+                        line = addr // line_size
+                        word = addr // WORD_BYTES
+                        last = line_writer.get(line)
+                        if last is not None and last != t:
+                            if word_writer.get(word) == last:
+                                stats.true_sharing_events += 1
+                            else:
+                                stats.false_sharing_events += 1
+                                stats.fs_by_line[line] += 1
+                                fs_lines.add(line)
+                            if not writes[k]:
+                                # A read does not take ownership; the
+                                # remote writer keeps the line dirty.
+                                pass
+                        if writes[k]:
+                            line_writer[line] = t
+                            word_writer[word] = t
+                    stats.accesses += n_refs
+        stats.lines_with_false_sharing = len(fs_lines)
+        return RuntimeReport(
+            nest_name=nest.name,
+            num_threads=num_threads,
+            chunk=gen.iteration_space.chunk,
+            stats=stats,
+            space=gen.space,
+            line_size=line_size,
+        )

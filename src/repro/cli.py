@@ -1,0 +1,252 @@
+"""Command-line interface: ``repro-fs`` / ``python -m repro``.
+
+Subcommands
+-----------
+``analyze``
+    Parse a C/OpenMP file, run the FS model on every ``parallel for``
+    nest and print an FS report (cases, victims, Eq. (1) share).
+``predict``
+    Same, but with the fast linear-regression predictor.
+``optimize``
+    Recommend a schedule chunk size per nest.
+``diagnose``
+    Full diagnosis: victims, hot lines, the inter-thread conflict matrix.
+``sweep``
+    What-if landscape over (threads × chunk).
+``trace``
+    Record the execution's memory trace to a compressed ``.npz``.
+``experiments``
+    Regenerate the paper's tables and figures (``--scale tiny`` for a
+    quick look, ``full`` for the EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.costmodels import TotalCostModel
+from repro.frontend import parse_c_source
+from repro.ir import analyze_dependences
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, FalseSharingPredictor
+from repro.transform import ChunkSizeOptimizer
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file", help="C source file with OpenMP parallel loops")
+    p.add_argument("--threads", "-t", type=int, default=None,
+                   help="thread count to analyze (default: the pragma's "
+                        "num_threads clause, else 8)")
+    p.add_argument("--chunk", "-c", type=int, default=None,
+                   help="override the schedule chunk size")
+    p.add_argument("--cores", type=int, default=48,
+                   help="machine core count (default 48, the paper's box)")
+    p.add_argument("--mode", choices=("invalidate", "literal"),
+                   default="invalidate", help="FS counting semantics")
+    p.add_argument("-D", "--define", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="predefine an integer macro (repeatable)")
+
+
+def _macros(defines: list[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for d in defines:
+        name, _, value = d.partition("=")
+        if not value.lstrip("-").isdigit():
+            raise SystemExit(f"-D {d!r}: value must be an integer")
+        out[name] = int(value)
+    return out
+
+
+def _load_kernels(args: argparse.Namespace):
+    with open(args.file, encoding="utf-8") as fh:
+        source = fh.read()
+    kernels = parse_c_source(source, extra_macros=_macros(args.define))
+    if not kernels:
+        raise SystemExit(f"{args.file}: no OpenMP parallel for loops found")
+    return kernels
+
+
+def _threads_for(args: argparse.Namespace, kernel) -> int:
+    """CLI flag first, then the pragma's num_threads clause, then 8."""
+    if getattr(args, "threads", None):
+        return args.threads
+    if kernel.pragma.num_threads:
+        return kernel.pragma.num_threads
+    return 8
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    machine = paper_machine(num_cores=args.cores)
+    model = FalseSharingModel(machine, mode=args.mode)
+    total_model = TotalCostModel(machine)
+    for k in _load_kernels(args):
+        threads = _threads_for(args, k)
+        deps = analyze_dependences(k.nest)
+        if not deps.parallelizable(k.nest.parallel_var):
+            print(f"kernel {k.name}: WARNING — the parallel loop "
+                  f"{k.nest.parallel_var!r} carries a data dependence:")
+            for d in deps.carried_by(k.nest.parallel_var):
+                print(f"  {d}")
+        r = model.analyze(k.nest, threads, chunk=args.chunk)
+        fs_cycles = r.fs_cycles(machine)
+        base = total_model.total_cycles(k.nest, threads, fs_cases=0.0)
+        share = 100.0 * fs_cycles / (base + fs_cycles) if fs_cycles else 0.0
+        print(f"kernel {k.name} ({k.nest.schedule}, {threads} threads)")
+        print(f"  false sharing cases : {r.fs_cases:,} "
+              f"({r.fs_read_cases:,} read / {r.fs_write_cases:,} write)")
+        print(f"  est. FS time share  : {share:.1f}% of loop execution")
+        for victim in r.victim_arrays()[:5]:
+            print(f"  victim              : {victim.name} "
+                  f"({victim.fs_cases:,} cases on {victim.lines:,} lines)")
+        print(f"  evaluated           : {r.steps_evaluated:,} iterations "
+              f"in {r.elapsed_seconds:.2f}s")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    machine = paper_machine(num_cores=args.cores)
+    model = FalseSharingModel(machine, mode=args.mode)
+    predictor = FalseSharingPredictor(model, n_runs=args.runs)
+    for k in _load_kernels(args):
+        p = predictor.predict(k.nest, _threads_for(args, k), chunk=args.chunk)
+        print(f"kernel {k.name}: predicted {p.predicted_fs_cases:,.0f} FS cases "
+              f"from {p.sampled_runs}/{p.total_runs} chunk runs "
+              f"(fit R^2={p.fit.r2:.4f})")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    machine = paper_machine(num_cores=args.cores)
+    optimizer = ChunkSizeOptimizer(machine, predictor_runs=args.runs)
+    for k in _load_kernels(args):
+        rec = optimizer.recommend(k.nest, _threads_for(args, k))
+        print(f"kernel {k.name}: recommended schedule(static,{rec.best_chunk})")
+        for s in rec.scores:
+            marker = " <-- best" if s.chunk == rec.best_chunk else ""
+            print(f"  chunk {s.chunk:4d}: {s.total_cycles:14,.0f} cycles "
+                  f"({s.fs_cases:,.0f} FS cases){marker}")
+        print(f"  predicted improvement vs chunk=1: "
+              f"{rec.improvement_percent(1):.1f}%")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis import ExperimentSuite
+
+    suite = ExperimentSuite(scale=args.scale)
+    for res in suite.run_all():
+        print(res.to_text())
+        print()
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.model import diagnose
+
+    machine = paper_machine(num_cores=args.cores)
+    model = FalseSharingModel(machine, mode=args.mode)
+    for k in _load_kernels(args):
+        result = model.analyze(k.nest, _threads_for(args, k), chunk=args.chunk)
+        print(diagnose(result).to_text())
+        print()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim import record_trace
+
+    machine = paper_machine(num_cores=args.cores)
+    for k in _load_kernels(args):
+        out = args.output or f"{k.name.replace('.', '_')}.npz"
+        meta = record_trace(
+            k.nest, _threads_for(args, k), machine, out, chunk=args.chunk,
+            max_steps=args.max_steps,
+        )
+        print(f"kernel {k.name}: wrote {meta.total_accesses:,} accesses "
+              f"({meta.num_threads} threads, chunk={meta.chunk}) to {out}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.model import WhatIfSweep
+
+    machine = paper_machine(num_cores=args.cores)
+    sweep = WhatIfSweep(machine, predictor_runs=args.runs)
+    threads = tuple(int(t) for t in args.threads_list.split(","))
+    chunks = tuple(int(c) for c in args.chunks_list.split(","))
+    for k in _load_kernels(args):
+        result = sweep.sweep(k.nest, threads=threads, chunks=chunks)
+        print(f"kernel {k.name}: {len(result.points)} configurations")
+        print(f"{'threads':>8} | {'chunk':>6} | {'FS cases':>10} | "
+              f"{'FS share':>8} | {'est. cycles':>12}")
+        for t, c, cases, share, wall in result.to_rows():
+            print(f"{t:>8} | {c:>6} | {cases:>10,} | {share:>7.1f}% | "
+                  f"{wall:>12,.0f}")
+        best = result.best()
+        print(f"best: {best.threads} threads, schedule(static,{best.chunk})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fs",
+        description="Compile-time false sharing detection via loop cost modeling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the full FS model on a C file")
+    _add_common(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("predict", help="fast FS prediction (linear regression)")
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=20,
+                   help="chunk runs to sample (default 20)")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("optimize", help="recommend a schedule chunk size")
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=10,
+                   help="chunk runs sampled per candidate (default 10)")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's experiments")
+    p.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "diagnose", help="full FS diagnosis: victims, hot lines, thread pairs"
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("trace", help="record the memory trace to a .npz file")
+    _add_common(p)
+    p.add_argument("--output", "-o", default=None, help="trace file path")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="truncate the trace after N lockstep steps")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "sweep", help="what-if landscape over (threads x chunk)"
+    )
+    _add_common(p)
+    p.add_argument("--runs", type=int, default=8,
+                   help="chunk runs sampled per configuration (default 8)")
+    p.add_argument("--threads-list", default="2,4,8",
+                   help="comma-separated thread counts (default 2,4,8)")
+    p.add_argument("--chunks-list", default="1,2,4,8,16",
+                   help="comma-separated chunk sizes (default 1,2,4,8,16)")
+    p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

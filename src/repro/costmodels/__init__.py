@@ -1,0 +1,38 @@
+"""Open64-style loop cost models (Section II-B of the paper).
+
+* :class:`ProcessorModel` — ``Machine_c``: per-iteration cycles from
+  functional-unit resources and dependence latencies (Fig. 3);
+* :class:`CacheModel` — ``Cache_c`` and ``TLB_c``: footprint-based miss
+  estimation with reference groups (Fig. 4);
+* :class:`ParallelModel` — ``Parallel_Overhead_c`` and
+  ``Loop_Overhead_c``: OpenMP runtime and loop bookkeeping (Fig. 5);
+* :class:`TotalCostModel` — Eq. (1), combining the above with the
+  false-sharing term supplied by :mod:`repro.model`.
+"""
+
+from repro.costmodels.cache import CacheEstimate, CacheModel, ReferenceGroup
+from repro.costmodels.contention import (
+    BusModel,
+    ContentionEstimate,
+    ContentionModel,
+    SharedCacheModel,
+)
+from repro.costmodels.parallel import ParallelEstimate, ParallelModel
+from repro.costmodels.processor import ProcessorEstimate, ProcessorModel
+from repro.costmodels.total import CostBreakdown, TotalCostModel
+
+__all__ = [
+    "CacheEstimate",
+    "CacheModel",
+    "ReferenceGroup",
+    "BusModel",
+    "ContentionEstimate",
+    "ContentionModel",
+    "SharedCacheModel",
+    "ParallelEstimate",
+    "ParallelModel",
+    "ProcessorEstimate",
+    "ProcessorModel",
+    "CostBreakdown",
+    "TotalCostModel",
+]

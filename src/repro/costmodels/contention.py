@@ -1,0 +1,167 @@
+"""Shared-cache and bus contention models — the paper's stated future work.
+
+Section VI: "We will also add other cache contention issues in the model
+such as shared cache and bus interferences."  This module implements
+both as additional cost terms compatible with Eq. (1):
+
+* :class:`SharedCacheModel` — threads co-resident on a socket compete
+  for the shared L3.  When the *combined* per-thread working sets exceed
+  the L3, the per-thread view of the cache shrinks proportionally and
+  L3 hits degrade into memory accesses for the overflow fraction.
+* :class:`BusModel` — coherence and refill traffic occupy a shared
+  memory bus of finite bandwidth; past the saturation point every
+  transferred line queues behind ``demand/capacity − 1`` others
+  (an M/D/1-flavoured linear penalty, the standard analytic choice for
+  compile-time models).
+
+Both terms consume quantities the existing models already produce
+(footprints, miss rates, FS counts), so they slot into
+``Total_c = ... + SharedCache_c + Bus_c`` without new analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodels.cache import CacheModel
+from repro.ir.loops import ParallelLoopNest
+from repro.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class ContentionEstimate:
+    """Extra cycles per whole-loop execution from shared resources."""
+
+    shared_cache_cycles: float
+    bus_cycles: float
+    l3_pressure: float        # combined footprint / L3 capacity
+    bus_utilization: float    # demanded bytes/cycle over capacity
+
+    @property
+    def total(self) -> float:
+        return self.shared_cache_cycles + self.bus_cycles
+
+
+class SharedCacheModel:
+    """L3 contention: overflow fraction of L3 hits becomes memory traffic."""
+
+    def __init__(self, machine: MachineConfig, cores_per_socket: int = 12) -> None:
+        if cores_per_socket <= 0:
+            raise ValueError("cores_per_socket must be positive")
+        self.machine = machine
+        self.cores_per_socket = cores_per_socket
+        self._cache = CacheModel(machine)
+
+    def l3_pressure(self, nest: ParallelLoopNest, num_threads: int) -> float:
+        """Combined working set of co-resident threads over L3 capacity."""
+        sharers = min(num_threads, self.cores_per_socket)
+        iters = nest.total_iterations() // max(num_threads, 1)
+        per_thread = self._cache.footprint_bytes(nest, iters)
+        return (per_thread * sharers) / self.machine.l3.size_bytes
+
+    def extra_cycles(self, nest: ParallelLoopNest, num_threads: int) -> float:
+        """Whole-loop cycles added by L3 overflow.
+
+        The overflow fraction of would-be L3 hits pays memory latency
+        instead of L3 latency.
+        """
+        pressure = self.l3_pressure(nest, num_threads)
+        if pressure <= 1.0:
+            return 0.0
+        overflow = 1.0 - 1.0 / pressure
+        iters = nest.total_iterations()
+        est = self._cache.estimate(nest, per_thread_iters=iters)
+        l3_refs_per_iter = est.misses_per_iter_l2
+        extra_per_miss = (
+            self.machine.mem_latency_cycles - self.machine.l3.latency_cycles
+        )
+        return overflow * l3_refs_per_iter * iters * max(extra_per_miss, 0)
+
+
+class BusModel:
+    """Memory-bus interference from refill and coherence traffic."""
+
+    def __init__(
+        self, machine: MachineConfig, bytes_per_cycle: float = 16.0
+    ) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.machine = machine
+        self.bytes_per_cycle = bytes_per_cycle
+        self._cache = CacheModel(machine)
+
+    def utilization(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        fs_cases: float = 0.0,
+        machine_cycles_per_iter: float = 10.0,
+    ) -> float:
+        """Demanded bus bytes per cycle over capacity.
+
+        Demand: every L2 miss and every FS case moves one line.  The
+        demand rate uses the *uncontended* per-iteration time as the
+        denominator — utilization > 1 means the bus is the bottleneck.
+        """
+        iters = nest.total_iterations()
+        if iters == 0:
+            return 0.0
+        est = self._cache.estimate(nest, per_thread_iters=iters // max(num_threads, 1))
+        lines_per_iter = est.misses_per_iter_l2 + fs_cases / iters
+        bytes_per_iter_all_threads = (
+            lines_per_iter * self.machine.line_size * num_threads
+        )
+        cycles_per_iter = max(machine_cycles_per_iter, 1e-9)
+        demand = bytes_per_iter_all_threads / cycles_per_iter
+        return demand / self.bytes_per_cycle
+
+    def extra_cycles(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        fs_cases: float = 0.0,
+        machine_cycles_per_iter: float = 10.0,
+    ) -> float:
+        """Whole-loop queueing cycles once the bus saturates."""
+        util = self.utilization(
+            nest, num_threads, fs_cases, machine_cycles_per_iter
+        )
+        if util <= 1.0:
+            return 0.0
+        iters = nest.total_iterations()
+        est = self._cache.estimate(nest, per_thread_iters=iters // max(num_threads, 1))
+        transfers = est.misses_per_iter_l2 * iters + fs_cases
+        line_transfer_cycles = self.machine.line_size / self.bytes_per_cycle
+        return (util - 1.0) * transfers * line_transfer_cycles
+
+
+class ContentionModel:
+    """Combined shared-cache + bus interference term for Eq. (1)."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        cores_per_socket: int = 12,
+        bus_bytes_per_cycle: float = 16.0,
+    ) -> None:
+        self.machine = machine
+        self.shared_cache = SharedCacheModel(machine, cores_per_socket)
+        self.bus = BusModel(machine, bus_bytes_per_cycle)
+
+    def estimate(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        fs_cases: float = 0.0,
+        machine_cycles_per_iter: float = 10.0,
+    ) -> ContentionEstimate:
+        return ContentionEstimate(
+            shared_cache_cycles=self.shared_cache.extra_cycles(nest, num_threads),
+            bus_cycles=self.bus.extra_cycles(
+                nest, num_threads, fs_cases, machine_cycles_per_iter
+            ),
+            l3_pressure=self.shared_cache.l3_pressure(nest, num_threads),
+            bus_utilization=self.bus.utilization(
+                nest, num_threads, fs_cases, machine_cycles_per_iter
+            ),
+        )

@@ -1,0 +1,99 @@
+"""Parallel and loop overheads — the last two terms of Eq. (1) (Open64 Fig. 5).
+
+``Loop_Overhead_c`` charges the per-iteration bookkeeping (index
+increment, bound test) of every loop level, amortized onto innermost
+iterations.  ``Parallel_Overhead_c`` charges the OpenMP runtime: region
+startup, per-chunk scheduling dispatch, and the end-of-worksharing
+barrier — all totals for one execution of the parallel construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loops import ParallelLoopNest
+from repro.machine import MachineConfig
+from repro.util import ceil_div
+
+
+@dataclass(frozen=True)
+class ParallelEstimate:
+    """Overhead decomposition for one execution of a parallel nest."""
+
+    loop_overhead_per_iter: float
+    loop_overhead_total: float
+    startup_cycles: float
+    dispatch_cycles: float
+    barrier_cycles: float
+
+    @property
+    def parallel_overhead_total(self) -> float:
+        """``Parallel_Overhead_c`` for the whole nest execution."""
+        return self.startup_cycles + self.dispatch_cycles + self.barrier_cycles
+
+
+class ParallelModel:
+    """OpenMP parallel-loop overhead model."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+
+    def loop_overhead_per_iter(self, nest: ParallelLoopNest) -> float:
+        """Loop bookkeeping cycles charged to one innermost iteration.
+
+        A level that runs ``k`` times per innermost iteration contributes
+        ``k`` overheads; outer levels amortize by the product of inner
+        trip counts.
+        """
+        per_iter = self.machine.overheads.loop_overhead_per_iter_cycles
+        trips = nest.trip_counts()
+        total = 0.0
+        inner_product = 1
+        # Walk levels innermost -> outermost.
+        for trip in reversed(trips):
+            total += per_iter / inner_product
+            inner_product *= max(trip, 1)
+        return total
+
+    def num_chunks(self, nest: ParallelLoopNest, num_threads: int) -> int:
+        """Chunks dispatched across one run of the worksharing loop(s).
+
+        The parallel loop re-executes once per iteration of its enclosing
+        sequential loops; each execution dispatches
+        ``ceil(parallel_trip / chunk)`` chunks.
+        """
+        depth = nest.parallel_depth()
+        trips = nest.trip_counts()
+        parallel_trip = trips[depth]
+        chunk = nest.schedule.chunk
+        if chunk is None:
+            chunk = max(ceil_div(parallel_trip, num_threads), 1)
+        per_execution = ceil_div(parallel_trip, chunk) if parallel_trip else 0
+        outer_runs = 1
+        for t in trips[:depth]:
+            outer_runs *= max(t, 1)
+        return per_execution * outer_runs
+
+    def estimate(self, nest: ParallelLoopNest, num_threads: int) -> ParallelEstimate:
+        """Overhead estimate for ``num_threads`` executing the nest."""
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        oh = self.machine.overheads
+        loop_per_iter = self.loop_overhead_per_iter(nest)
+        depth = nest.parallel_depth()
+        trips = nest.trip_counts()
+        outer_runs = 1
+        for t in trips[:depth]:
+            outer_runs *= max(t, 1)
+        return ParallelEstimate(
+            loop_overhead_per_iter=loop_per_iter,
+            loop_overhead_total=loop_per_iter * nest.total_iterations(),
+            startup_cycles=float(oh.parallel_startup_cycles),
+            dispatch_cycles=float(
+                oh.chunk_dispatch_cycles * self.num_chunks(nest, num_threads)
+            ),
+            # One barrier per execution of the worksharing region.
+            barrier_cycles=float(
+                oh.barrier_cycles_per_thread * num_threads * outer_runs
+            ),
+        )

@@ -1,0 +1,129 @@
+"""Total loop cost — Eq. (1) of the paper.
+
+``Total_c = FalseSharing_c + Machine_c + Cache_c + TLB_c
+           + Parallel_Overhead_c + Loop_Overhead_c``
+
+:class:`TotalCostModel` combines the processor, cache/TLB and parallel
+models into the breakdown the paper's enhanced Open64 cost framework
+produces.  The FS term is supplied externally (by
+:mod:`repro.model`) as a case count; this module converts it to cycles
+with the machine's coherence penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodels.cache import CacheModel
+from repro.costmodels.parallel import ParallelModel
+from repro.costmodels.processor import ProcessorModel
+from repro.ir.loops import ParallelLoopNest
+from repro.ir.refs import AddressSpace
+from repro.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Eq. (1) terms, all in cycles, for one execution of the nest.
+
+    ``machine/cache/tlb/loop_overhead`` scale with the iteration count
+    used at estimation time; ``parallel_overhead`` is per nest execution;
+    ``false_sharing`` is the externally supplied FS term.
+    """
+
+    false_sharing: float
+    machine: float
+    cache: float
+    tlb: float
+    parallel_overhead: float
+    loop_overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.false_sharing
+            + self.machine
+            + self.cache
+            + self.tlb
+            + self.parallel_overhead
+            + self.loop_overhead
+        )
+
+    @property
+    def fs_fraction(self) -> float:
+        """Share of total cost attributed to false sharing."""
+        return self.false_sharing / self.total if self.total else 0.0
+
+    def scaled_without_fs(self) -> "CostBreakdown":
+        """The same breakdown with the FS term removed."""
+        return CostBreakdown(
+            0.0, self.machine, self.cache, self.tlb,
+            self.parallel_overhead, self.loop_overhead,
+        )
+
+
+class TotalCostModel:
+    """Combined Eq. (1) cost model.
+
+    Parameters
+    ----------
+    machine:
+        The target machine description.
+    space:
+        Optional shared address space so the cache model sees the same
+        array placement as the FS model; a private one is created
+        otherwise.
+    """
+
+    def __init__(self, machine: MachineConfig, space: AddressSpace | None = None) -> None:
+        self.machine = machine
+        self.space = space or AddressSpace()
+        self.processor = ProcessorModel(machine)
+        self.cache = CacheModel(machine, self.space)
+        self.parallel = ParallelModel(machine)
+
+    def breakdown(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int = 1,
+        fs_cases: float = 0.0,
+        iterations: int | None = None,
+    ) -> CostBreakdown:
+        """Full Eq. (1) breakdown.
+
+        Parameters
+        ----------
+        nest:
+            Bound, validated loop nest.
+        num_threads:
+            Thread count (drives the parallel-overhead terms).
+        fs_cases:
+            Number of false-sharing cases across the whole execution
+            (converted to cycles via ``machine.fs_penalty_cycles``).
+        iterations:
+            Iteration count to scale per-iteration terms by; defaults to
+            the nest's full iteration space (the normalization used for
+            Eq. (5) percentages — see DESIGN.md).
+        """
+        iters = nest.total_iterations() if iterations is None else iterations
+        per_iter_machine = self.processor.cycles_per_iter(nest)
+        cache_est = self.cache.estimate(nest, per_thread_iters=iters)
+        par_est = self.parallel.estimate(nest, num_threads)
+        return CostBreakdown(
+            false_sharing=fs_cases * self.machine.fs_penalty_cycles,
+            machine=per_iter_machine * iters,
+            cache=cache_est.cache_cycles_per_iter * iters,
+            tlb=cache_est.tlb_cycles_per_iter * iters,
+            parallel_overhead=par_est.parallel_overhead_total,
+            loop_overhead=par_est.loop_overhead_per_iter * iters,
+        )
+
+    def total_cycles(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int = 1,
+        fs_cases: float = 0.0,
+        iterations: int | None = None,
+    ) -> float:
+        """``Total_c`` — convenience wrapper over :meth:`breakdown`."""
+        return self.breakdown(nest, num_threads, fs_cases, iterations).total

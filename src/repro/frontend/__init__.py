@@ -1,0 +1,29 @@
+"""C/OpenMP frontend: mini preprocessor, pragma parser and AST lowering.
+
+The public entry point is :func:`parse_c_source`, which takes raw kernel
+source (with ``#define`` constants and ``#pragma omp parallel for``
+directives) and returns the lowered :class:`~repro.frontend.lower.LoweredKernel`
+objects ready for the false-sharing model.
+"""
+
+from repro.frontend.lower import FrontendError, LoweredKernel, parse_c_source
+from repro.frontend.pragmas import OmpPragma, PragmaError, parse_omp_pragma
+from repro.frontend.preprocess import (
+    PRAGMA_MARKER,
+    PreprocessError,
+    PreprocessResult,
+    preprocess,
+)
+
+__all__ = [
+    "FrontendError",
+    "LoweredKernel",
+    "parse_c_source",
+    "OmpPragma",
+    "PragmaError",
+    "parse_omp_pragma",
+    "PRAGMA_MARKER",
+    "PreprocessError",
+    "PreprocessResult",
+    "preprocess",
+]

@@ -1,0 +1,687 @@
+"""Lowering of pycparser ASTs to the loop IR.
+
+This is the reproduction's stand-in for the Open64 pass the paper
+implements: it walks the (preprocessed) C AST, finds OpenMP
+``parallel for`` loop nests via the pragma markers planted by
+:mod:`repro.frontend.preprocess`, and lowers each into a
+:class:`repro.ir.ParallelLoopNest` carrying everything the model needs —
+loop bounds, steps, index variables, the schedule chunk, and byte-exact
+array reference descriptions.
+
+Supported dialect (sufficient for the paper's kernels and typical
+OpenMP loop kernels):
+
+* global/local declarations of scalars, multi-dimensional arrays,
+  structs (tagged or typedef'd), arrays of structs, struct members that
+  are scalars, fixed arrays or pointers;
+* counted ``for`` loops with affine bounds and positive constant steps;
+* assignments and compound assignments whose left side is an lvalue
+  path mixing subscripts and member accesses (``a[i]``, ``s[i].f``,
+  ``s[i].p[k].x``, ``s[i].arr[k]``);
+* arithmetic right-hand sides with calls to math intrinsics.
+
+Pointer members indexed like arrays (``tid_args[j].points[i]``) become
+*synthetic* rectangular arrays (named ``tid_args.points``) whose inner
+extent is taken from the enclosing loop bound — each outer element gets
+its own contiguous region, which reproduces the disjoint per-thread
+buffers of the Phoenix kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from pycparser import c_ast, c_parser
+
+from repro.frontend.pragmas import OmpPragma, parse_omp_pragma
+from repro.frontend.preprocess import PRAGMA_MARKER, PreprocessResult, preprocess
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import (
+    BinOp,
+    CallExpr,
+    CastExpr,
+    Const,
+    Expr,
+    LoadExpr,
+    UnOp,
+    VarRef,
+)
+from repro.ir.layout import (
+    ArrayType,
+    CType,
+    DOUBLE,
+    INT,
+    PRIMITIVES_BY_NAME,
+    PointerType,
+    StructType,
+)
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.util import get_logger
+
+logger = get_logger(__name__)
+
+
+class FrontendError(ValueError):
+    """The source uses constructs outside the supported dialect."""
+
+    def __init__(self, message: str, node: c_ast.Node | None = None) -> None:
+        if node is not None and getattr(node, "coord", None):
+            message = f"{node.coord}: {message}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class LoweredKernel:
+    """One OpenMP parallel loop nest extracted from a translation unit."""
+
+    name: str
+    function: str
+    nest: ParallelLoopNest
+    pragma: OmpPragma
+
+
+@dataclass
+class _Scope:
+    """Declaration environment during lowering."""
+
+    structs: dict[str, StructType] = field(default_factory=dict)
+    typedefs: dict[str, CType] = field(default_factory=dict)
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    scalars: dict[str, CType] = field(default_factory=dict)
+    synthetic: dict[str, ArrayDecl] = field(default_factory=dict)
+
+
+def parse_c_source(
+    source: str, extra_macros: dict[str, int] | None = None
+) -> list[LoweredKernel]:
+    """Parse C/OpenMP source and lower every ``parallel for`` nest.
+
+    Parameters
+    ----------
+    source:
+        Raw kernel source; ``#define`` constants and ``#pragma omp`` are
+        handled by the built-in mini preprocessor.
+    extra_macros:
+        Integer macros injected before preprocessing (problem sizes).
+
+    Returns
+    -------
+    list of :class:`LoweredKernel`, in source order.
+    """
+    pp = preprocess(source, extra_macros)
+    parser = c_parser.CParser()
+    try:
+        ast = parser.parse(pp.source, filename="<kernel>")
+    except Exception as exc:
+        raise FrontendError(f"C parse error: {exc}") from exc
+    return _Lowerer(pp).lower_file(ast)
+
+
+class _Lowerer:
+    def __init__(self, pp: PreprocessResult) -> None:
+        self.pp = pp
+        self.scope = _Scope()
+        self.kernels: list[LoweredKernel] = []
+        self._current_function = "<file>"
+        self._loop_stack: list[str] = []  # enclosing loop vars, outer first
+        self._loop_bounds: dict[str, tuple[AffineExpr, AffineExpr]] = {}
+        self._pragma_attach: dict[str, OmpPragma] = {}
+
+    # -- file / declarations -------------------------------------------------
+
+    def lower_file(self, ast: c_ast.FileAST) -> list[LoweredKernel]:
+        for ext in ast.ext:
+            if isinstance(ext, c_ast.Typedef):
+                self._register_typedef(ext)
+            elif isinstance(ext, c_ast.Decl):
+                self._register_decl(ext)
+            elif isinstance(ext, c_ast.FuncDef):
+                self._lower_function(ext)
+        return self.kernels
+
+    def _register_typedef(self, node: c_ast.Typedef) -> None:
+        ctype = self._resolve_type(node.type)
+        if isinstance(ctype, StructType) and ctype.name == "<anon>":
+            # Anonymous struct behind a typedef: adopt the typedef name so
+            # diagnostics and C re-emission stay readable.
+            ctype = StructType(node.name, ctype.fields, ctype.size, ctype.alignment)
+        self.scope.typedefs[node.name] = ctype
+
+    def _register_decl(self, node: c_ast.Decl) -> None:
+        """Register a (global or local) variable declaration."""
+        if node.name is None:
+            # A bare struct definition: `struct point { ... };`
+            if isinstance(node.type, c_ast.Struct) and node.type.decls:
+                self._resolve_type(node.type)
+            return
+        dims: list[int] = []
+        t = node.type
+        while isinstance(t, c_ast.ArrayDecl):
+            dims.append(self._const_int(t.dim, node))
+            t = t.type
+        ctype = self._resolve_type(t)
+        if dims:
+            self.scope.arrays[node.name] = ArrayDecl.create(node.name, ctype, dims)
+        else:
+            self.scope.scalars[node.name] = ctype
+
+    def _resolve_type(self, node: c_ast.Node) -> CType:
+        if isinstance(node, c_ast.TypeDecl):
+            return self._resolve_type(node.type)
+        if isinstance(node, c_ast.IdentifierType):
+            name = " ".join(node.names)
+            if name in PRIMITIVES_BY_NAME:
+                return PRIMITIVES_BY_NAME[name]
+            if name in self.scope.typedefs:
+                return self.scope.typedefs[name]
+            raise FrontendError(f"unknown type name {name!r}", node)
+        if isinstance(node, c_ast.Struct):
+            if node.decls is None:
+                # Reference to a previously defined tagged struct.
+                if node.name and node.name in self.scope.structs:
+                    return self.scope.structs[node.name]
+                raise FrontendError(
+                    f"use of undefined struct {node.name!r}", node
+                )
+            members = []
+            for decl in node.decls:
+                members.append((decl.name, self._resolve_member_type(decl.type)))
+            st = StructType.create(node.name or "<anon>", members)
+            if node.name:
+                self.scope.structs[node.name] = st
+            return st
+        if isinstance(node, c_ast.PtrDecl):
+            return PointerType(self._resolve_type(node.type))
+        if isinstance(node, c_ast.ArrayDecl):
+            return ArrayType(
+                self._resolve_type(node.type), self._const_int(node.dim, node)
+            )
+        raise FrontendError(f"unsupported type construct {type(node).__name__}", node)
+
+    def _resolve_member_type(self, node: c_ast.Node) -> CType:
+        return self._resolve_type(node)
+
+    def _const_int(self, node: c_ast.Node | None, ctx: c_ast.Node) -> int:
+        if node is None:
+            raise FrontendError("array extent must be a constant", ctx)
+        expr = self._lower_affine(node)
+        if not expr.is_constant:
+            raise FrontendError(
+                f"array extent must be constant after macro expansion, got {expr}",
+                ctx,
+            )
+        return expr.as_int()
+
+    # -- functions -----------------------------------------------------------
+
+    def _lower_function(self, node: c_ast.FuncDef) -> None:
+        self._current_function = node.decl.name
+        # Locals shadow globals for the duration of the function; keep it
+        # simple by registering them into the same scope (kernel files do
+        # not reuse names across scopes).
+        self._lower_compound(node.body, top_level=True)
+
+    def _lower_compound(
+        self, node: c_ast.Compound, top_level: bool = False
+    ) -> list[Loop | Assign]:
+        items: list[Loop | Assign] = []
+        pending_pragma: OmpPragma | None = None
+        for stmt in node.block_items or []:
+            marker = self._match_marker(stmt)
+            if marker is not None:
+                pragma = parse_omp_pragma(self.pp.pragmas[marker])
+                if pragma is not None and (pragma.is_for or pragma.is_parallel):
+                    if pending_pragma is not None:
+                        logger.warning("dropping unattached pragma %s", pending_pragma.raw)
+                    pending_pragma = pragma
+                continue
+            if pending_pragma is not None and not isinstance(stmt, c_ast.For):
+                if (
+                    pending_pragma.is_parallel
+                    and not pending_pragma.is_for
+                    and isinstance(stmt, c_ast.Compound)
+                ):
+                    # Split directives: `#pragma omp parallel { ... #pragma
+                    # omp for ... }`.  The region body is lowered normally;
+                    # the inner `omp for` marker does the worksharing
+                    # attachment.  Region-level clauses (private) merge into
+                    # pragmas attached within the region.
+                    region = pending_pragma
+                    pending_pragma = None
+                    before = len(self.kernels)
+                    items.extend(self._lower_compound(stmt))
+                    for idx in range(before, len(self.kernels)):
+                        self._merge_region_clauses(idx, region)
+                    continue
+                raise FrontendError(
+                    f"pragma {pending_pragma.raw!r} must be followed by a for loop",
+                    stmt,
+                )
+            if isinstance(stmt, c_ast.Decl):
+                self._register_decl(stmt)
+                if stmt.init is not None and stmt.name is not None:
+                    items.append(Assign(stmt.name, self._lower_expr(stmt.init)))
+                continue
+            if isinstance(stmt, c_ast.For):
+                loop = self._lower_for(stmt, pending_pragma)
+                pending_pragma = None
+                items.append(loop)
+                continue
+            if isinstance(stmt, (c_ast.Assignment, c_ast.UnaryOp)):
+                lowered = self._lower_stmt(stmt)
+                if lowered is not None:
+                    items.append(lowered)
+                continue
+            if isinstance(stmt, c_ast.Compound):
+                items.extend(self._lower_compound(stmt))
+                continue
+            if isinstance(stmt, (c_ast.Return, c_ast.EmptyStatement)):
+                continue
+            if isinstance(stmt, c_ast.FuncCall):
+                # Calls with no lvalue (printf etc.) carry no modeled accesses.
+                logger.debug("ignoring call statement at %s", stmt.coord)
+                continue
+            raise FrontendError(
+                f"unsupported statement {type(stmt).__name__}", stmt
+            )
+        if pending_pragma is not None:
+            raise FrontendError(
+                f"pragma {pending_pragma.raw!r} not followed by a for loop"
+            )
+        return items
+
+    def _merge_region_clauses(self, kernel_index: int, region: OmpPragma) -> None:
+        """Fold an enclosing ``omp parallel`` region's clauses into a
+        worksharing kernel discovered inside it."""
+        import dataclasses
+
+        k = self.kernels[kernel_index]
+        merged_private = tuple(dict.fromkeys((*region.private, *k.nest.private)))
+        nest = dataclasses.replace(k.nest, private=merged_private)
+        self.kernels[kernel_index] = LoweredKernel(k.name, k.function, nest, k.pragma)
+
+    def _match_marker(self, stmt: c_ast.Node) -> int | None:
+        if (
+            isinstance(stmt, c_ast.FuncCall)
+            and isinstance(stmt.name, c_ast.ID)
+            and stmt.name.name == PRAGMA_MARKER
+        ):
+            arg = stmt.args.exprs[0]
+            return int(arg.value)
+        return None
+
+    # -- loops ---------------------------------------------------------------
+
+    def _lower_for(self, node: c_ast.For, pragma: OmpPragma | None) -> Loop:
+        var, lower = self._lower_for_init(node.init)
+        upper = self._lower_for_cond(node.cond, var)
+        step = self._lower_for_next(node.next, var)
+
+        self._loop_stack.append(var)
+        self._loop_bounds[var] = (lower, upper)
+        try:
+            if not isinstance(node.stmt, c_ast.Compound):
+                body = self._lower_compound(
+                    c_ast.Compound(block_items=[node.stmt])
+                )
+            else:
+                body = self._lower_compound(node.stmt)
+        finally:
+            self._loop_stack.pop()
+
+        loop = Loop(var, lower, upper, tuple(body), step)
+        if pragma is not None and pragma.is_for:
+            # Record the attachment; the nest is materialized once the
+            # outermost enclosing loop has been fully lowered (sequential
+            # enclosing loops belong to the nest the model analyzes).
+            self._pragma_attach[var] = pragma
+        if not self._loop_stack:
+            self._finalize_nest(loop)
+        return loop
+
+    def _finalize_nest(self, root: Loop) -> None:
+        attached = [
+            (var, prag)
+            for var, prag in self._pragma_attach.items()
+            if var in {lp.var for lp in root.walk()}
+        ]
+        for var, prag in attached:
+            del self._pragma_attach[var]
+            schedule = prag.schedule or Schedule("static", None)
+            name = f"{self._current_function}.{var}"
+            nest = ParallelLoopNest(
+                name=name,
+                root=root,
+                parallel_var=var,
+                schedule=schedule,
+                private=prag.private,
+            )
+            self.kernels.append(
+                LoweredKernel(name, self._current_function, nest, prag)
+            )
+
+    def _lower_for_init(self, init: c_ast.Node) -> tuple[str, AffineExpr]:
+        if isinstance(init, c_ast.DeclList):
+            decl = init.decls[0]
+            self.scope.scalars[decl.name] = self._resolve_type(decl.type)
+            return decl.name, self._lower_affine(decl.init)
+        if isinstance(init, c_ast.Assignment) and init.op == "=":
+            if not isinstance(init.lvalue, c_ast.ID):
+                raise FrontendError("loop variable must be a plain identifier", init)
+            return init.lvalue.name, self._lower_affine(init.rvalue)
+        raise FrontendError("unsupported for-loop initialization", init)
+
+    def _lower_for_cond(self, cond: c_ast.Node, var: str) -> AffineExpr:
+        if not isinstance(cond, c_ast.BinaryOp):
+            raise FrontendError("for-loop condition must be a comparison", cond)
+        if not (isinstance(cond.left, c_ast.ID) and cond.left.name == var):
+            raise FrontendError(
+                f"for-loop condition must test the induction variable {var!r}",
+                cond,
+            )
+        bound = self._lower_affine(cond.right)
+        if cond.op == "<":
+            return bound
+        if cond.op == "<=":
+            return bound + 1
+        raise FrontendError(
+            f"unsupported loop condition operator {cond.op!r} (use < or <=)", cond
+        )
+
+    def _lower_for_next(self, nxt: c_ast.Node, var: str) -> int:
+        if isinstance(nxt, c_ast.UnaryOp) and nxt.op in ("p++", "++"):
+            return 1
+        if isinstance(nxt, c_ast.Assignment):
+            if nxt.op == "+=":
+                step = self._lower_affine(nxt.rvalue)
+                if step.is_constant and step.as_int() > 0:
+                    return step.as_int()
+            if nxt.op == "=" and isinstance(nxt.rvalue, c_ast.BinaryOp):
+                b = nxt.rvalue
+                if (
+                    b.op == "+"
+                    and isinstance(b.left, c_ast.ID)
+                    and b.left.name == var
+                ):
+                    step = self._lower_affine(b.right)
+                    if step.is_constant and step.as_int() > 0:
+                        return step.as_int()
+        raise FrontendError(
+            f"unsupported loop increment for {var!r} (need var++ or var += C)",
+            nxt,
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_stmt(self, stmt: c_ast.Node) -> Assign | None:
+        if isinstance(stmt, c_ast.Assignment):
+            target = self._lower_lvalue(stmt.lvalue, is_write=True)
+            rhs = self._lower_expr(stmt.rvalue)
+            if stmt.op == "=":
+                return Assign(target, rhs)
+            if stmt.op in ("+=", "-=", "*=", "/="):
+                return Assign(target, rhs, augmented=stmt.op[0])
+            raise FrontendError(f"unsupported assignment operator {stmt.op!r}", stmt)
+        if isinstance(stmt, c_ast.UnaryOp) and stmt.op in ("p++", "++", "p--", "--"):
+            target = self._lower_lvalue(stmt.expr, is_write=True)
+            return Assign(target, Const(1.0, INT), augmented="+")
+        raise FrontendError(f"unsupported statement {type(stmt).__name__}", stmt)
+
+    # -- lvalues and access paths ---------------------------------------------
+
+    def _lower_lvalue(
+        self, node: c_ast.Node, is_write: bool
+    ) -> ArrayRef | str:
+        """Lower an lvalue access path to an ArrayRef or a scalar name."""
+        if isinstance(node, c_ast.ID):
+            if node.name in self.scope.arrays:
+                raise FrontendError(
+                    f"whole-array reference {node.name!r} is not an lvalue in "
+                    "the supported dialect",
+                    node,
+                )
+            return node.name
+        path = self._flatten_path(node)
+        return self._interpret_path(path, is_write, node)
+
+    def _flatten_path(self, node: c_ast.Node) -> list:
+        """Flatten nested ArrayRef/StructRef into [base, step, step, ...]."""
+        steps: list = []
+        while True:
+            if isinstance(node, c_ast.ArrayRef):
+                steps.append(("index", node.subscript))
+                node = node.name
+            elif isinstance(node, c_ast.StructRef):
+                steps.append(("field", node.field.name))
+                node = node.name
+            elif isinstance(node, c_ast.ID):
+                steps.append(("base", node.name))
+                break
+            else:
+                raise FrontendError(
+                    f"unsupported access path component {type(node).__name__}",
+                    node,
+                )
+        steps.reverse()
+        return steps
+
+    def _interpret_path(
+        self, steps: list, is_write: bool, node: c_ast.Node
+    ) -> ArrayRef | str:
+        kind, base = steps[0]
+        assert kind == "base"
+        rest = steps[1:]
+        if base in self.scope.scalars and not rest:
+            return base
+
+        if base not in self.scope.arrays:
+            if base in self.scope.scalars and rest:
+                raise FrontendError(
+                    f"member/subscript access into scalar {base!r}", node
+                )
+            raise FrontendError(f"undeclared identifier {base!r}", node)
+
+        array = self.scope.arrays[base]
+        indices: list[AffineExpr] = []
+        # Consume leading subscripts against the declared dimensions.
+        i = 0
+        while i < len(rest) and rest[i][0] == "index" and len(indices) < array.ndim:
+            indices.append(self._lower_affine(rest[i][1]))
+            i += 1
+        if len(indices) != array.ndim:
+            raise FrontendError(
+                f"reference to {base!r} provides {len(indices)} of "
+                f"{array.ndim} subscripts",
+                node,
+            )
+
+        # Walk member accesses; a pointer member followed by a subscript
+        # re-roots the access into a synthetic array.
+        ctype = array.element
+        field_path: list[str] = []
+        extra = AffineExpr.const_expr(0)
+        array_name = base
+        while i < len(rest):
+            kind, payload = rest[i]
+            if kind == "field":
+                if not isinstance(ctype, StructType):
+                    raise FrontendError(
+                        f"member access .{payload} into non-struct", node
+                    )
+                member = ctype.field(payload)
+                if isinstance(member.ctype, PointerType) and (
+                    i + 1 < len(rest) and rest[i + 1][0] == "index"
+                ):
+                    sub = self._lower_affine(rest[i + 1][1])
+                    array, indices = self._synthetic_array(
+                        array_name, field_path + [payload], member.ctype.pointee,
+                        indices, sub, node,
+                    )
+                    array_name = array.name
+                    ctype = member.ctype.pointee
+                    field_path = []
+                    extra = AffineExpr.const_expr(0)
+                    i += 2
+                    continue
+                if isinstance(member.ctype, ArrayType) and (
+                    i + 1 < len(rest) and rest[i + 1][0] == "index"
+                ):
+                    sub = self._lower_affine(rest[i + 1][1])
+                    field_path.append(payload)
+                    extra = extra + sub * member.ctype.element.size
+                    ctype = member.ctype.element
+                    i += 2
+                    # Further nesting below fixed member arrays would need
+                    # the field machinery to model offsets past ``extra``;
+                    # keep consuming fields against the element type.
+                    continue
+                field_path.append(payload)
+                ctype = member.ctype
+                i += 1
+                continue
+            raise FrontendError(
+                f"unexpected extra subscript on {array_name!r}", node
+            )
+
+        # ``extra``-based member-array refs carry their element offset in
+        # ``extra`` but ``field_path`` names an aggregate member; ArrayRef
+        # resolves field offsets itself, so pass the path only when it
+        # resolves to the accessed member cleanly.
+        return ArrayRef(
+            array,
+            tuple(indices),
+            tuple(field_path),
+            is_write,
+            extra,
+        )
+
+    def _synthetic_array(
+        self,
+        base_name: str,
+        member_path: list[str],
+        element: CType,
+        outer_indices: list[AffineExpr],
+        sub: AffineExpr,
+        node: c_ast.Node,
+    ) -> tuple[ArrayDecl, list[AffineExpr]]:
+        """Create/fetch the synthetic array for a subscripted pointer member.
+
+        ``tid_args[j].points[i]`` becomes array ``tid_args.points`` with
+        subscripts ``(j, i)``.  The inner extent comes from the loop bound
+        of the subscript's variables (rounded up to the line size so each
+        outer element starts on its own cache line, matching separately
+        allocated buffers).
+        """
+        name = ".".join([base_name, *member_path])
+        if name in self.scope.synthetic:
+            arr = self.scope.synthetic[name]
+            return arr, [*outer_indices, sub]
+        extent = self._extent_for_subscript(sub, node)
+        outer_dims = list(self.scope.arrays[base_name].dims)
+        arr = ArrayDecl(name, element, tuple([*outer_dims, AffineExpr.const_expr(extent)]))
+        self.scope.synthetic[name] = arr
+        self.scope.arrays[name] = arr
+        return arr, [*outer_indices, sub]
+
+    def _extent_for_subscript(self, sub: AffineExpr, node: c_ast.Node) -> int:
+        """Upper bound (exclusive) of a subscript from enclosing loop bounds."""
+        bound = sub.const
+        for var, coeff in sub.coeffs:
+            if var not in self._loop_bounds:
+                raise FrontendError(
+                    f"cannot size pointer-member array: {var!r} is not an "
+                    "enclosing loop variable",
+                    node,
+                )
+            lo, up = self._loop_bounds[var]
+            if not up.is_constant or not lo.is_constant:
+                raise FrontendError(
+                    "cannot size pointer-member array from symbolic loop "
+                    "bounds; define extents via macros",
+                    node,
+                )
+            extreme = (up.as_int() - 1) if coeff > 0 else lo.as_int()
+            bound += coeff * extreme
+        return max(bound + 1, 1)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _lower_expr(self, node: c_ast.Node) -> Expr:
+        if isinstance(node, c_ast.Constant):
+            if node.type in ("int", "long int", "unsigned int", "char"):
+                return Const(int(node.value.rstrip("uUlL"), 0), INT)
+            return Const(float(node.value.rstrip("fFlL")), DOUBLE)
+        if isinstance(node, c_ast.ID):
+            if node.name in self.scope.arrays:
+                raise FrontendError(
+                    f"whole-array use of {node.name!r} in expression", node
+                )
+            ctype = self.scope.scalars.get(node.name, INT)
+            return VarRef(node.name, ctype)
+        if isinstance(node, (c_ast.ArrayRef, c_ast.StructRef)):
+            ref = self._lower_lvalue(node, is_write=False)
+            if isinstance(ref, str):
+                return VarRef(ref, self.scope.scalars.get(ref, INT))
+            return LoadExpr(ref)
+        if isinstance(node, c_ast.BinaryOp):
+            return BinOp(
+                node.op, self._lower_expr(node.left), self._lower_expr(node.right)
+            )
+        if isinstance(node, c_ast.UnaryOp):
+            if node.op == "-":
+                return UnOp("-", self._lower_expr(node.expr))
+            if node.op == "+":
+                return self._lower_expr(node.expr)
+            if node.op == "!":
+                return UnOp("!", self._lower_expr(node.expr))
+            raise FrontendError(f"unsupported unary operator {node.op!r}", node)
+        if isinstance(node, c_ast.FuncCall):
+            fname = node.name.name if isinstance(node.name, c_ast.ID) else "<fn>"
+            args = tuple(
+                self._lower_expr(a) for a in (node.args.exprs if node.args else [])
+            )
+            return CallExpr(fname, args)
+        if isinstance(node, c_ast.Cast):
+            to = self._resolve_type(node.to_type.type)
+            return CastExpr(to, self._lower_expr(node.expr))
+        if isinstance(node, c_ast.TernaryOp):
+            raise FrontendError("conditional expressions are not modeled", node)
+        raise FrontendError(f"unsupported expression {type(node).__name__}", node)
+
+    def _lower_affine(self, node: c_ast.Node) -> AffineExpr:
+        """Lower an index/bound expression to affine form, folding constants."""
+        if isinstance(node, c_ast.Constant):
+            return AffineExpr.const_expr(int(node.value.rstrip("uUlL"), 0))
+        if isinstance(node, c_ast.ID):
+            return AffineExpr.var(node.name)
+        if isinstance(node, c_ast.UnaryOp) and node.op == "-":
+            return -self._lower_affine(node.expr)
+        if isinstance(node, c_ast.BinaryOp):
+            left = self._lower_affine(node.left)
+            right = self._lower_affine(node.right)
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                try:
+                    return left * right
+                except ValueError as exc:
+                    raise FrontendError(str(exc), node) from exc
+            if node.op == "/":
+                if right.is_constant and left.is_constant:
+                    q, r = divmod(left.as_int(), right.as_int())
+                    if r == 0:
+                        return AffineExpr.const_expr(q)
+                raise FrontendError(
+                    "division in subscripts/bounds must be an exact constant "
+                    "division after macro expansion",
+                    node,
+                )
+            raise FrontendError(
+                f"non-affine operator {node.op!r} in subscript/bound", node
+            )
+        raise FrontendError(
+            f"non-affine construct {type(node).__name__} in subscript/bound", node
+        )

@@ -1,0 +1,129 @@
+"""Parsing of OpenMP pragma text into a structured clause object.
+
+Only the subset the paper's model consumes is interpreted:
+``parallel for``, ``for``, ``private(...)``, ``schedule(static[, chunk])``
+and ``num_threads(n)``.  Unknown clauses are retained verbatim in
+``OmpPragma.unknown`` so diagnostics can mention them, but they do not
+abort parsing — mirroring how a compiler pass tolerates clauses it does
+not participate in.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.loops import Schedule
+
+
+class PragmaError(ValueError):
+    """An OpenMP pragma is malformed or uses an unsupported schedule."""
+
+
+@dataclass(frozen=True)
+class OmpPragma:
+    """A parsed ``#pragma omp`` directive."""
+
+    raw: str
+    is_parallel: bool = False
+    is_for: bool = False
+    private: tuple[str, ...] = ()
+    schedule: Schedule | None = None
+    num_threads: int | None = None
+    unknown: tuple[str, ...] = ()
+
+    @property
+    def is_parallel_for(self) -> bool:
+        """True for combined ``parallel for`` (or ``parallel`` + ``for``)."""
+        return self.is_parallel and self.is_for
+
+
+_CLAUSE_RE = re.compile(r"([a-z_]+)\s*(\(([^()]*)\))?", re.IGNORECASE)
+
+
+def parse_omp_pragma(text: str) -> OmpPragma | None:
+    """Parse pragma text (without ``#pragma``).
+
+    Returns ``None`` for non-OpenMP pragmas (e.g. ``#pragma once``).
+
+    >>> p = parse_omp_pragma("omp parallel for private(i,j) schedule(static,1)")
+    >>> p.is_parallel_for, p.private, p.schedule.chunk
+    (True, ('i', 'j'), 1)
+    """
+    tokens = text.strip()
+    if not tokens.lower().startswith("omp"):
+        return None
+    body = tokens[3:].strip()
+
+    is_parallel = False
+    is_for = False
+    private: list[str] = []
+    schedule: Schedule | None = None
+    num_threads: int | None = None
+    unknown: list[str] = []
+
+    for m in _CLAUSE_RE.finditer(body):
+        name = m.group(1).lower()
+        args = m.group(3)
+        if name == "parallel" and args is None:
+            is_parallel = True
+        elif name == "for" and args is None:
+            is_for = True
+        elif name == "private":
+            if args is None:
+                raise PragmaError(f"private clause requires arguments: {text!r}")
+            private.extend(v.strip() for v in args.split(",") if v.strip())
+        elif name == "schedule":
+            schedule = _parse_schedule(args, text)
+        elif name == "num_threads":
+            if args is None or not args.strip().isdigit():
+                raise PragmaError(
+                    f"num_threads requires an integer constant: {text!r}"
+                )
+            num_threads = int(args)
+        elif name in ("shared", "firstprivate", "reduction", "default", "nowait",
+                      "collapse"):
+            unknown.append(m.group(0))
+        elif args is None and not name.strip():
+            continue
+        else:
+            unknown.append(m.group(0))
+
+    if not (is_parallel or is_for):
+        # An omp pragma the model does not analyze (e.g. barrier, critical).
+        return OmpPragma(raw=text, unknown=(body,))
+
+    return OmpPragma(
+        raw=text,
+        is_parallel=is_parallel,
+        is_for=is_for,
+        private=tuple(private),
+        schedule=schedule,
+        num_threads=num_threads,
+        unknown=tuple(unknown),
+    )
+
+
+def _parse_schedule(args: str | None, text: str) -> Schedule:
+    if args is None:
+        raise PragmaError(f"schedule clause requires arguments: {text!r}")
+    parts = [p.strip() for p in args.split(",")]
+    kind = parts[0].lower()
+    if kind != "static":
+        raise PragmaError(
+            f"only schedule(static[,chunk]) is modeled (paper assumption); "
+            f"got schedule({args}) in {text!r}"
+        )
+    chunk: int | None = None
+    if len(parts) == 2:
+        if not re.fullmatch(r"\d+", parts[1]):
+            raise PragmaError(
+                f"chunk size must be an integer constant after macro "
+                f"expansion; got {parts[1]!r} in {text!r}"
+            )
+        chunk = int(parts[1])
+        if chunk <= 0:
+            raise PragmaError(f"chunk size must be positive in {text!r}")
+    elif len(parts) > 2:
+        raise PragmaError(f"malformed schedule clause in {text!r}")
+    return Schedule("static", chunk)

@@ -1,0 +1,155 @@
+"""A miniature C preprocessor for the kernel dialect.
+
+:mod:`pycparser` consumes *preprocessed* ISO C and knows nothing about
+``#pragma``.  Real OpenMP kernels, however, are all about pragmas.  This
+module bridges the gap with three source-to-source steps that preserve
+line numbers exactly (so parser diagnostics still point at the original
+source):
+
+1. object-like macros — ``#define N 9600`` — are recorded and substituted
+   textually on word boundaries (integer-literal macros only, which is
+   what loop-bound constants in the paper's kernels are);
+2. ``#pragma omp ...`` lines are replaced by a marker *statement*
+   ``__repro_pragma(k);`` that survives parsing and lets the lowering
+   pass reattach pragma *k* to the statement that follows it;
+3. every other directive (``#include`` etc.) is blanked out.
+
+The marker-statement trick is how several production compilers
+(including Open64's front end) thread pragma information through a
+pragma-agnostic parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+PRAGMA_MARKER = "__repro_pragma"
+
+_DEFINE_RE = re.compile(
+    r"^\s*#\s*define\s+(?P<name>[A-Za-z_]\w*)\s+(?P<value>.+?)\s*$"
+)
+_FUNC_DEFINE_RE = re.compile(r"^\s*#\s*define\s+[A-Za-z_]\w*\(")
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+(?P<text>.*?)\s*$")
+_DIRECTIVE_RE = re.compile(r"^\s*#")
+_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+_INT_RE = re.compile(r"^[+-]?\d+$")
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`.
+
+    Attributes
+    ----------
+    source:
+        pycparser-ready C source; same number of lines as the input.
+    pragmas:
+        Marker id → raw pragma text (without the ``#pragma`` keyword).
+    macros:
+        Macro name → substituted integer value.
+    """
+
+    source: str
+    pragmas: dict[int, str] = field(default_factory=dict)
+    macros: dict[str, int] = field(default_factory=dict)
+
+
+class PreprocessError(ValueError):
+    """Raised for macro constructs outside the supported dialect."""
+
+
+def _strip_comments(text: str) -> str:
+    """Remove comments, preserving line structure of block comments."""
+
+    def blank_keep_newlines(m: re.Match[str]) -> str:
+        return "\n" * m.group(0).count("\n")
+
+    text = _BLOCK_COMMENT_RE.sub(blank_keep_newlines, text)
+    return _LINE_COMMENT_RE.sub("", text)
+
+
+def _eval_macro_value(name: str, value: str, macros: dict[str, int]) -> int:
+    """Evaluate a macro body: an integer literal or arithmetic over
+    previously defined integer macros (e.g. ``#define HALF (N/2)``)."""
+    expanded = _substitute_macros(value, macros)
+    if _INT_RE.match(expanded.strip()):
+        return int(expanded)
+    # Allow simple constant arithmetic: digits, parens, + - * / and spaces.
+    if re.fullmatch(r"[\d\s()+\-*/%]+", expanded):
+        try:
+            result = eval(expanded, {"__builtins__": {}}, {})  # noqa: S307
+        except Exception as exc:  # pragma: no cover - defensive
+            raise PreprocessError(f"cannot evaluate #define {name} {value!r}") from exc
+        if isinstance(result, int):
+            return result
+        if isinstance(result, float) and result.is_integer():
+            return int(result)
+    raise PreprocessError(
+        f"unsupported #define {name} {value!r}: only integer-constant macros "
+        "are handled by the kernel dialect"
+    )
+
+
+def _substitute_macros(line: str, macros: dict[str, int]) -> str:
+    if not macros:
+        return line
+    pattern = re.compile(
+        r"\b(" + "|".join(re.escape(m) for m in macros) + r")\b"
+    )
+    return pattern.sub(lambda m: str(macros[m.group(1)]), line)
+
+
+def preprocess(source: str, extra_macros: dict[str, int] | None = None) -> PreprocessResult:
+    """Run the mini preprocessor.
+
+    Parameters
+    ----------
+    source:
+        Raw kernel source (may contain ``#define``, ``#include``,
+        ``#pragma omp`` and comments).
+    extra_macros:
+        Predefined integer macros, e.g. problem sizes injected by an
+        experiment driver; they take precedence over in-file defines.
+    """
+    macros: dict[str, int] = dict(extra_macros or {})
+    pragmas: dict[int, str] = {}
+    out_lines: list[str] = []
+
+    for raw_line in _strip_comments(source).splitlines():
+        if _FUNC_DEFINE_RE.match(raw_line):
+            # Silently dropping a function-like macro would leave its
+            # uses to fail later with a confusing parse error.
+            raise PreprocessError(
+                f"unsupported function-like macro: {raw_line.strip()!r} "
+                "(the kernel dialect handles integer-constant macros only)"
+            )
+        define = _DEFINE_RE.match(raw_line)
+        if define:
+            name = define.group("name")
+            if name not in macros:  # extra_macros win
+                macros[name] = _eval_macro_value(name, define.group("value"), macros)
+            out_lines.append("")
+            continue
+
+        pragma = _PRAGMA_RE.match(raw_line)
+        if pragma:
+            text = _substitute_macros(pragma.group("text"), macros)
+            if text.lower().startswith("omp"):
+                marker_id = len(pragmas)
+                pragmas[marker_id] = text
+                out_lines.append(f"{PRAGMA_MARKER}({marker_id});")
+            else:
+                # Non-OpenMP pragmas (#pragma once, pack, ...) are dropped;
+                # a marker statement would be invalid at file scope.
+                out_lines.append("")
+            continue
+
+        if _DIRECTIVE_RE.match(raw_line):
+            out_lines.append("")
+            continue
+
+        out_lines.append(_substitute_macros(raw_line, macros))
+
+    return PreprocessResult("\n".join(out_lines) + "\n", pragmas, macros)

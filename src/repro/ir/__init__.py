@@ -1,0 +1,110 @@
+"""High-level loop IR: the analogue of the WHIRL slice the paper consumes.
+
+Submodules
+----------
+layout
+    C type system with ABI-accurate struct layout (member offsets matter
+    because false sharing is a byte-granularity phenomenon).
+affine
+    Affine integer expressions over loop variables — subscripts, bounds
+    and flattened byte addresses, with vectorized evaluation.
+exprtree
+    Computational expression trees for operation counting and
+    dependence-latency estimation (processor model input).
+refs
+    Array declarations, references and the line-aligned address space.
+loops
+    Statements, counted loops, OpenMP schedules and
+    :class:`ParallelLoopNest` — the model's unit of analysis.
+validate
+    Analyzability checks with compiler-style diagnostics.
+"""
+
+from repro.ir.affine import AffineExpr, flatten_affine
+from repro.ir.exprtree import (
+    BinOp,
+    CallExpr,
+    CastExpr,
+    Const,
+    Expr,
+    LoadExpr,
+    UnOp,
+    VarRef,
+)
+from repro.ir.layout import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    ArrayType,
+    CType,
+    PointerType,
+    PrimitiveType,
+    StructField,
+    StructType,
+    UINT,
+    ULONG,
+    align_up,
+)
+from repro.ir.emit import EmitError, emit_affine, emit_expr, emit_nest, emit_struct
+from repro.ir.depend import (
+    Dependence,
+    DependenceReport,
+    analyze_dependences,
+    banerjee_test,
+    gcd_test,
+    siv_distance,
+)
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import AddressSpace, ArrayDecl, ArrayRef
+from repro.ir.validate import NestValidationError, ValidationReport, check_nest, validate_nest
+
+__all__ = [
+    "AffineExpr",
+    "flatten_affine",
+    "BinOp",
+    "CallExpr",
+    "CastExpr",
+    "Const",
+    "Expr",
+    "LoadExpr",
+    "UnOp",
+    "VarRef",
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "UINT",
+    "ULONG",
+    "ArrayType",
+    "CType",
+    "PointerType",
+    "PrimitiveType",
+    "StructField",
+    "StructType",
+    "align_up",
+    "EmitError",
+    "emit_affine",
+    "emit_expr",
+    "emit_nest",
+    "emit_struct",
+    "Dependence",
+    "DependenceReport",
+    "analyze_dependences",
+    "banerjee_test",
+    "gcd_test",
+    "siv_distance",
+    "Assign",
+    "Loop",
+    "ParallelLoopNest",
+    "Schedule",
+    "AddressSpace",
+    "ArrayDecl",
+    "ArrayRef",
+    "NestValidationError",
+    "ValidationReport",
+    "check_nest",
+    "validate_nest",
+]

@@ -1,0 +1,212 @@
+"""Affine integer expressions over loop variables and symbolic parameters.
+
+Array subscripts, loop bounds and — after flattening — byte addresses are
+all affine functions ``c0 + Σ ci·vi`` of the loop induction variables.
+Keeping them in this closed form is what makes the compile-time model
+possible: the ownership-list generator evaluates whole *vectors* of
+iteration points through one affine form with a single NumPy dot product
+instead of re-walking an AST per iteration (the vectorize-don't-loop rule
+from the HPC guides).
+
+``AffineExpr`` is immutable and hashable; arithmetic returns new objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Union
+
+import numpy as np
+
+Number = Union[int, "AffineExpr"]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``const + Σ coeffs[v] * v`` with integer coefficients.
+
+    Examples
+    --------
+    >>> i, j = AffineExpr.var("i"), AffineExpr.var("j")
+    >>> e = 2 * i + j - 3
+    >>> e.eval({"i": 5, "j": 1})
+    8
+    >>> e.variables()
+    ('i', 'j')
+    """
+
+    const: int = 0
+    coeffs: tuple[tuple[str, int], ...] = field(default_factory=tuple)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def const_expr(value: int) -> "AffineExpr":
+        """The constant affine expression ``value``."""
+        return AffineExpr(const=int(value))
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "AffineExpr":
+        """The expression ``coeff * name``."""
+        if coeff == 0:
+            return AffineExpr(0)
+        return AffineExpr(0, ((name, int(coeff)),))
+
+    @staticmethod
+    def from_mapping(const: int, coeffs: Mapping[str, int]) -> "AffineExpr":
+        """Build from a {var: coeff} mapping, dropping zero coefficients."""
+        items = tuple(sorted((v, int(c)) for v, c in coeffs.items() if c != 0))
+        return AffineExpr(int(const), items)
+
+    # -- queries -------------------------------------------------------------
+
+    def coeff(self, var: str) -> int:
+        """Coefficient of ``var`` (0 when absent)."""
+        for v, c in self.coeffs:
+            if v == var:
+                return c
+        return 0
+
+    def variables(self) -> tuple[str, ...]:
+        """Variables appearing with nonzero coefficient, sorted."""
+        return tuple(v for v, _ in self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def as_int(self) -> int:
+        """The value of a constant expression; raises otherwise."""
+        if not self.is_constant:
+            raise ValueError(f"{self} is not constant")
+        return self.const
+
+    # -- algebra -------------------------------------------------------------
+
+    def _as_dict(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    def __add__(self, other: Number) -> "AffineExpr":
+        other = _coerce(other)
+        merged = self._as_dict()
+        for v, c in other.coeffs:
+            merged[v] = merged.get(v, 0) + c
+        return AffineExpr.from_mapping(self.const + other.const, merged)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr.from_mapping(-self.const, {v: -c for v, c in self.coeffs})
+
+    def __sub__(self, other: Number) -> "AffineExpr":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: Number) -> "AffineExpr":
+        return _coerce(other) + (-self)
+
+    def __mul__(self, factor: Number) -> "AffineExpr":
+        """Multiply; at least one operand must be constant (stay affine)."""
+        other = _coerce(factor)
+        if other.is_constant:
+            k = other.const
+            return AffineExpr.from_mapping(
+                self.const * k, {v: c * k for v, c in self.coeffs}
+            )
+        if self.is_constant:
+            return other * self.const
+        raise ValueError(
+            f"product of two non-constant affine expressions is not affine: "
+            f"({self}) * ({other})"
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        """Evaluate with integer variable bindings.
+
+        Raises ``KeyError`` when a needed variable is unbound.
+        """
+        total = self.const
+        for v, c in self.coeffs:
+            total += c * env[v]
+        return total
+
+    def eval_vectorized(
+        self, env: Mapping[str, np.ndarray], length: int | None = None
+    ) -> np.ndarray:
+        """Evaluate over NumPy arrays of variable values.
+
+        All arrays in ``env`` must share one length; the result has that
+        length (or ``length`` for a constant expression).
+        """
+        if not self.coeffs:
+            if length is None:
+                for arr in env.values():
+                    length = len(arr)
+                    break
+            if length is None:
+                raise ValueError("length required to vectorize a constant expr")
+            return np.full(length, self.const, dtype=np.int64)
+        out: np.ndarray | None = None
+        for v, c in self.coeffs:
+            term = env[v].astype(np.int64, copy=False) * c
+            out = term if out is None else out + term
+        assert out is not None
+        if self.const:
+            out = out + self.const
+        return out
+
+    def substitute(self, bindings: Mapping[str, "AffineExpr | int"]) -> "AffineExpr":
+        """Replace variables by affine expressions (e.g. bind parameters).
+
+        >>> e = AffineExpr.var("N") + 1
+        >>> e.substitute({"N": 10}).as_int()
+        11
+        """
+        result = AffineExpr.const_expr(self.const)
+        for v, c in self.coeffs:
+            repl = bindings.get(v)
+            if repl is None:
+                result = result + AffineExpr.var(v, c)
+            else:
+                result = result + _coerce(repl) * c
+        return result
+
+    # -- misc ----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts = []
+        for v, c in self.coeffs:
+            if c == 1:
+                parts.append(v)
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{c}*{v}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _coerce(value: Number) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return AffineExpr.const_expr(int(value))
+    raise TypeError(f"cannot coerce {value!r} to AffineExpr")
+
+
+def flatten_affine(
+    exprs: Iterable[AffineExpr], weights: Iterable[int], const: int = 0
+) -> AffineExpr:
+    """Weighted sum ``const + Σ w_k · e_k`` of affine expressions.
+
+    Used to flatten multi-dimensional subscripts into byte offsets:
+    the weights are the per-dimension strides in bytes.
+    """
+    total = AffineExpr.const_expr(const)
+    for e, w in zip(exprs, weights, strict=True):
+        total = total + e * int(w)
+    return total

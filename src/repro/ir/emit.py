@@ -1,0 +1,231 @@
+"""C source emission from the loop IR.
+
+The inverse of the frontend: given a :class:`ParallelLoopNest`, emit
+compilable C/OpenMP source — declarations (including struct layouts and
+padding members), the pragma with its schedule, and the loop body.
+
+Two uses:
+
+* **round-trip testing** — ``parse_c_source(emit_nest(nest))`` must
+  produce byte-identical address functions, pinning the frontend and
+  the IR to each other from both directions;
+* **transformation output** — the mitigation passes rewrite nests
+  (padding, chunk changes); emission turns their result back into the
+  source a user can apply.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import (
+    BinOp,
+    CallExpr,
+    CastExpr,
+    Const,
+    Expr,
+    LoadExpr,
+    UnOp,
+    VarRef,
+)
+from repro.ir.layout import (
+    ArrayType,
+    CType,
+    PointerType,
+    PrimitiveType,
+    StructType,
+)
+from repro.ir.loops import Assign, Loop, ParallelLoopNest
+from repro.ir.refs import ArrayRef
+
+
+class EmitError(ValueError):
+    """The IR contains a construct C emission does not support."""
+
+
+def emit_affine(expr: AffineExpr) -> str:
+    """Render an affine expression as C.
+
+    >>> i = AffineExpr.var("i")
+    >>> emit_affine(2 * i + 1)
+    '2 * i + 1'
+    >>> emit_affine(i - 1)
+    'i - 1'
+    """
+    parts: list[str] = []
+    for var, coeff in expr.coeffs:
+        if coeff == 1:
+            term = var
+        elif coeff == -1:
+            term = f"-{var}"
+        else:
+            term = f"{coeff} * {var}"
+        parts.append(term)
+    if expr.const or not parts:
+        parts.append(str(expr.const))
+    out = " + ".join(parts)
+    return out.replace("+ -", "- ")
+
+
+def _emit_ctype_name(ctype: CType) -> str:
+    if isinstance(ctype, PrimitiveType):
+        return ctype.name
+    if isinstance(ctype, StructType):
+        return ctype.name
+    if isinstance(ctype, PointerType):
+        return f"{_emit_ctype_name(ctype.pointee)} *"
+    raise EmitError(f"cannot name type {ctype!r}")
+
+
+def emit_struct(struct: StructType) -> str:
+    """Emit a typedef'd struct definition with its members in order."""
+    lines = ["typedef struct {"]
+    for f in struct.fields:
+        if isinstance(f.ctype, ArrayType):
+            lines.append(
+                f"    {_emit_ctype_name(f.ctype.element)} {f.name}[{f.ctype.count}];"
+            )
+        else:
+            name = _emit_ctype_name(f.ctype)
+            sep = "" if name.endswith("*") else " "
+            lines.append(f"    {name}{sep}{f.name};")
+    lines.append(f"}} {struct.name};")
+    return "\n".join(lines)
+
+
+def emit_ref(ref: ArrayRef) -> str:
+    """Emit an array reference access path.
+
+    Synthetic pointer-member arrays (``base.member`` names produced by
+    the frontend) are re-expanded into their pointer form:
+    ``tid_args.points`` with subscripts ``(j, i)`` becomes
+    ``tid_args[j].points[i]``.
+    """
+    name = ref.array.name
+    idx = [emit_affine(ix) for ix in ref.indices]
+    if "." in name:
+        base, *members = name.split(".")
+        if len(idx) != len(members) + 1:
+            raise EmitError(
+                f"synthetic array {name!r} needs {len(members) + 1} subscripts"
+            )
+        out = base
+        for member, subscript in zip(members, idx[:-1], strict=False):
+            out += f"[{subscript}].{member}"
+        out += f"[{idx[-1]}]"
+    else:
+        out = name + "".join(f"[{s}]" for s in idx)
+    for fieldname in ref.field_path:
+        out += f".{fieldname}"
+    if ref.extra != AffineExpr.const_expr(0):
+        raise EmitError(f"cannot emit extra-offset reference {ref}")
+    return out
+
+
+def emit_expr(expr: Expr) -> str:
+    """Emit a computational expression."""
+    if isinstance(expr, Const):
+        if isinstance(expr.value, float) and not expr.ctype.is_float:
+            return str(int(expr.value))
+        if expr.ctype.is_float:
+            v = repr(float(expr.value))
+            return v
+        return str(int(expr.value))
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, LoadExpr):
+        return emit_ref(expr.ref)
+    if isinstance(expr, BinOp):
+        return f"({emit_expr(expr.left)} {expr.op} {emit_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        return f"{expr.op}({emit_expr(expr.operand)})"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(emit_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, CastExpr):
+        return f"(({_emit_ctype_name(expr.to)})({emit_expr(expr.operand)}))"
+    raise EmitError(f"cannot emit expression {expr!r}")
+
+
+def emit_stmt(stmt: Assign, indent: str) -> str:
+    op = f"{stmt.augmented}=" if stmt.augmented else "="
+    target = (
+        emit_ref(stmt.target) if isinstance(stmt.target, ArrayRef) else stmt.target
+    )
+    return f"{indent}{target} {op} {emit_expr(stmt.rhs)};"
+
+
+def _emit_loop(loop: Loop, nest: ParallelLoopNest, depth: int) -> list[str]:
+    indent = "    " * (depth + 1)
+    lines: list[str] = []
+    if loop.var == nest.parallel_var:
+        clause = f"schedule(static,{nest.schedule.chunk})" if nest.schedule.chunk \
+            else "schedule(static)"
+        private = f" private({', '.join(nest.private)})" if nest.private else ""
+        lines.append(f"{indent}#pragma omp parallel for{private} {clause}")
+    step = f"{loop.var} += {loop.step}" if loop.step != 1 else f"{loop.var}++"
+    lines.append(
+        f"{indent}for ({loop.var} = {emit_affine(loop.lower)}; "
+        f"{loop.var} < {emit_affine(loop.upper)}; {step}) {{"
+    )
+    for item in loop.body:
+        if isinstance(item, Loop):
+            lines.extend(_emit_loop(item, nest, depth + 1))
+        else:
+            lines.append(emit_stmt(item, "    " * (depth + 2)))
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def _collect_structs(nest: ParallelLoopNest) -> list[StructType]:
+    """Struct types referenced by the nest's arrays, dependency-ordered."""
+    seen: dict[str, StructType] = {}
+
+    def visit(ctype: CType) -> None:
+        if isinstance(ctype, StructType):
+            for f in ctype.fields:
+                inner = f.ctype
+                if isinstance(inner, (PointerType,)):
+                    inner = inner.pointee
+                if isinstance(inner, ArrayType):
+                    inner = inner.element
+                visit(inner)
+            seen.setdefault(ctype.name, ctype)
+        elif isinstance(ctype, PointerType):
+            visit(ctype.pointee)
+        elif isinstance(ctype, ArrayType):
+            visit(ctype.element)
+
+    for arr in nest.arrays():
+        visit(arr.element)
+    return list(seen.values())
+
+
+def emit_nest(nest: ParallelLoopNest, function_name: str | None = None) -> str:
+    """Emit a complete translation unit for one parallel nest.
+
+    Declares every referenced struct and array at file scope, then the
+    function with the loop nest and its OpenMP pragma.  Synthetic
+    pointer-member arrays are folded back into pointer members of their
+    base struct (they were declared there already), so only plain
+    arrays get file-scope definitions.
+    """
+    function_name = function_name or nest.name.split(".")[0].replace("-", "_")
+    lines: list[str] = []
+    for struct in _collect_structs(nest):
+        lines.append(emit_struct(struct))
+        lines.append("")
+    for arr in nest.arrays():
+        if "." in arr.name:
+            continue  # lives inside its base struct as a pointer member
+        dims = "".join(f"[{d.as_int()}]" for d in arr.dims)
+        name = _emit_ctype_name(arr.element)
+        sep = "" if name.endswith("*") else " "
+        lines.append(f"{name}{sep}{arr.name}{dims};")
+    lines.append("")
+    lines.append(f"void {function_name}(void)")
+    lines.append("{")
+    loop_vars = ", ".join(nest.loop_vars())
+    lines.append(f"    int {loop_vars};")
+    lines.extend(_emit_loop(nest.root, nest, 0))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

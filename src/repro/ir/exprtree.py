@@ -1,0 +1,222 @@
+"""Computational expression trees for loop-body right-hand sides.
+
+The processor model (Open64 Fig. 3) needs two things from each innermost
+iteration: the *operation mix* (how many FP adds, multiplies, loads,
+stores, calls...) to schedule against the functional units, and the
+*dependence critical path* to estimate latency-bound stalls.  This
+module provides a small expression IR carrying both.
+
+It intentionally does not evaluate numerically — the model never executes
+the program; it only counts and measures shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.ir.layout import CType, DOUBLE, INT
+from repro.ir.refs import ArrayRef
+
+#: Binary C operators understood by the tree, mapped to op-class prefixes.
+_BINOP_CLASS = {
+    "+": "add",
+    "-": "add",  # sub costs like add
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "<": "cmp",
+    ">": "cmp",
+    "<=": "cmp",
+    ">=": "cmp",
+    "==": "cmp",
+    "!=": "cmp",
+    "&&": "logic",
+    "||": "logic",
+    "&": "logic",
+    "|": "logic",
+    "^": "logic",
+    "<<": "shift",
+    ">>": "shift",
+}
+
+
+class Expr:
+    """Base class of computational expressions."""
+
+    ctype: CType
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    # -- analyses ------------------------------------------------------------
+
+    def op_counts(self) -> Counter:
+        """Multiset of op classes in this tree (see machine op latencies).
+
+        Loads of array references count as ``load``; scalar variables are
+        assumed register-resident (the paper's model only considers array
+        references from the innermost loop, Section III-A).
+        """
+        counts: Counter = Counter()
+        for node in self.walk():
+            counts.update(node._own_ops())
+        return counts
+
+    def critical_path(self, latencies: Mapping[str, int]) -> int:
+        """Longest latency chain from any leaf to this node's result."""
+        child_cp = max(
+            (c.critical_path(latencies) for c in self.children()), default=0
+        )
+        own = sum(latencies[op] * n for op, n in self._own_ops().items())
+        return child_cp + own
+
+    def refs(self) -> Iterator[ArrayRef]:
+        """All array references loaded anywhere in the tree, in order."""
+        for node in self.walk():
+            if isinstance(node, LoadExpr):
+                yield node.ref
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def _own_ops(self) -> Counter:
+        return Counter()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant."""
+
+    value: float
+    ctype: CType = DOUBLE
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A scalar variable (loop index or thread-private accumulator).
+
+    Register-resident: contributes no memory operation.
+    """
+
+    name: str
+    ctype: CType = INT
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LoadExpr(Expr):
+    """A load of an array reference."""
+
+    ref: ArrayRef
+
+    def __post_init__(self) -> None:
+        if self.ref.is_write:
+            raise ValueError(f"LoadExpr wraps a read reference, got write {self.ref}")
+        object.__setattr__(self, "ctype", self.ref.accessed_type)
+
+    def _own_ops(self) -> Counter:
+        return Counter({"load": 1})
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation; op class derives from operand types."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOP_CLASS:
+            raise ValueError(f"unsupported binary operator {self.op!r}")
+        is_f = self.left.ctype.is_float or self.right.ctype.is_float
+        object.__setattr__(
+            self, "ctype", self.left.ctype if self.left.ctype.is_float or not is_f
+            else self.right.ctype
+        )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def _own_ops(self) -> Counter:
+        cls = _BINOP_CLASS[self.op]
+        if cls in ("logic", "shift", "mod"):
+            return Counter({cls if cls != "mod" else "mod": 1})
+        is_f = self.left.ctype.is_float or self.right.ctype.is_float
+        return Counter({("f" if is_f else "i") + cls: 1})
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary minus / logical not."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ctype", self.operand.ctype)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def _own_ops(self) -> Counter:
+        if self.op == "-":
+            return Counter({"fneg" if self.ctype.is_float else "ineg": 1})
+        return Counter({"logic": 1})
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    """An intrinsic/libm call such as ``cos(x)``."""
+
+    func: str
+    args: tuple[Expr, ...]
+    ctype: CType = DOUBLE
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def _own_ops(self) -> Counter:
+        return Counter({"call": 1})
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    """An explicit conversion, e.g. ``(double)n``."""
+
+    to: CType
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ctype", self.to)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def _own_ops(self) -> Counter:
+        return Counter({"cast": 1})
+
+    def __str__(self) -> str:
+        return f"(cast){self.operand}"

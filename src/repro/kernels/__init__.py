@@ -1,0 +1,40 @@
+"""The paper's evaluation kernels: heat diffusion, DFT, linear regression.
+
+Each kernel is available three ways:
+
+* a :class:`~repro.kernels.base.KernelInstance` factory
+  (:func:`heat_diffusion`, :func:`dft`, :func:`linear_regression`) —
+  what the experiments use;
+* a raw IR builder (``build_*_nest``) for custom sizes;
+* a C source generator (``*_source``) exercising the frontend path.
+"""
+
+from repro.kernels.base import KernelInstance
+from repro.kernels.dft import build_dft_nest, dft, dft_source
+from repro.kernels.heat import build_heat_nest, heat_diffusion, heat_source
+from repro.kernels.linreg import (
+    build_linreg_nest,
+    linear_regression,
+    linreg_source,
+)
+from repro.kernels.transpose import (
+    build_transpose_nest,
+    transpose,
+    transpose_source,
+)
+
+__all__ = [
+    "build_transpose_nest",
+    "transpose",
+    "transpose_source",
+    "KernelInstance",
+    "build_dft_nest",
+    "dft",
+    "dft_source",
+    "build_heat_nest",
+    "heat_diffusion",
+    "heat_source",
+    "build_linreg_nest",
+    "linear_regression",
+    "linreg_source",
+]

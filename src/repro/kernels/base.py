@@ -1,0 +1,63 @@
+"""Kernel instances: the workloads of the paper's evaluation.
+
+A :class:`KernelInstance` bundles everything an experiment needs:
+
+* ``nest`` — the loop nest bound for the thread count under study;
+* ``reference_nest`` — the thread-independent binding used to normalize
+  Eq. (5) percentages (see DESIGN.md; for heat/DFT it equals ``nest``,
+  for linreg it is the single-thread binding whose inner trip count is
+  the whole data set);
+* ``source`` — equivalent C/OpenMP source accepted by the frontend
+  (tests verify builder and frontend produce identical access streams);
+* the paper's chunk configurations (FS-heavy vs FS-free) and the
+  chunk-run sample counts used by the prediction model (Tables IV–VI).
+
+Problem sizes are reduced relative to the paper (5000² grids do not fit
+a pure-Python model's time budget); every experiment records its sizes
+in EXPERIMENTS.md.  Sizes are chosen so the parallel trip count divides
+evenly by ``threads × chunk`` for the paper's thread sweep wherever
+possible, keeping the lockstep schedule balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.frontend import parse_c_source
+from repro.ir.loops import ParallelLoopNest
+
+
+@dataclass(frozen=True)
+class KernelInstance:
+    """A concrete, analyzable kernel configuration."""
+
+    name: str
+    nest: ParallelLoopNest
+    reference_nest: ParallelLoopNest
+    source: str
+    fs_chunk: int
+    nfs_chunk: int
+    pred_chunk_runs: int
+    params: Mapping[str, int]
+
+    def frontend_nest(self) -> ParallelLoopNest:
+        """The nest as produced by parsing :attr:`source`.
+
+        Used by integration tests to pin the builder and the C frontend
+        to each other; analyses use :attr:`nest` directly.
+        """
+        kernels = parse_c_source(self.source)
+        if len(kernels) != 1:
+            raise ValueError(
+                f"kernel source for {self.name!r} produced {len(kernels)} "
+                "parallel nests, expected exactly 1"
+            )
+        nest = kernels[0].nest
+        # Carry over the schedule of the builder nest (the source embeds
+        # the FS chunk; experiments override chunks anyway).
+        return nest.with_schedule(self.nest.schedule)
+
+    def with_chunk(self, chunk: int) -> "KernelInstance":
+        """A copy whose nest uses a different schedule chunk."""
+        return replace(self, nest=self.nest.with_chunk(chunk))

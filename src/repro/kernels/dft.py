@@ -1,0 +1,124 @@
+"""Discrete Fourier transform kernel (paper ref. [1]).
+
+Direct-evaluation DFT: the outer loop walks input samples sequentially;
+the *innermost* loop over output frequencies is the OpenMP worksharing
+loop (innermost-level parallelization, as in the paper).  Each inner
+iteration performs two read-modify-write accumulations into the output
+arrays — with ``schedule(static, 1)`` the RMW *loads* constantly hit
+lines another thread has just modified, producing the paper's heaviest
+FS overhead (Table II, ~32–36%).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import BinOp, CallExpr, LoadExpr, VarRef
+from repro.ir.layout import DOUBLE
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.kernels.base import KernelInstance
+
+FS_CHUNK = 1
+NFS_CHUNK = 16
+PRED_CHUNK_RUNS = 50
+
+DFT_SOURCE_TEMPLATE = """\
+#define NSAMP {samples}
+#define NFREQ {freqs}
+
+double in_re[NSAMP];
+double in_im[NSAMP];
+double out_re[NFREQ];
+double out_im[NFREQ];
+
+void dft(void)
+{{
+    int n, k;
+    double w = {w};
+    for (n = 0; n < NSAMP; n++) {{
+        #pragma omp parallel for private(k) schedule(static,{chunk})
+        for (k = 0; k < NFREQ; k++) {{
+            out_re[k] += in_re[n] * cos(w * n * k) + in_im[n] * sin(w * n * k);
+            out_im[k] += in_im[n] * cos(w * n * k) - in_re[n] * sin(w * n * k);
+        }}
+    }}
+}}
+"""
+
+
+def dft_source(samples: int, freqs: int, chunk: int = FS_CHUNK) -> str:
+    """C/OpenMP source of the DFT kernel at the given sizes."""
+    return DFT_SOURCE_TEMPLATE.format(
+        samples=samples, freqs=freqs, chunk=chunk, w=repr(2.0 * math.pi / freqs)
+    )
+
+
+def build_dft_nest(samples: int, freqs: int, chunk: int = FS_CHUNK) -> ParallelLoopNest:
+    """Programmatically built IR for the DFT kernel."""
+    if samples < 1 or freqs < 1:
+        raise ValueError("DFT needs positive sample and frequency counts")
+    in_re = ArrayDecl.create("in_re", DOUBLE, (samples,))
+    in_im = ArrayDecl.create("in_im", DOUBLE, (samples,))
+    out_re = ArrayDecl.create("out_re", DOUBLE, (freqs,))
+    out_im = ArrayDecl.create("out_im", DOUBLE, (freqs,))
+    n = AffineExpr.var("n")
+    k = AffineExpr.var("k")
+    w = VarRef("w", DOUBLE)
+
+    def trig(fn: str) -> CallExpr:
+        return CallExpr(
+            fn, (BinOp("*", BinOp("*", w, VarRef("n")), VarRef("k")),)
+        )
+
+    def load(arr: ArrayDecl, ix) -> LoadExpr:
+        return LoadExpr(ArrayRef(arr, (ix,)))
+
+    re_update = Assign(
+        ArrayRef(out_re, (k,), is_write=True),
+        BinOp(
+            "+",
+            BinOp("*", load(in_re, n), trig("cos")),
+            BinOp("*", load(in_im, n), trig("sin")),
+        ),
+        augmented="+",
+    )
+    im_update = Assign(
+        ArrayRef(out_im, (k,), is_write=True),
+        BinOp(
+            "-",
+            BinOp("*", load(in_im, n), trig("cos")),
+            BinOp("*", load(in_re, n), trig("sin")),
+        ),
+        augmented="+",
+    )
+    inner = Loop.create("k", 0, freqs, [re_update, im_update])
+    outer = Loop.create("n", 0, samples, [inner])
+    return ParallelLoopNest(
+        name="dft.k",
+        root=outer,
+        parallel_var="k",
+        schedule=Schedule("static", chunk),
+        private=("k",),
+    )
+
+
+def dft(samples: int = 16, freqs: int = 3072, chunk: int = FS_CHUNK) -> KernelInstance:
+    """The DFT kernel instance used by the experiments.
+
+    Defaults give a parallel trip of 3072 = 4·48·16, divisible by
+    ``threads × chunk`` across the paper's thread sweep for both chunk
+    configurations.
+    """
+    nest = build_dft_nest(samples, freqs, chunk)
+    return KernelInstance(
+        name="dft",
+        nest=nest,
+        reference_nest=nest,  # iteration space is thread-independent
+        source=dft_source(samples, freqs, chunk),
+        fs_chunk=FS_CHUNK,
+        nfs_chunk=NFS_CHUNK,
+        pred_chunk_runs=PRED_CHUNK_RUNS,
+        params={"samples": samples, "freqs": freqs},
+    )

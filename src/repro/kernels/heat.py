@@ -1,0 +1,112 @@
+"""Heat diffusion kernel (paper ref. [2]).
+
+A 2-D five-point Jacobi stencil: the outer loop walks interior rows
+sequentially; the *innermost* loop over columns carries the OpenMP
+worksharing construct, exactly the parallelization level the paper uses
+("loop kernels in heat diffusion and DFT programs are parallelized at
+the innermost loop level").
+
+With ``schedule(static, 1)`` adjacent threads write adjacent elements of
+the output row — eight neighbouring threads share every 64-byte line of
+``b`` — the classic write-write false-sharing pattern.  With chunk 64
+each thread owns 8 full lines per chunk and FS survives only at chunk
+boundary lines (the loop starts at column 1, so chunks straddle lines).
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import BinOp, Const, LoadExpr
+from repro.ir.layout import DOUBLE
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.kernels.base import KernelInstance
+
+#: Paper-faithful chunk configurations (Table I) and predictor sample
+#: count (Table IV).
+FS_CHUNK = 1
+NFS_CHUNK = 64
+PRED_CHUNK_RUNS = 20
+
+HEAT_SOURCE_TEMPLATE = """\
+#define ROWS {rows}
+#define COLS {cols}
+
+double a[ROWS][COLS];
+double b[ROWS][COLS];
+
+void heat_step(void)
+{{
+    int i, j;
+    for (i = 1; i < ROWS - 1; i++) {{
+        #pragma omp parallel for private(j) schedule(static,{chunk})
+        for (j = 1; j < COLS - 1; j++) {{
+            b[i][j] = 0.2 * (a[i][j] + a[i - 1][j] + a[i + 1][j]
+                             + a[i][j - 1] + a[i][j + 1]);
+        }}
+    }}
+}}
+"""
+
+
+def heat_source(rows: int, cols: int, chunk: int = FS_CHUNK) -> str:
+    """C/OpenMP source of the heat kernel at the given sizes."""
+    return HEAT_SOURCE_TEMPLATE.format(rows=rows, cols=cols, chunk=chunk)
+
+
+def build_heat_nest(rows: int, cols: int, chunk: int = FS_CHUNK) -> ParallelLoopNest:
+    """Programmatically built IR for the heat kernel (no parsing)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("heat kernel needs at least a 3x3 grid")
+    a = ArrayDecl.create("a", DOUBLE, (rows, cols))
+    b = ArrayDecl.create("b", DOUBLE, (rows, cols))
+    i = AffineExpr.var("i")
+    j = AffineExpr.var("j")
+
+    def load(arr: ArrayDecl, ii, jj) -> LoadExpr:
+        return LoadExpr(ArrayRef(arr, (ii, jj)))
+
+    stencil = BinOp(
+        "+",
+        BinOp(
+            "+",
+            BinOp("+", load(a, i, j), load(a, i - 1, j)),
+            load(a, i + 1, j),
+        ),
+        BinOp("+", load(a, i, j - 1), load(a, i, j + 1)),
+    )
+    body = Assign(
+        ArrayRef(b, (i, j), is_write=True),
+        BinOp("*", Const(0.2, DOUBLE), stencil),
+    )
+    inner = Loop.create("j", 1, cols - 1, [body])
+    outer = Loop.create("i", 1, rows - 1, [inner])
+    return ParallelLoopNest(
+        name="heat_step.j",
+        root=outer,
+        parallel_var="j",
+        schedule=Schedule("static", chunk),
+        private=("j",),
+    )
+
+
+def heat_diffusion(
+    rows: int = 12, cols: int = 6146, chunk: int = FS_CHUNK
+) -> KernelInstance:
+    """The heat diffusion kernel instance used by the experiments.
+
+    Defaults give a parallel trip count of 6144 = 2·48·64, evenly
+    divisible by ``threads × chunk`` across the paper's thread sweep for
+    both chunk configurations.
+    """
+    nest = build_heat_nest(rows, cols, chunk)
+    return KernelInstance(
+        name="heat",
+        nest=nest,
+        reference_nest=nest,  # iteration space is thread-independent
+        source=heat_source(rows, cols, chunk),
+        fs_chunk=FS_CHUNK,
+        nfs_chunk=NFS_CHUNK,
+        pred_chunk_runs=PRED_CHUNK_RUNS,
+        params={"rows": rows, "cols": cols},
+    )

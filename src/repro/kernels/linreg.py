@@ -1,0 +1,163 @@
+"""Phoenix linear regression kernel (paper Fig. 1, ref. [17]).
+
+The paper's motivating kernel: the *outermost* loop over per-task
+accumulator structs carries the worksharing construct, and each task
+scans its private slice of the point data (``M / num_threads`` points —
+note the thread count in the trip count: total work *shrinks* as threads
+grow, which is what makes the paper's modeled percentage decline with
+the thread count in Table III while heat/DFT stay flat).
+
+The 40-byte accumulator struct (plus the ``points`` pointer → 48 bytes
+with padding) does not tile 64-byte lines, so adjacent tasks share
+lines; with ``schedule(static, 1)`` adjacent tasks live on adjacent
+*threads* and every accumulator update ping-pongs the line.
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import BinOp, LoadExpr
+from repro.ir.layout import DOUBLE, LONGLONG, PointerType, StructType
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.kernels.base import KernelInstance
+
+FS_CHUNK = 1
+NFS_CHUNK = 10
+PRED_CHUNK_RUNS = 10
+
+LINREG_SOURCE_TEMPLATE = """\
+#define NTASKS {tasks}
+#define PPT {ppt}
+
+typedef struct {{
+    double x;
+    double y;
+}} point_t;
+
+typedef struct {{
+    point_t *points;
+    long long sx;
+    long long sxx;
+    long long sy;
+    long long syy;
+    long long sxy;
+}} lreg_args;
+
+lreg_args tid_args[NTASKS];
+
+void linear_regression(void)
+{{
+    int i, j;
+    #pragma omp parallel for private(i, j) schedule(static,{chunk})
+    for (j = 0; j < NTASKS; j++) {{
+        for (i = 0; i < PPT; i++) {{
+            tid_args[j].sx  += tid_args[j].points[i].x;
+            tid_args[j].sxx += tid_args[j].points[i].x * tid_args[j].points[i].x;
+            tid_args[j].sy  += tid_args[j].points[i].y;
+            tid_args[j].syy += tid_args[j].points[i].y * tid_args[j].points[i].y;
+            tid_args[j].sxy += tid_args[j].points[i].x * tid_args[j].points[i].y;
+        }}
+    }}
+}}
+"""
+
+
+def linreg_source(tasks: int, ppt: int, chunk: int = FS_CHUNK) -> str:
+    """C/OpenMP source of the linear regression kernel (paper Fig. 1)."""
+    return LINREG_SOURCE_TEMPLATE.format(tasks=tasks, ppt=ppt, chunk=chunk)
+
+
+def build_linreg_nest(tasks: int, ppt: int, chunk: int = FS_CHUNK) -> ParallelLoopNest:
+    """Programmatically built IR for the linear regression kernel.
+
+    ``ppt`` is the paper's ``M / num_threads`` — points processed per
+    task at the thread count being analyzed.
+    """
+    if tasks < 1 or ppt < 1:
+        raise ValueError("linreg needs positive task and point counts")
+    point_t = StructType.create("point_t", [("x", DOUBLE), ("y", DOUBLE)])
+    lreg_args = StructType.create(
+        "lreg_args",
+        [
+            ("points", PointerType(point_t)),
+            ("sx", LONGLONG),
+            ("sxx", LONGLONG),
+            ("sy", LONGLONG),
+            ("syy", LONGLONG),
+            ("sxy", LONGLONG),
+        ],
+    )
+    tid_args = ArrayDecl.create("tid_args", lreg_args, (tasks,))
+    # The pointer member materializes as a synthetic rectangular array,
+    # matching the frontend's lowering of ``tid_args[j].points[i]``.
+    points = ArrayDecl.create("tid_args.points", point_t, (tasks, ppt))
+    i = AffineExpr.var("i")
+    j = AffineExpr.var("j")
+
+    def pt(fieldname: str) -> LoadExpr:
+        return LoadExpr(ArrayRef(points, (j, i), (fieldname,)))
+
+    def acc(fieldname: str, rhs) -> Assign:
+        return Assign(
+            ArrayRef(tid_args, (j,), (fieldname,), is_write=True),
+            rhs,
+            augmented="+",
+        )
+
+    body = [
+        acc("sx", pt("x")),
+        acc("sxx", BinOp("*", pt("x"), pt("x"))),
+        acc("sy", pt("y")),
+        acc("syy", BinOp("*", pt("y"), pt("y"))),
+        acc("sxy", BinOp("*", pt("x"), pt("y"))),
+    ]
+    inner = Loop.create("i", 0, ppt, body)
+    outer = Loop.create("j", 0, tasks, [inner])
+    return ParallelLoopNest(
+        name="linear_regression.j",
+        root=outer,
+        parallel_var="j",
+        schedule=Schedule("static", chunk),
+        private=("i", "j"),
+    )
+
+
+def linear_regression(
+    num_threads: int,
+    tasks: int = 480,
+    total_points: int = 2880,
+    chunk: int = FS_CHUNK,
+) -> KernelInstance:
+    """The linear regression instance for a given thread count.
+
+    The analyzed nest uses ``ppt = total_points // num_threads`` (the
+    paper's ``M / num_threads`` inner bound); the reference nest is the
+    single-thread binding (``ppt = total_points``), giving the
+    thread-independent normalization DESIGN.md describes.
+    """
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    if total_points % num_threads:
+        raise ValueError(
+            f"total_points ({total_points}) must divide evenly by "
+            f"num_threads ({num_threads}) to mirror the paper's M/num_threads"
+        )
+    ppt = total_points // num_threads
+    nest = build_linreg_nest(tasks, ppt, chunk)
+    reference = build_linreg_nest(tasks, total_points, chunk)
+    return KernelInstance(
+        name="linreg",
+        nest=nest,
+        reference_nest=reference,
+        source=linreg_source(tasks, ppt, chunk),
+        fs_chunk=FS_CHUNK,
+        nfs_chunk=NFS_CHUNK,
+        pred_chunk_runs=PRED_CHUNK_RUNS,
+        params={
+            "tasks": tasks,
+            "total_points": total_points,
+            "ppt": ppt,
+            "num_threads": num_threads,
+        },
+    )

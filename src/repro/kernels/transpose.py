@@ -1,0 +1,94 @@
+"""Matrix transpose kernel — the negative control.
+
+``b[j][i] = a[i][j]`` with the inner loop over ``j`` parallelized: each
+thread writes whole *rows* of ``b`` (row ``j`` belongs to exactly one
+thread under any static schedule), so no two threads write the same
+cache line — **no false sharing by construction**, at any chunk size,
+despite the loop looking superficially like the FS-prone kernels.
+
+A detector that is merely "sensitive" flags everything; the transpose
+pins the reproduction's *specificity*: the model and the simulator must
+both report (near-)zero FS here.  (The only possible residue is a
+row-boundary line when the row byte-length is not a line multiple.)
+"""
+
+from __future__ import annotations
+
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import LoadExpr
+from repro.ir.layout import DOUBLE
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.kernels.base import KernelInstance
+
+FS_CHUNK = 1
+NFS_CHUNK = 8
+PRED_CHUNK_RUNS = 10
+
+TRANSPOSE_SOURCE_TEMPLATE = """\
+#define ROWS {rows}
+#define COLS {cols}
+
+double a[ROWS][COLS];
+double b[COLS][ROWS];
+
+void transpose(void)
+{{
+    int i, j;
+    for (i = 0; i < ROWS; i++) {{
+        #pragma omp parallel for private(j) schedule(static,{chunk})
+        for (j = 0; j < COLS; j++) {{
+            b[j][i] = a[i][j];
+        }}
+    }}
+}}
+"""
+
+
+def transpose_source(rows: int, cols: int, chunk: int = FS_CHUNK) -> str:
+    """C/OpenMP source of the transpose kernel."""
+    return TRANSPOSE_SOURCE_TEMPLATE.format(rows=rows, cols=cols, chunk=chunk)
+
+
+def build_transpose_nest(
+    rows: int, cols: int, chunk: int = FS_CHUNK
+) -> ParallelLoopNest:
+    """Programmatically built IR for the transpose kernel."""
+    if rows < 1 or cols < 1:
+        raise ValueError("transpose needs positive dimensions")
+    a = ArrayDecl.create("a", DOUBLE, (rows, cols))
+    b = ArrayDecl.create("b", DOUBLE, (cols, rows))
+    i = AffineExpr.var("i")
+    j = AffineExpr.var("j")
+    stmt = Assign(
+        ArrayRef(b, (j, i), is_write=True),
+        LoadExpr(ArrayRef(a, (i, j))),
+    )
+    inner = Loop.create("j", 0, cols, [stmt])
+    outer = Loop.create("i", 0, rows, [inner])
+    return ParallelLoopNest(
+        name="transpose.j",
+        root=outer,
+        parallel_var="j",
+        schedule=Schedule("static", chunk),
+        private=("j",),
+    )
+
+
+def transpose(rows: int = 8, cols: int = 512, chunk: int = FS_CHUNK) -> KernelInstance:
+    """The transpose kernel instance (negative control).
+
+    Default ``rows = 8`` makes each output row exactly one cache line,
+    eliminating even the row-boundary residue.
+    """
+    nest = build_transpose_nest(rows, cols, chunk)
+    return KernelInstance(
+        name="transpose",
+        nest=nest,
+        reference_nest=nest,
+        source=transpose_source(rows, cols, chunk),
+        fs_chunk=FS_CHUNK,
+        nfs_chunk=NFS_CHUNK,
+        pred_chunk_runs=PRED_CHUNK_RUNS,
+        params={"rows": rows, "cols": cols},
+    )

@@ -1,0 +1,46 @@
+"""Machine descriptions consumed by the cost models and the simulator.
+
+A single :class:`~repro.machine.config.MachineConfig` instance describes
+the cache hierarchy, coherence penalties, functional-unit mix and runtime
+overheads of the target.  Both sides of the evaluation — the analytic
+cost models in :mod:`repro.costmodels`/:mod:`repro.model` and the
+execution substrate in :mod:`repro.sim` — read the *same* configuration,
+mirroring how the paper's compile-time model and its 48-core testbed
+share one physical machine.
+"""
+
+from repro.machine.config import (
+    CacheLevel,
+    CoherenceCosts,
+    FunctionalUnits,
+    MachineConfig,
+    OpLatencies,
+    RuntimeOverheads,
+)
+from repro.machine.calibrate import CalibrationEntry, CalibrationReport, calibrate
+from repro.machine.presets import desktop_machine, paper_machine, tiny_machine
+from repro.machine.topology import (
+    PLACEMENTS,
+    pair_penalty_factory,
+    socket_map,
+    socket_of,
+)
+
+__all__ = [
+    "CalibrationEntry",
+    "CalibrationReport",
+    "calibrate",
+    "PLACEMENTS",
+    "pair_penalty_factory",
+    "socket_map",
+    "socket_of",
+    "CacheLevel",
+    "CoherenceCosts",
+    "FunctionalUnits",
+    "MachineConfig",
+    "OpLatencies",
+    "RuntimeOverheads",
+    "desktop_machine",
+    "paper_machine",
+    "tiny_machine",
+]

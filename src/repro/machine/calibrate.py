@@ -1,0 +1,156 @@
+"""Calibration harness: derive model constants from simulator microbenchmarks.
+
+The paper never publishes Open64's internal cost constants; ours live in
+:mod:`repro.machine.config`.  To keep them honest — and to document that
+they are *not* tuned per experiment — this harness measures each constant
+from a dedicated microbenchmark on the simulator and reports measured vs
+configured:
+
+* ``fs_read_penalty``  ← a read ping-pong kernel: two threads alternately
+  read/write one line; the marginal cost per coherence event is the
+  penalty the model should charge per read-FS case;
+* ``fs_write_penalty`` ← a write ping-pong kernel, same construction;
+* ``prefetch_coverage`` ← a pure streaming kernel run with the
+  prefetcher on and off: the hidden fraction of beyond-L1 miss cycles.
+
+``calibrate()`` returns a report; ``tests/test_calibrate.py`` asserts
+the shipped defaults sit inside the measured bands, which is what makes
+the model-vs-simulator agreement in EXPERIMENTS.md meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.affine import AffineExpr
+from repro.ir.exprtree import BinOp, Const, LoadExpr
+from repro.ir.layout import DOUBLE
+from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
+from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.machine.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """One constant: what the config says vs what the sim measures."""
+
+    name: str
+    configured: float
+    measured: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.measured == 0:
+            return 0.0 if self.configured == 0 else float("inf")
+        return abs(self.configured - self.measured) / abs(self.measured)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All calibrated constants."""
+
+    entries: tuple[CalibrationEntry, ...]
+
+    def entry(self, name: str) -> CalibrationEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise KeyError(name)
+
+    def to_text(self) -> str:
+        lines = ["calibration: configured vs simulator-measured"]
+        for e in self.entries:
+            lines.append(
+                f"  {e.name:20s} configured={e.configured:8.1f}  "
+                f"measured={e.measured:8.1f}  err={100 * e.relative_error:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def _pingpong_nest(n: int, rmw: bool) -> ParallelLoopNest:
+    """Two threads alternating on shared lines (chunk=1, stride 8B).
+
+    ``rmw=True`` makes each iteration a read-modify-write (exposing the
+    read-FS path); ``rmw=False`` is a pure store stream (write-FS path).
+    """
+    shared = ArrayDecl.create("pp_shared", DOUBLE, (n,))
+    i = AffineExpr.var("i")
+    target = ArrayRef(shared, (i,), is_write=True)
+    if rmw:
+        stmt = Assign(target, Const(1.0, DOUBLE), augmented="+")
+    else:
+        stmt = Assign(target, Const(1.0, DOUBLE))
+    return ParallelLoopNest(
+        "pingpong.i", Loop.create("i", 0, n, [stmt]), "i",
+        schedule=Schedule("static", 1),
+    )
+
+
+def _stream_nest(n: int) -> ParallelLoopNest:
+    src = ArrayDecl.create("st_src", DOUBLE, (n,))
+    dst = ArrayDecl.create("st_dst", DOUBLE, (n,))
+    i = AffineExpr.var("i")
+    stmt = Assign(
+        ArrayRef(dst, (i,), is_write=True),
+        BinOp("+", LoadExpr(ArrayRef(src, (i,))), Const(1.0, DOUBLE)),
+    )
+    return ParallelLoopNest(
+        "stream.i", Loop.create("i", 0, n, [stmt]), "i",
+        schedule=Schedule("static", None),
+    )
+
+
+def _marginal_fs_cost(machine: MachineConfig, rmw: bool, n: int = 4096) -> float:
+    """Cycles per coherence event: FS-config minus aligned-config time."""
+    from repro.sim import MulticoreSimulator
+
+    sim = MulticoreSimulator(machine)
+    nest = _pingpong_nest(n, rmw)
+    fs = sim.run(nest, 2, chunk=1)
+    clean = sim.run(nest, 2, chunk=machine.line_size // 8)
+    events = fs.counters.coherence_events - clean.counters.coherence_events
+    if events <= 0:
+        return 0.0
+    # Coherence events split across both threads; wall time reflects the
+    # slower thread, so compare per-thread totals.
+    delta = fs.per_thread_cycles.max() - clean.per_thread_cycles.max()
+    return 2.0 * delta / events
+
+
+def _measured_prefetch_coverage(machine: MachineConfig, n: int = 65536) -> float:
+    """Hidden fraction of streaming miss cycles, measured on the sim."""
+    from repro.sim import MulticoreSimulator
+
+    nest = _stream_nest(n)
+    on = MulticoreSimulator(machine, prefetcher=True).run(nest, 1)
+    off = MulticoreSimulator(machine, prefetcher=False).run(nest, 1)
+    # Memory cycles beyond the compute floor, with and without prefetch.
+    base = on.compute_cycles_per_iter * n
+    mem_on = float(on.per_thread_cycles.max()) - base
+    mem_off = float(off.per_thread_cycles.max()) - base
+    if mem_off <= 0:
+        return 0.0
+    hidden = (mem_off - mem_on) / mem_off
+    return max(0.0, min(hidden, 1.0))
+
+
+def calibrate(machine: MachineConfig) -> CalibrationReport:
+    """Measure the FS penalties and prefetch coverage from the simulator."""
+    entries = (
+        CalibrationEntry(
+            "fs_read_penalty",
+            configured=float(machine.fs_read_penalty_cycles),
+            measured=_marginal_fs_cost(machine, rmw=True),
+        ),
+        CalibrationEntry(
+            "fs_write_penalty",
+            configured=float(machine.fs_write_penalty_cycles),
+            measured=_marginal_fs_cost(machine, rmw=False),
+        ),
+        CalibrationEntry(
+            "prefetch_coverage",
+            configured=machine.prefetch_coverage,
+            measured=_measured_prefetch_coverage(machine),
+        ),
+    )
+    return CalibrationReport(entries)

@@ -1,0 +1,313 @@
+"""Machine configuration shared by the cost models and the simulator.
+
+The paper evaluates on a 4-socket, 48-core AMD system (2.2 GHz, 64 B
+cache lines, private 64 KB L1 and 512 KB L2 per core, 10 MB L3 shared by
+12 cores).  :class:`MachineConfig` captures that description plus the
+cost constants the Open64-style models need: per-level access latencies,
+coherence penalties, functional-unit counts, operation latencies and
+OpenMP runtime overheads.
+
+Design notes
+------------
+* Everything is expressed in **cycles** — the paper's cost models compute
+  CPU cycles and convert to seconds via the clock frequency only at the
+  reporting boundary.
+* The class is a frozen dataclass: configurations are values, never
+  mutated mid-experiment, so a model run and a simulator run can be
+  trusted to have seen identical parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.util import is_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity of this level (per core for private levels).
+    line_size:
+        Cache line size in bytes; the false-sharing granularity.
+    associativity:
+        Ways per set; ``0`` means fully associative.
+    latency_cycles:
+        Cost of a hit served at this level.
+    shared:
+        Whether the level is shared between cores (e.g. L3).
+    """
+
+    size_bytes: int
+    line_size: int = 64
+    associativity: int = 8
+    latency_cycles: int = 3
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"cache size must be positive, got {self.size_bytes}")
+        if not is_power_of_two(self.line_size):
+            raise ValueError(f"line size must be a power of two, got {self.line_size}")
+        if self.size_bytes % self.line_size != 0:
+            raise ValueError("cache size must be a multiple of the line size")
+        if self.associativity < 0:
+            raise ValueError("associativity must be >= 0 (0 = fully associative)")
+        if self.latency_cycles < 0:
+            raise ValueError("latency must be non-negative")
+        if self.associativity and self.num_lines % self.associativity != 0:
+            raise ValueError(
+                "line count must be divisible by associativity "
+                f"({self.num_lines} lines, {self.associativity} ways)"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines in this level."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (1 when fully associative)."""
+        if self.associativity == 0:
+            return 1
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class CoherenceCosts:
+    """Write-invalidate coherence penalties, in cycles.
+
+    ``remote_fetch_cycles`` is the dominant false-sharing cost: the cache
+    line is dirty in another core's private cache and must be transferred
+    cache-to-cache.  ``invalidate_cycles`` is the bus/directory cost paid
+    by a writer that must invalidate remote copies; ``upgrade_cycles`` is
+    the cheaper shared→modified upgrade when no data transfer is needed.
+    """
+
+    remote_fetch_cycles: int = 120
+    invalidate_cycles: int = 10
+    upgrade_cycles: int = 8
+    #: Multiplier applied to coherence penalties when the dirty copy
+    #: lives on a *different socket* (HyperTransport/QPI hop).  The
+    #: default of 1.0 keeps the flat model the paper uses; the NUMA
+    #: ablation sets it explicitly.
+    cross_socket_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("remote_fetch_cycles", "invalidate_cycles", "upgrade_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.cross_socket_factor < 1.0:
+            raise ValueError("cross_socket_factor must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class FunctionalUnits:
+    """Issue resources per core used by the processor model (Fig. 3)."""
+
+    issue_width: int = 4
+    int_units: int = 2
+    fp_units: int = 2
+    mem_units: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("issue_width", "int_units", "fp_units", "mem_units"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: Default operation latencies (cycles) for the dependence-latency part of
+#: the processor model.  Keys are the op-class names produced by
+#: :meth:`repro.ir.exprtree.Expr.op_counts`.
+DEFAULT_OP_LATENCIES: Mapping[str, int] = {
+    "iadd": 1,
+    "imul": 3,
+    "idiv": 20,
+    "fadd": 4,
+    "fmul": 4,
+    "fdiv": 20,
+    "fneg": 1,
+    "ineg": 1,
+    "icmp": 1,
+    "fcmp": 2,
+    "load": 3,  # L1-hit load-to-use; misses are the cache model's business
+    "store": 1,
+    "call": 180,  # libm scalar transcendental (sin/cos on 2012-era x86)
+    "cast": 1,
+    "logic": 1,
+    "shift": 1,
+    "mod": 20,
+}
+
+
+@dataclass(frozen=True)
+class OpLatencies:
+    """Operation-latency table with a mapping-style lookup."""
+
+    table: Mapping[str, int] = field(default_factory=lambda: dict(DEFAULT_OP_LATENCIES))
+
+    def __post_init__(self) -> None:
+        for op, lat in self.table.items():
+            if lat < 0:
+                raise ValueError(f"latency for {op!r} must be non-negative")
+
+    def __getitem__(self, op: str) -> int:
+        try:
+            return self.table[op]
+        except KeyError:
+            # Unknown intrinsics fall back to the generic call latency.
+            if op.startswith("call"):
+                return self.table.get("call", 40)
+            raise
+
+
+@dataclass(frozen=True)
+class RuntimeOverheads:
+    """OpenMP runtime and loop bookkeeping costs (Fig. 5)."""
+
+    parallel_startup_cycles: int = 12_000
+    # Static schedules compute chunk bounds arithmetically; the per-chunk
+    # runtime cost is a few cycles of index math, not a queue operation.
+    chunk_dispatch_cycles: int = 4
+    barrier_cycles_per_thread: int = 200
+    loop_overhead_per_iter_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "parallel_startup_cycles",
+            "chunk_dispatch_cycles",
+            "barrier_cycles_per_thread",
+            "loop_overhead_per_iter_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of the modeled machine.
+
+    Attributes
+    ----------
+    num_cores:
+        Hardware cores available; one OpenMP thread is pinned per core.
+    freq_ghz:
+        Clock frequency, used only to convert cycles to seconds in reports.
+    l1, l2:
+        Private cache levels (per core).
+    l3:
+        Shared last-level cache.
+    page_size / tlb_entries / tlb_miss_cycles:
+        TLB parameters — the paper models the TLB "as another level of
+        cache" at page granularity.
+    mem_latency_cycles:
+        DRAM access cost for a miss at every cache level.
+    coherence:
+        Write-invalidate penalty set; ``coherence.remote_fetch_cycles`` is
+        the per-false-sharing-case cost ``fs_penalty`` used by Eq. (1).
+    units / op_latencies:
+        Processor-model resources.
+    overheads:
+        OpenMP/loop overhead constants.
+    model_cache_lines:
+        Capacity (in lines) of the *model's* per-thread fully-associative
+        cache state (Section III-C).  Defaults to the private L2 capacity.
+    """
+
+    num_cores: int = 48
+    #: Cores per socket (the paper's machine: 4 sockets x 12 cores).
+    cores_per_socket: int = 12
+    freq_ghz: float = 2.2
+    l1: CacheLevel = field(
+        default_factory=lambda: CacheLevel(64 * 1024, latency_cycles=3)
+    )
+    l2: CacheLevel = field(
+        default_factory=lambda: CacheLevel(512 * 1024, latency_cycles=12)
+    )
+    l3: CacheLevel = field(
+        default_factory=lambda: CacheLevel(
+            10 * 1024 * 1024, latency_cycles=40, shared=True, associativity=16
+        )
+    )
+    page_size: int = 4096
+    tlb_entries: int = 512
+    tlb_miss_cycles: int = 30
+    mem_latency_cycles: int = 200
+    coherence: CoherenceCosts = field(default_factory=CoherenceCosts)
+    units: FunctionalUnits = field(default_factory=FunctionalUnits)
+    op_latencies: OpLatencies = field(default_factory=OpLatencies)
+    overheads: RuntimeOverheads = field(default_factory=RuntimeOverheads)
+    model_cache_lines: int = 0  # 0 -> derive from L2
+    #: Fraction of long-latency misses on constant-stride load streams
+    #: hidden by hardware prefetching.  Used symmetrically: the simulator
+    #: implements a per-reference stride prefetcher, and the analytic
+    #: cache model scales its beyond-L1 streaming-miss cost by
+    #: ``1 - prefetch_coverage``.
+    prefetch_coverage: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.cores_per_socket <= 0:
+            raise ValueError("cores_per_socket must be positive")
+        if not 0.0 <= self.prefetch_coverage <= 1.0:
+            raise ValueError("prefetch_coverage must be within [0, 1]")
+        if self.freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        if not is_power_of_two(self.page_size):
+            raise ValueError("page_size must be a power of two")
+        if self.tlb_entries <= 0:
+            raise ValueError("tlb_entries must be positive")
+        if self.mem_latency_cycles < 0:
+            raise ValueError("mem_latency_cycles must be non-negative")
+        if self.l1.line_size != self.l2.line_size or self.l2.line_size != self.l3.line_size:
+            raise ValueError(
+                "all cache levels must share one line size "
+                "(the paper's machine uses 64 B everywhere)"
+            )
+        if self.model_cache_lines < 0:
+            raise ValueError("model_cache_lines must be non-negative")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def line_size(self) -> int:
+        """The machine-wide cache line size (false-sharing granularity)."""
+        return self.l1.line_size
+
+    @property
+    def fs_penalty_cycles(self) -> int:
+        """Cycles charged per false-sharing case in ``FalseSharing_c``."""
+        return self.coherence.remote_fetch_cycles
+
+    @property
+    def fs_read_penalty_cycles(self) -> int:
+        """Penalty of a read-FS case: a dirty cache-to-cache transfer."""
+        return self.coherence.remote_fetch_cycles
+
+    @property
+    def fs_write_penalty_cycles(self) -> int:
+        """Penalty of a write-FS case: the invalidation round plus the
+        buffered refill the store would not otherwise need."""
+        return self.coherence.invalidate_cycles + self.l3.latency_cycles // 4
+
+    @property
+    def model_stack_lines(self) -> int:
+        """Stack depth for the model's per-thread LRU cache state."""
+        if self.model_cache_lines:
+            return self.model_cache_lines
+        return self.l2.num_lines
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this machine's frequency."""
+        return cycles / (self.freq_ghz * 1e9)
+
+    def with_cores(self, num_cores: int) -> "MachineConfig":
+        """Return a copy of this configuration with a different core count."""
+        return replace(self, num_cores=num_cores)

@@ -1,0 +1,83 @@
+"""Preset machine configurations.
+
+``paper_machine`` mirrors the evaluation platform of the paper
+(Section IV-B): four 2.2 GHz 12-core processors, 64 KB L1 and 512 KB L2
+private per core, 10 MB L3 shared among the 12 cores of a socket, and a
+64-byte line size at every level.  ``tiny_machine`` is a deliberately
+small configuration used by the test suite so that capacity effects
+(LRU eviction, TLB pressure) are exercised with tiny workloads.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import CacheLevel, CoherenceCosts, MachineConfig
+
+
+def paper_machine(num_cores: int = 48) -> MachineConfig:
+    """The 48-core AMD system used in the paper's evaluation.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of cores to expose; the paper sweeps 2..48 threads on a
+        48-core box, and experiment drivers call :meth:`with_cores` or
+        pass smaller values here.
+    """
+    return MachineConfig(
+        num_cores=num_cores,
+        freq_ghz=2.2,
+        l1=CacheLevel(64 * 1024, line_size=64, associativity=2, latency_cycles=3),
+        l2=CacheLevel(512 * 1024, line_size=64, associativity=16, latency_cycles=12),
+        l3=CacheLevel(
+            10 * 1024 * 1024, line_size=64, associativity=16,
+            latency_cycles=40, shared=True,
+        ),
+    )
+
+
+def desktop_machine(num_cores: int = 8) -> MachineConfig:
+    """A commodity single-socket desktop (Zen/Skylake-class geometry).
+
+    Used to study how the model's verdicts transfer across machines:
+    bigger private L2, one socket, higher clock, faster uncore than the
+    2012 server part.
+    """
+    return MachineConfig(
+        num_cores=num_cores,
+        cores_per_socket=max(num_cores, 1),
+        freq_ghz=3.8,
+        l1=CacheLevel(32 * 1024, line_size=64, associativity=8, latency_cycles=4),
+        l2=CacheLevel(1024 * 1024, line_size=64, associativity=16, latency_cycles=14),
+        l3=CacheLevel(
+            32 * 1024 * 1024, line_size=64, associativity=16,
+            latency_cycles=44, shared=True,
+        ),
+        mem_latency_cycles=260,
+        coherence=CoherenceCosts(
+            remote_fetch_cycles=70, invalidate_cycles=8, upgrade_cycles=6
+        ),
+    )
+
+
+def tiny_machine(num_cores: int = 4, cache_lines: int = 16) -> MachineConfig:
+    """A miniature machine for unit tests.
+
+    Small private caches (``cache_lines`` lines) make eviction and
+    capacity behaviour observable with traces of a few dozen accesses.
+    """
+    line = 64
+    size = cache_lines * line
+    return MachineConfig(
+        num_cores=num_cores,
+        freq_ghz=1.0,
+        l1=CacheLevel(size, line_size=line, associativity=0, latency_cycles=1),
+        l2=CacheLevel(size * 4, line_size=line, associativity=0, latency_cycles=4),
+        l3=CacheLevel(size * 16, line_size=line, associativity=0,
+                      latency_cycles=10, shared=True),
+        tlb_entries=8,
+        mem_latency_cycles=50,
+        coherence=CoherenceCosts(
+            remote_fetch_cycles=25, invalidate_cycles=5, upgrade_cycles=3
+        ),
+        model_cache_lines=cache_lines,
+    )

@@ -1,0 +1,85 @@
+"""The paper's contribution: the compile-time false-sharing cost model.
+
+Pipeline (Section III):
+
+1. array references — delivered by the frontend/builders on the nest;
+2. :mod:`~repro.model.ownership` — cache line ownership lists per thread;
+3. :mod:`~repro.model.stackdist` — LRU cache states / stack distances;
+4. :mod:`~repro.model.detector` — φ/mask 1-to-All FS counting;
+plus :mod:`~repro.model.regression` (the linear-regression FS predictor)
+and :mod:`~repro.model.cost` (Eq. 1 integration / Eq. 5 percentages).
+"""
+
+from repro.model.cost import (
+    FSOverheadReport,
+    fs_cycles,
+    fs_overhead_percent,
+    measured_fs_percent,
+    predicted_fs_percent,
+)
+from repro.model.detector import FSDetector, FSStats
+from repro.model.diagnostics import FSDiagnostics, HotLine, diagnose
+from repro.model.fsmodel import (
+    FalseSharingModel,
+    FSCycleRate,
+    FSModelResult,
+    VictimArray,
+)
+from repro.model.ownership import OwnershipBlock, OwnershipListGenerator
+from repro.model.regression import (
+    FalseSharingPredictor,
+    FSPrediction,
+    LinearFit,
+    ols_fit,
+    paper_fit,
+)
+from repro.model.schedule import (
+    IterationSpace,
+    LockstepEnumerator,
+    effective_chunk,
+    static_chunk_positions,
+)
+from repro.model.stackdist import (
+    DistanceHistogram,
+    LRUStack,
+    MODIFIED,
+    SHARED,
+    StackDistanceAnalyzer,
+)
+from repro.model.whatif import SweepPoint, SweepResult, WhatIfSweep
+
+__all__ = [
+    "FSOverheadReport",
+    "fs_cycles",
+    "fs_overhead_percent",
+    "measured_fs_percent",
+    "predicted_fs_percent",
+    "FSDetector",
+    "FSStats",
+    "FSDiagnostics",
+    "HotLine",
+    "diagnose",
+    "FalseSharingModel",
+    "FSCycleRate",
+    "FSModelResult",
+    "VictimArray",
+    "OwnershipBlock",
+    "OwnershipListGenerator",
+    "FalseSharingPredictor",
+    "FSPrediction",
+    "LinearFit",
+    "ols_fit",
+    "paper_fit",
+    "IterationSpace",
+    "LockstepEnumerator",
+    "effective_chunk",
+    "static_chunk_positions",
+    "DistanceHistogram",
+    "LRUStack",
+    "MODIFIED",
+    "SHARED",
+    "StackDistanceAnalyzer",
+    "SweepPoint",
+    "SweepResult",
+    "WhatIfSweep",
+]

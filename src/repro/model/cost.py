@@ -1,0 +1,147 @@
+"""FS cost integration — ``FalseSharing_c`` in Eq. (1), percentages per Eq. (5).
+
+The paper quantifies FS impact as a percentage of loop execution time:
+
+* measured:  ``(T_fs − T_nfs) / T_fs``
+* modeled:   ``(N_fs − N_nfs) / Ñ_fs``
+
+The normalization ``Ñ_fs`` converts the modeled case-count difference to
+a share of total loop cost.  Following DESIGN.md, we take
+
+``modeled_% = (FS_c(fs) − FS_c(nfs)) / (C_ref + FS_c(fs))``
+
+where ``FS_c`` converts cases to cycles with the direction-split
+coherence penalties and ``C_ref`` is Eq. (1) without the FS term,
+evaluated over the *reference* iteration space — the nest as bound for a
+single thread.  A thread-independent reference reproduces the paper's
+observed behaviour, including the ∝1/threads decline of linreg's modeled
+percentage (its inner trip count shrinks with the thread count while the
+reference does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodels import CostBreakdown, TotalCostModel
+from repro.ir.loops import ParallelLoopNest
+from repro.machine import MachineConfig
+from repro.model.fsmodel import FSModelResult
+
+
+@dataclass(frozen=True)
+class FSOverheadReport:
+    """Modeled FS overhead of a loop, per Eq. (1) + Eq. (5)."""
+
+    nest_name: str
+    num_threads: int
+    fs_chunk: int
+    nfs_chunk: int
+    fs_cases: int
+    nfs_cases: int
+    fs_cycles: float
+    nfs_cycles: float
+    reference_cycles: float
+    percent: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.nest_name} T={self.num_threads}: "
+            f"N_fs={self.fs_cases} (chunk={self.fs_chunk}) vs "
+            f"N_nfs={self.nfs_cases} (chunk={self.nfs_chunk}) -> "
+            f"{self.percent:.1f}% of loop time"
+        )
+
+
+def fs_cycles(result: FSModelResult, machine: MachineConfig) -> float:
+    """``FalseSharing_c``: cases → cycles with read/write-split penalties."""
+    return result.fs_cycles(machine)
+
+
+def fs_overhead_percent(
+    fs_result: FSModelResult,
+    nfs_result: FSModelResult,
+    machine: MachineConfig,
+    reference_nest: ParallelLoopNest,
+    total_model: TotalCostModel | None = None,
+) -> FSOverheadReport:
+    """Eq. (5)'s modeled percentage for an (FS, non-FS) loop pair.
+
+    Parameters
+    ----------
+    fs_result / nfs_result:
+        Model results for the FS-heavy and FS-free chunk configurations
+        of the *same* loop at the *same* thread count.
+    machine:
+        Machine description (penalties and cost-model constants).
+    reference_nest:
+        The thread-independent reference nest used for normalization
+        (kernels expose this as their single-thread binding).
+    total_model:
+        Optionally a pre-built :class:`TotalCostModel` (e.g. sharing an
+        address space); a fresh one is created otherwise.
+    """
+    if fs_result.num_threads != nfs_result.num_threads:
+        raise ValueError(
+            "FS and non-FS results must use the same thread count "
+            f"({fs_result.num_threads} vs {nfs_result.num_threads})"
+        )
+    tm = total_model or TotalCostModel(machine)
+    breakdown: CostBreakdown = tm.breakdown(
+        reference_nest, num_threads=fs_result.num_threads, fs_cases=0.0
+    )
+    fsc = fs_result.fs_cycles(machine)
+    nfsc = nfs_result.fs_cycles(machine)
+    denom = breakdown.total + fsc
+    percent = 100.0 * (fsc - nfsc) / denom if denom > 0 else 0.0
+    return FSOverheadReport(
+        nest_name=fs_result.nest_name,
+        num_threads=fs_result.num_threads,
+        fs_chunk=fs_result.chunk,
+        nfs_chunk=nfs_result.chunk,
+        fs_cases=fs_result.fs_cases,
+        nfs_cases=nfs_result.fs_cases,
+        fs_cycles=fsc,
+        nfs_cycles=nfsc,
+        reference_cycles=breakdown.total,
+        percent=percent,
+    )
+
+
+def measured_fs_percent(t_fs: float, t_nfs: float) -> float:
+    """The paper's measured percentage ``(T_fs − T_nfs)/T_fs`` (× 100).
+
+    >>> measured_fs_percent(10.0, 9.0)
+    10.0
+    """
+    if t_fs <= 0:
+        raise ValueError(f"T_fs must be positive, got {t_fs}")
+    return 100.0 * (t_fs - t_nfs) / t_fs
+
+
+def predicted_fs_percent(
+    pred_fs_cases: float,
+    pred_nfs_cases: float,
+    fs_result_for_split: FSModelResult,
+    machine: MachineConfig,
+    reference_cycles: float,
+) -> float:
+    """Eq. (5) percentage from *predicted* case counts (Tables IV–VI).
+
+    The read/write split of the sampled prefix is applied to the
+    predicted totals to convert cases to cycles.
+    """
+    total_cases = max(fs_result_for_split.fs_cases, 1)
+    read_frac = fs_result_for_split.fs_read_cases / total_cases
+    write_frac = fs_result_for_split.fs_write_cases / total_cases
+
+    def to_cycles(cases: float) -> float:
+        return cases * (
+            read_frac * machine.fs_read_penalty_cycles
+            + write_frac * machine.fs_write_penalty_cycles
+        )
+
+    fsc = to_cycles(pred_fs_cases)
+    nfsc = to_cycles(pred_nfs_cases)
+    denom = reference_cycles + fsc
+    return 100.0 * (fsc - nfsc) / denom if denom > 0 else 0.0

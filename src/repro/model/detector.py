@@ -1,0 +1,271 @@
+"""Step 4 of the model: 1-to-All false sharing detection (Section III-D).
+
+When a thread touches a cache line, the detector evaluates the paper's
+φ function against every *other* thread's cache state: each state that
+holds the line Modified contributes one FS case (Eq. 3), and the mask
+function (Eq. 4) excludes the accessing thread's own state.
+
+Thread-holder sets are kept as integer bitmasks, so the 1-to-All
+comparison is a single AND + popcount instead of a loop over threads.
+
+Two coherence semantics are provided (see DESIGN.md):
+
+``invalidate`` (default)
+    Write-invalidate, matching the protocol the paper describes in its
+    background section: a write invalidates all remote copies; a read
+    downgrades remote Modified copies to Shared.  φ is evaluated on
+    every access.
+``literal``
+    The purely literal reading of Section III-D: φ is evaluated only
+    when the line is *inserted* into the accessing thread's cache state
+    (i.e. on own-state misses), and remote states are never changed by
+    other threads' accesses.
+
+The per-case cost differs by direction: a *read* of a remotely-modified
+line stalls on a cache-to-cache transfer, while a *write* mostly hides
+behind the store buffer and pays the invalidation bus cost.  The
+detector therefore reports read-FS and write-FS cases separately.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.stackdist import MODIFIED, SHARED
+
+
+@dataclass
+class FSStats:
+    """Counters accumulated by the detector."""
+
+    fs_cases: int = 0
+    fs_read_cases: int = 0
+    fs_write_cases: int = 0
+    accesses: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    downgrades: int = 0
+    evictions: int = 0
+    steps: int = 0
+    fs_by_thread: Counter = field(default_factory=Counter)
+    fs_by_line: Counter = field(default_factory=Counter)
+    #: (writer thread, accessor thread) -> cases; the inter-thread
+    #: conflict matrix used by the diagnostics report.
+    fs_by_pair: Counter = field(default_factory=Counter)
+
+    def merge(self, other: "FSStats") -> None:
+        self.fs_cases += other.fs_cases
+        self.fs_read_cases += other.fs_read_cases
+        self.fs_write_cases += other.fs_write_cases
+        self.accesses += other.accesses
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        self.downgrades += other.downgrades
+        self.evictions += other.evictions
+        self.steps += other.steps
+        self.fs_by_thread.update(other.fs_by_thread)
+        self.fs_by_line.update(other.fs_by_line)
+        self.fs_by_pair.update(other.fs_by_pair)
+
+
+class FSDetector:
+    """Per-thread cache states + φ/mask false-sharing counting.
+
+    Parameters
+    ----------
+    num_threads:
+        Number of cache states (one per thread).
+    stack_lines:
+        Capacity of each fully-associative LRU cache state.
+    mode:
+        ``"invalidate"`` or ``"literal"`` (see module docstring).
+    """
+
+    def __init__(
+        self, num_threads: int, stack_lines: int, mode: str = "invalidate"
+    ) -> None:
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if stack_lines <= 0:
+            raise ValueError("stack_lines must be positive")
+        if mode not in ("invalidate", "literal"):
+            raise ValueError(f"unknown detector mode {mode!r}")
+        self.num_threads = num_threads
+        self.stack_lines = stack_lines
+        self.mode = mode
+        # line -> state, insertion order == LRU order (first = LRU).
+        self._stacks: list[OrderedDict[int, str]] = [
+            OrderedDict() for _ in range(num_threads)
+        ]
+        self._holders: dict[int, int] = {}
+        self._writers: dict[int, int] = {}
+        # Fast-path memo: each thread's most-recently-used line and
+        # whether it is held Modified.  Re-touching the MRU line cannot
+        # change LRU order, states or FS counts (a write additionally
+        # requires the line to already be Modified), so such accesses
+        # bypass the full transition — the dominant pattern for
+        # accumulator kernels (repeated ``s[j] += ...``).
+        self._mru_line: list[int | None] = [None] * num_threads
+        self._mru_mod: list[bool] = [False] * num_threads
+        self.stats = FSStats()
+
+    # -- single-access API (tests, tiny traces) --------------------------------
+
+    def access(self, thread: int, line: int, is_write: bool) -> int:
+        """Process one access; returns the FS cases it generated."""
+        before = self.stats.fs_cases
+        self._process_one(thread, int(line), bool(is_write))
+        self.stats.accesses += 1
+        return self.stats.fs_cases - before
+
+    # -- block API (the model's hot path) ---------------------------------------
+
+    def process_block(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        thread_order: Sequence[int] | None = None,
+    ) -> None:
+        """Process a lockstep block of ownership lists.
+
+        ``thread_lines[t]`` is an ``[n_steps_t, n_refs]`` line-id matrix;
+        within each step, threads are processed in id order — the
+        deterministic interleaving the lockstep model defines — unless
+        ``thread_order`` overrides it (used by the interleaving-order
+        ablation); each thread performs its references in program order.
+        """
+        writes: tuple[bool, ...] = tuple(bool(w) for w in write_mask)
+        rows = [mat.tolist() for mat in thread_lines]
+        lengths = [len(r) for r in rows]
+        n_steps = max(lengths, default=0)
+        process = self._process_one
+        mru_line = self._mru_line
+        mru_mod = self._mru_mod
+        n_refs = len(writes)
+        accesses = 0
+        order = tuple(thread_order) if thread_order is not None else tuple(
+            range(self.num_threads)
+        )
+        if sorted(order) != list(range(self.num_threads)):
+            raise ValueError("thread_order must be a permutation of thread ids")
+        for s in range(n_steps):
+            for t in order:
+                if s >= lengths[t]:
+                    continue
+                row = rows[t][s]
+                for k in range(n_refs):
+                    line = row[k]
+                    w = writes[k]
+                    # MRU fast path (see __init__): a re-touch of the MRU
+                    # line with sufficient ownership is a guaranteed no-op.
+                    if line == mru_line[t] and (mru_mod[t] or not w):
+                        continue
+                    process(t, line, w)
+                accesses += n_refs
+        self.stats.accesses += accesses
+        self.stats.steps += n_steps
+
+    # -- core transition -----------------------------------------------------------
+
+    def _process_one(self, t: int, line: int, is_write: bool) -> None:
+        stats = self.stats
+        bit = 1 << t
+        stack = self._stacks[t]
+        prev = stack.pop(line, None)
+        hit = prev is not None
+
+        writers_mask = self._writers.get(line, 0)
+        foreign_writers = writers_mask & ~bit
+
+        if self.mode == "invalidate":
+            count_fs = foreign_writers != 0
+        else:  # literal: φ evaluated only on insertion into own state
+            count_fs = (not hit) and foreign_writers != 0
+
+        if count_fs:
+            n = foreign_writers.bit_count()
+            stats.fs_cases += n
+            if is_write:
+                stats.fs_write_cases += n
+            else:
+                stats.fs_read_cases += n
+            stats.fs_by_thread[t] += n
+            stats.fs_by_line[line] += n
+            rem = foreign_writers
+            while rem:
+                low = rem & -rem
+                stats.fs_by_pair[(low.bit_length() - 1, t)] += 1
+                rem ^= low
+
+        if not hit:
+            stats.misses += 1
+
+        if self.mode == "invalidate":
+            if is_write:
+                # Invalidate every remote copy.
+                holders_mask = self._holders.get(line, 0)
+                remote = holders_mask & ~bit
+                while remote:
+                    low = remote & -remote
+                    k = low.bit_length() - 1
+                    self._stacks[k].pop(line, None)
+                    if self._mru_line[k] == line:
+                        self._mru_line[k] = None
+                    stats.invalidations += 1
+                    remote ^= low
+                self._holders[line] = bit
+                self._writers[line] = bit
+                stack[line] = MODIFIED
+            else:
+                # Downgrade remote Modified copies to Shared.
+                if foreign_writers:
+                    rem = foreign_writers
+                    while rem:
+                        low = rem & -rem
+                        k = low.bit_length() - 1
+                        st = self._stacks[k]
+                        if line in st:
+                            st[line] = SHARED
+                        if self._mru_line[k] == line:
+                            self._mru_mod[k] = False
+                        stats.downgrades += 1
+                        rem ^= low
+                    self._writers[line] = writers_mask & ~foreign_writers
+                self._holders[line] = self._holders.get(line, 0) | bit
+                stack[line] = prev if prev == MODIFIED else SHARED
+        else:  # literal
+            self._holders[line] = self._holders.get(line, 0) | bit
+            if is_write:
+                self._writers[line] = writers_mask | bit
+                stack[line] = MODIFIED
+            else:
+                stack[line] = prev if prev == MODIFIED else SHARED
+
+        self._mru_line[t] = line
+        self._mru_mod[t] = stack[line] == MODIFIED
+
+        if len(stack) > self.stack_lines:
+            evicted, _ = stack.popitem(last=False)
+            self._holders[evicted] = self._holders.get(evicted, 0) & ~bit
+            self._writers[evicted] = self._writers.get(evicted, 0) & ~bit
+            if self._mru_line[t] == evicted:  # capacity-1 corner case
+                self._mru_line[t] = None
+            stats.evictions += 1
+
+    # -- inspection -------------------------------------------------------------------
+
+    def cache_state(self, thread: int) -> list[tuple[int, str]]:
+        """Thread's cache state, MRU first (for tests/diagnostics)."""
+        return list(reversed(self._stacks[thread].items()))
+
+    def holders_of(self, line: int) -> int:
+        """Bitmask of threads whose state holds ``line``."""
+        return self._holders.get(line, 0)
+
+    def writers_of(self, line: int) -> int:
+        """Bitmask of threads whose state holds ``line`` Modified."""
+        return self._writers.get(line, 0)

@@ -1,0 +1,386 @@
+"""The compile-time false-sharing cost model (Section III driver).
+
+:class:`FalseSharingModel` wires the four steps of the paper together:
+
+1. array references come from the nest's innermost loop
+   (``nest.innermost_accesses()``, produced by the frontend or builders);
+2. :class:`~repro.model.ownership.OwnershipListGenerator` produces the
+   per-thread cache line ownership lists, block by block;
+3. + 4. :class:`~repro.model.detector.FSDetector` maintains the per-thread
+   LRU cache states and performs the φ/mask 1-to-All comparison.
+
+``analyze`` evaluates the paper's ``All_num_iters / num_threads``
+lockstep steps (optionally truncated to a prefix of *chunk runs* for the
+prediction model) and returns an :class:`FSModelResult` with total FS
+cases, read/write split, per-line victim attribution and the optional
+per-chunk-run cumulative series behind Fig. 6.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.loops import ParallelLoopNest
+from repro.ir.refs import AddressSpace
+from repro.ir.validate import validate_nest
+from repro.machine import MachineConfig
+from repro.model.detector import FSDetector, FSStats
+from repro.model.ownership import OwnershipListGenerator
+from repro.model.schedule import IterationSpace
+from repro.util import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class VictimArray:
+    """An array implicated in false sharing, with its share of cases."""
+
+    name: str
+    fs_cases: int
+    lines: int
+
+
+@dataclass(frozen=True)
+class FSCycleRate:
+    """FS rate for loops with unknown boundaries (Section III preamble).
+
+    "If the loop boundaries are not known at compile-time, the model
+    only outputs the FS rate estimated per full cycle of iterations
+    executed by all of the threads" — one full cycle being one chunk
+    run (``num_threads × chunk_size`` parallel iterations).
+    """
+
+    nest_name: str
+    num_threads: int
+    chunk: int
+    cycles_evaluated: int
+    fs_cases_per_cycle: float
+    accesses_per_cycle: float
+    result: "FSModelResult"
+
+    def extrapolate(self, total_cycles: int) -> float:
+        """Projected FS cases for a loop of ``total_cycles`` chunk runs."""
+        if total_cycles < 0:
+            raise ValueError("total_cycles must be non-negative")
+        return self.fs_cases_per_cycle * total_cycles
+
+
+@dataclass
+class FSModelResult:
+    """Outcome of one compile-time FS analysis."""
+
+    nest_name: str
+    num_threads: int
+    chunk: int
+    mode: str
+    fs_cases: int
+    fs_read_cases: int
+    fs_write_cases: int
+    steps_evaluated: int
+    chunk_runs_evaluated: int
+    total_chunk_runs: int
+    accesses: int
+    stats: FSStats
+    space: AddressSpace
+    elapsed_seconds: float
+    line_size: int = 64
+    per_chunk_run: np.ndarray | None = None
+    _victims: tuple[VictimArray, ...] | None = field(default=None, repr=False)
+
+    def fs_cycles(self, machine: MachineConfig) -> float:
+        """Convert FS cases to cycles (``FalseSharing_c``).
+
+        Read cases stall on cache-to-cache transfers; write cases pay the
+        (store-buffer-absorbed) invalidation cost — see detector docs.
+        """
+        return (
+            self.fs_read_cases * machine.fs_read_penalty_cycles
+            + self.fs_write_cases * machine.fs_write_penalty_cycles
+        )
+
+    def fs_cycles_numa(
+        self, machine: MachineConfig, placement: str = "contiguous"
+    ) -> float:
+        """NUMA-aware ``FalseSharing_c`` using the thread-pair matrix.
+
+        Each (writer, accessor) pair's cases are scaled by the machine's
+        ``cross_socket_factor`` when the pair straddles sockets under the
+        given thread placement.  With the default factor of 1.0 this
+        degenerates to :meth:`fs_cycles`.
+        """
+        from repro.machine.topology import pair_penalty_factory
+
+        if self.fs_cases == 0:
+            return 0.0
+        penalty = pair_penalty_factory(
+            self.num_threads,
+            machine.cores_per_socket,
+            placement,
+            machine.coherence.cross_socket_factor,
+        )
+        # Apply the overall read/write split to each pair's case count.
+        read_frac = self.fs_read_cases / self.fs_cases
+        write_frac = self.fs_write_cases / self.fs_cases
+        per_case = (
+            read_frac * machine.fs_read_penalty_cycles
+            + write_frac * machine.fs_write_penalty_cycles
+        )
+        return sum(
+            cases * per_case * penalty(writer, accessor)
+            for (writer, accessor), cases in self.stats.fs_by_pair.items()
+        )
+
+    def victim_arrays(self) -> tuple[VictimArray, ...]:
+        """Arrays ranked by the FS cases attributed to their lines.
+
+        This is the diagnostic the paper motivates: pointing the
+        programmer at the data structure *causing* the false sharing.
+        """
+        if self._victims is not None:
+            return self._victims
+        per_array: Counter = Counter()
+        lines_per_array: Counter = Counter()
+        for line, cases in self.stats.fs_by_line.items():
+            name = self._array_of_address(line * self.line_size)
+            per_array[name] += cases
+            lines_per_array[name] += 1
+        self._victims = tuple(
+            VictimArray(name, cases, lines_per_array[name])
+            for name, cases in per_array.most_common()
+        )
+        return self._victims
+
+    def _array_of_address(self, addr: int) -> str:
+        for arr in self.space.arrays():
+            base = self.space.base(arr.name)
+            if base <= addr < base + arr.size_bytes():
+                return arr.name
+        return "<unknown>"
+
+
+class FalseSharingModel:
+    """The paper's compile-time FS cost model.
+
+    Parameters
+    ----------
+    machine:
+        Target machine; supplies the line size and the per-thread cache
+        state depth (fully-associative approximation of the private L2).
+    mode:
+        FS counting semantics, ``"invalidate"`` (default) or
+        ``"literal"`` — see :mod:`repro.model.detector`.
+    block_steps:
+        Lockstep steps processed per vectorized block.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        mode: str = "invalidate",
+        block_steps: int = 4096,
+        thread_order: tuple[int, ...] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.mode = mode
+        self.block_steps = block_steps
+        #: Optional within-step thread processing order (ablation knob;
+        #: the lockstep model's default is ascending thread id).
+        self.thread_order = thread_order
+
+    def analyze(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        chunk: int | None = None,
+        max_chunk_runs: int | None = None,
+        record_series: bool = False,
+        space: AddressSpace | None = None,
+    ) -> FSModelResult:
+        """Run the full FS analysis.
+
+        Parameters
+        ----------
+        nest:
+            Bound parallel loop nest (symbolic parameters resolved).
+        num_threads:
+            Thread count executing the loop.
+        chunk:
+            Override for the nest's schedule chunk (the evaluation
+            compares chunk configurations of the same loop).
+        max_chunk_runs:
+            Evaluate only this many chunk runs (prediction-model prefix);
+            ``None`` evaluates the whole loop.
+        record_series:
+            Record the cumulative FS count after every chunk run
+            (required by the Fig. 6 linearity study and the predictor).
+        space:
+            Optional pre-populated address space (shared with other
+            models for placement-consistent analyses).
+
+        Notes
+        -----
+        The result's ``fs_cases`` is the paper's ``N_fs_model`` /
+        ``N_nfs_model`` depending on the chunk configuration analyzed.
+        """
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        if chunk is not None:
+            nest = nest.with_chunk(chunk)
+        validate_nest(nest)
+
+        t0 = time.perf_counter()
+        gen = OwnershipListGenerator(
+            nest,
+            num_threads,
+            line_size=self.machine.line_size,
+            space=space,
+            block_steps=self.block_steps,
+        )
+        ispace: IterationSpace = gen.iteration_space
+        detector = FSDetector(
+            num_threads, self.machine.model_stack_lines, mode=self.mode
+        )
+
+        steps_per_run = ispace.steps_per_chunk_run
+        max_steps: int | None = None
+        if max_chunk_runs is not None:
+            max_steps = max_chunk_runs * steps_per_run
+
+        series: list[int] | None = None
+        if record_series:
+            # Align block emission to chunk-run boundaries so cumulative
+            # counts are sampled exactly at run ends.
+            runs_per_block = max(1, self.block_steps // max(steps_per_run, 1))
+            gen.enum.block_steps = runs_per_block * steps_per_run
+            series = []
+            for block in gen.blocks(max_steps):
+                self._process_block_with_series(
+                    detector, block, gen.write_mask, steps_per_run, series
+                )
+        else:
+            for block in gen.blocks(max_steps):
+                detector.process_block(
+                    block.lines, gen.write_mask, thread_order=self.thread_order
+                )
+
+        elapsed = time.perf_counter() - t0
+        stats = detector.stats
+        runs_evaluated = (
+            stats.steps // steps_per_run if steps_per_run else 0
+        )
+        result = FSModelResult(
+            nest_name=nest.name,
+            num_threads=num_threads,
+            chunk=ispace.chunk,
+            mode=self.mode,
+            fs_cases=stats.fs_cases,
+            fs_read_cases=stats.fs_read_cases,
+            fs_write_cases=stats.fs_write_cases,
+            steps_evaluated=stats.steps,
+            chunk_runs_evaluated=runs_evaluated,
+            total_chunk_runs=ispace.total_chunk_runs,
+            accesses=stats.accesses,
+            stats=stats,
+            space=gen.space,
+            elapsed_seconds=elapsed,
+            line_size=self.machine.line_size,
+            per_chunk_run=np.asarray(series, dtype=np.int64) if series else None,
+        )
+        logger.debug(
+            "FS analysis %s T=%d chunk=%d: %d cases in %d steps (%.3fs)",
+            nest.name, num_threads, ispace.chunk, stats.fs_cases,
+            stats.steps, elapsed,
+        )
+        return result
+
+    def analyze_cycle_rate(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        chunk: int,
+        warmup_cycles: int = 1,
+        measured_cycles: int = 4,
+    ) -> FSCycleRate:
+        """FS rate per full cycle for loops with *unknown boundaries*.
+
+        The paper's fallback when trip counts are not compile-time
+        constants: evaluate full cycles of iterations (one cycle =
+        ``num_threads × chunk`` parallel iterations) and report the FS
+        rate per cycle.  The nest's parallel-loop upper bound may be a
+        single symbolic parameter; it is bound to exactly
+        ``warmup_cycles + measured_cycles`` cycles of iterations, the
+        warm-up cycles are discarded (cold effects), and the steady-state
+        rate is returned.
+
+        Raises when more than the parallel bound is symbolic — inner trip
+        counts and array extents must still be known, as in the paper.
+        """
+        if chunk <= 0:
+            raise ValueError("chunk must be positive for cycle-rate analysis")
+        if measured_cycles <= 0 or warmup_cycles < 0:
+            raise ValueError("need measured_cycles > 0 and warmup_cycles >= 0")
+        nest = nest.with_chunk(chunk)
+        parallel = nest.parallel_loop()
+        free = set(parallel.upper.variables())
+        total_cycles = warmup_cycles + measured_cycles
+        if free:
+            if len(free) > 1:
+                raise ValueError(
+                    f"parallel bound {parallel.upper} uses several unknowns "
+                    f"{sorted(free)}; only one symbolic boundary is supported"
+                )
+            (param,) = free
+            if parallel.upper.coeff(param) != 1:
+                raise ValueError(
+                    f"symbolic parallel bound must be linear in {param!r} "
+                    "with coefficient 1"
+                )
+            # Bind the unknown so the loop runs exactly total_cycles runs.
+            needed_trip = num_threads * chunk * total_cycles
+            lower = parallel.lower
+            if not lower.is_constant:
+                raise ValueError("parallel lower bound must be constant")
+            value = (
+                lower.as_int()
+                + needed_trip * parallel.step
+                - parallel.upper.const
+            )
+            nest = nest.bind({param: value})
+        result = self.analyze(
+            nest, num_threads, max_chunk_runs=total_cycles, record_series=True
+        )
+        series = result.per_chunk_run
+        assert series is not None and len(series) >= 1
+        if warmup_cycles and len(series) > warmup_cycles:
+            steady = series[warmup_cycles:]
+            base = series[warmup_cycles - 1]
+            per_cycle = (steady[-1] - base) / len(steady)
+            cycles = len(steady)
+        else:
+            per_cycle = series[-1] / len(series)
+            cycles = len(series)
+        return FSCycleRate(
+            nest_name=result.nest_name,
+            num_threads=num_threads,
+            chunk=result.chunk,
+            cycles_evaluated=cycles,
+            fs_cases_per_cycle=float(per_cycle),
+            accesses_per_cycle=result.accesses / max(len(series), 1),
+            result=result,
+        )
+
+    def _process_block_with_series(
+        self, detector, block, write_mask, steps_per_run, series
+    ) -> None:
+        """Process a block one chunk run at a time, sampling cumulative FS."""
+        n_steps = max((len(m) for m in block.lines), default=0)
+        for start in range(0, n_steps, steps_per_run):
+            stop = min(start + steps_per_run, n_steps)
+            sub = tuple(m[start:stop] for m in block.lines)
+            detector.process_block(sub, write_mask, thread_order=self.thread_order)
+            series.append(detector.stats.fs_cases)

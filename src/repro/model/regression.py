@@ -1,0 +1,173 @@
+"""Step E of the model: FS prediction via linear regression (Section III-E).
+
+Evaluating every ``All_num_iters / num_threads`` iteration is expensive
+for large loops; the paper observes (Fig. 6) that cumulative FS cases
+grow linearly with *chunk runs* (one chunk run = ``chunk_size ×
+num_threads`` parallel iterations) and fits ``y = a·x + b`` on a short
+prefix, then extrapolates to ``x_max``, the total number of chunk runs.
+
+Two fitting rules are provided:
+
+* ``paper`` — the exact closed form printed in the paper:
+  ``a = Σ xᵢyᵢ / Σ xᵢ²`` then ``b = Σ(yᵢ − a·xᵢ)/n``.  (This is a
+  through-origin slope with a mean-residual intercept, *not* joint OLS —
+  we reproduce it faithfully and keep joint OLS alongside.)
+* ``ols`` — standard joint least squares on (slope, intercept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.loops import ParallelLoopNest
+from repro.model.fsmodel import FalseSharingModel, FSModelResult
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y = a·x + b`` with goodness diagnostics."""
+
+    a: float
+    b: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.a * x + self.b
+
+
+def _r_squared(x: np.ndarray, y: np.ndarray, a: float, b: float) -> float:
+    resid = y - (a * x + b)
+    ss_res = float(resid @ resid)
+    centered = y - y.mean()
+    ss_tot = float(centered @ centered)
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def paper_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """The paper's closed-form fit (Section III-E).
+
+    >>> fit = paper_fit(np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 6.0]))
+    >>> round(fit.a, 6), round(fit.b, 6)
+    (2.0, 0.0)
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or len(x) == 0:
+        raise ValueError("x and y must be equal-length non-empty 1-D arrays")
+    denom = float(x @ x)
+    if denom == 0.0:
+        raise ValueError("cannot fit: all x are zero")
+    a = float(x @ y) / denom
+    b = float(np.mean(y - a * x))
+    return LinearFit(a, b, _r_squared(x, y, a, b))
+
+
+def ols_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Standard joint least squares for slope and intercept."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or len(x) == 0:
+        raise ValueError("x and y must be equal-length non-empty 1-D arrays")
+    if len(x) == 1:
+        return LinearFit(0.0, float(y[0]), 1.0)
+    xm, ym = x.mean(), y.mean()
+    dx = x - xm
+    denom = float(dx @ dx)
+    if denom == 0.0:
+        return LinearFit(0.0, float(ym), _r_squared(x, y, 0.0, float(ym)))
+    a = float(dx @ (y - ym)) / denom
+    b = float(ym - a * xm)
+    return LinearFit(a, b, _r_squared(x, y, a, b))
+
+
+_FITTERS = {"paper": paper_fit, "ols": ols_fit}
+
+
+@dataclass
+class FSPrediction:
+    """Extrapolated FS count for a whole loop from a sampled prefix."""
+
+    nest_name: str
+    num_threads: int
+    chunk: int
+    sampled_runs: int
+    total_runs: int
+    fit: LinearFit
+    predicted_fs_cases: float
+    prefix_result: FSModelResult
+
+    @property
+    def speedup_iterations(self) -> float:
+        """Iteration-evaluation saving factor vs the full model."""
+        if self.prefix_result.steps_evaluated == 0:
+            return float("inf")
+        full_steps = self.total_runs * max(
+            self.prefix_result.steps_evaluated // max(self.sampled_runs, 1), 1
+        )
+        return full_steps / self.prefix_result.steps_evaluated
+
+
+class FalseSharingPredictor:
+    """Predicts whole-loop FS cases from a short chunk-run prefix.
+
+    Parameters
+    ----------
+    model:
+        The underlying :class:`FalseSharingModel`.
+    n_runs:
+        Chunk runs to evaluate before extrapolating (the paper uses 20
+        for heat diffusion, 50 for DFT, 10 for linear regression).
+    method:
+        ``"paper"`` or ``"ols"`` fitting rule.
+    """
+
+    def __init__(
+        self, model: FalseSharingModel, n_runs: int = 20, method: str = "paper"
+    ) -> None:
+        if n_runs <= 0:
+            raise ValueError("n_runs must be positive")
+        if method not in _FITTERS:
+            raise ValueError(f"unknown fit method {method!r}")
+        self.model = model
+        self.n_runs = n_runs
+        self.method = method
+
+    def predict(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        chunk: int | None = None,
+    ) -> FSPrediction:
+        """Sample ``n_runs`` chunk runs and extrapolate to the whole loop."""
+        prefix = self.model.analyze(
+            nest,
+            num_threads,
+            chunk=chunk,
+            max_chunk_runs=self.n_runs,
+            record_series=True,
+        )
+        series = prefix.per_chunk_run
+        if series is None or len(series) == 0:
+            raise ValueError(
+                f"no chunk runs were evaluated for {nest.name!r}; "
+                "is the loop empty?"
+            )
+        x = np.arange(1, len(series) + 1, dtype=np.float64)
+        y = series.astype(np.float64)
+        fit = _FITTERS[self.method](x, y)
+        total_runs = prefix.total_chunk_runs
+        predicted = max(fit.predict(float(total_runs)), 0.0)
+        return FSPrediction(
+            nest_name=prefix.nest_name,
+            num_threads=num_threads,
+            chunk=prefix.chunk,
+            sampled_runs=len(series),
+            total_runs=total_runs,
+            fit=fit,
+            predicted_fs_cases=predicted,
+            prefix_result=prefix,
+        )

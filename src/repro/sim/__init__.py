@@ -1,0 +1,36 @@
+"""Multicore MESI cache simulator — the "measured" side of Eq. (5).
+
+Stands in for the paper's 48-core AMD testbed: per-core set-associative
+private caches, a write-invalidate (MESI) directory, per-access timing
+and OpenMP static scheduling.  See DESIGN.md for the substitution
+argument.
+"""
+
+from repro.sim.cache import E, M, PrivateCache, S
+from repro.sim.executor import MulticoreSimulator, SimCounters, SimResult
+from repro.sim.timing import AccessCosts
+from repro.sim.tracefile import (
+    Trace,
+    TraceMeta,
+    iter_trace_accesses,
+    load_trace,
+    record_trace,
+    replay_fs_detection,
+)
+
+__all__ = [
+    "Trace",
+    "TraceMeta",
+    "iter_trace_accesses",
+    "load_trace",
+    "record_trace",
+    "replay_fs_detection",
+    "E",
+    "M",
+    "PrivateCache",
+    "S",
+    "MulticoreSimulator",
+    "SimCounters",
+    "SimResult",
+    "AccessCosts",
+]

@@ -1,0 +1,56 @@
+"""Per-access timing for the multicore simulator.
+
+The simulator charges each memory access according to where the MESI
+protocol finds the line.  Loads stall the pipeline, so they pay full
+fill latencies; stores retire through the store buffer, so their misses
+pay only the coherence traffic they generate plus a small buffered-fill
+cost — the asymmetry that makes write-heavy false sharing (heat) much
+cheaper per case than read-modify-write false sharing (DFT), as in the
+paper's measurements.
+
+The table derives from :class:`~repro.machine.MachineConfig`, so the
+simulator and the analytic models price the same machine consistently:
+the model's ``FalseSharing_c`` penalties (``remote_fetch_cycles`` for
+read cases, ``invalidate_cycles`` for write cases) are exactly the
+simulator's marginal cost of a coherence event over the non-FS path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class AccessCosts:
+    """Cycle cost of each access outcome class."""
+
+    load_hit: int
+    load_prefetched: int       # stride-predicted fill already in flight
+    load_shared_fill: int      # clean line from L3 / another sharer
+    load_cold: int             # first touch anywhere: DRAM
+    load_remote_modified: int  # dirty cache-to-cache transfer (read FS)
+    store_hit: int             # own copy in M/E
+    store_upgrade: int         # own copy in S: invalidate sharers
+    store_miss_clean: int      # buffered RFO, no remote dirty copy
+    store_miss_remote_modified: int  # invalidate a dirty remote copy (write FS)
+
+    @classmethod
+    def from_machine(cls, machine: MachineConfig) -> "AccessCosts":
+        coh = machine.coherence
+        return cls(
+            load_hit=machine.l1.latency_cycles,
+            load_prefetched=machine.l1.latency_cycles + 2,
+            load_shared_fill=machine.l3.latency_cycles,
+            load_cold=machine.mem_latency_cycles,
+            load_remote_modified=coh.remote_fetch_cycles,
+            store_hit=1,
+            store_upgrade=coh.upgrade_cycles,
+            store_miss_clean=machine.l3.latency_cycles // 4,
+            # Buffered fill plus the invalidation round: the *marginal*
+            # cost over a clean store miss is exactly invalidate_cycles,
+            # the penalty the model charges per write-FS case.
+            store_miss_remote_modified=machine.l3.latency_cycles // 4
+            + coh.invalidate_cycles,
+        )

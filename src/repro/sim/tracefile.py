@@ -1,0 +1,192 @@
+"""Memory-trace recording and replay.
+
+The runtime-detection literature the paper compares against works in
+two phases: *capture* every memory access of an execution, then feed
+the trace to an offline cache simulator (Section V: "compiler
+instruments the binary code with tracing routines, and a tracing tool
+then captures the memory accesses... The tracing file is fed to a
+simulation tool").  This module provides that infrastructure for the
+reproduction's executions:
+
+* :func:`record_trace` — run a nest's static schedule and persist the
+  per-thread byte-address streams (compressed ``.npz``: NumPy arrays
+  plus a JSON metadata blob);
+* :func:`load_trace` — read it back;
+* :func:`iter_trace_accesses` — replay in the canonical lockstep
+  interleaving as (thread, address, is_write) triples.
+
+A trace decouples capture from analysis: the same file can drive the
+FS detector, the runtime baseline, or external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.ir.loops import ParallelLoopNest
+from repro.ir.refs import AddressSpace
+from repro.ir.validate import validate_nest
+from repro.machine import MachineConfig
+from repro.model.ownership import OwnershipListGenerator
+
+#: Format version written into every trace file.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Metadata stored alongside the address streams."""
+
+    nest_name: str
+    num_threads: int
+    chunk: int
+    line_size: int
+    n_refs: int
+    write_mask: tuple[bool, ...]
+    steps_per_thread: tuple[int, ...]
+    arrays: tuple[tuple[str, int, int], ...] = field(default=())
+    version: int = TRACE_FORMAT_VERSION
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.steps_per_thread) * self.n_refs
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A loaded trace: metadata plus per-thread address matrices."""
+
+    meta: TraceMeta
+    addresses: tuple[np.ndarray, ...]  # per thread: [steps_t, n_refs]
+
+    def lines(self, thread: int) -> np.ndarray:
+        """Line ids for one thread's stream."""
+        return self.addresses[thread] // self.meta.line_size
+
+
+def record_trace(
+    nest: ParallelLoopNest,
+    num_threads: int,
+    machine: MachineConfig,
+    path: str | Path,
+    chunk: int | None = None,
+    max_steps: int | None = None,
+    space: AddressSpace | None = None,
+) -> TraceMeta:
+    """Capture a nest execution's address streams to ``path`` (.npz)."""
+    if num_threads <= 0:
+        raise ValueError(f"num_threads must be positive, got {num_threads}")
+    if chunk is not None:
+        nest = nest.with_chunk(chunk)
+    validate_nest(nest)
+    gen = OwnershipListGenerator(
+        nest, num_threads, line_size=machine.line_size, space=space
+    )
+    per_thread: list[list[np.ndarray]] = [[] for _ in range(num_threads)]
+    for start, envs in gen.enum.blocks(max_steps):
+        for t, env in enumerate(envs):
+            block = gen.addresses_for_env(env)
+            if len(block):
+                per_thread[t].append(block)
+
+    stacked = [
+        np.vstack(blocks) if blocks else np.empty((0, len(gen.refs)), np.int64)
+        for blocks in per_thread
+    ]
+    meta = TraceMeta(
+        nest_name=nest.name,
+        num_threads=num_threads,
+        chunk=gen.iteration_space.chunk,
+        line_size=machine.line_size,
+        n_refs=len(gen.refs),
+        write_mask=tuple(bool(w) for w in gen.write_mask),
+        steps_per_thread=tuple(len(m) for m in stacked),
+        arrays=tuple(
+            (a.name, gen.space.base(a.name), a.size_bytes())
+            for a in gen.space.arrays()
+        ),
+    )
+    payload = {f"thread_{t}": m for t, m in enumerate(stacked)}
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(_meta_to_dict(meta)).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **payload)
+    return meta
+
+
+def _meta_to_dict(meta: TraceMeta) -> dict:
+    return {
+        "nest_name": meta.nest_name,
+        "num_threads": meta.num_threads,
+        "chunk": meta.chunk,
+        "line_size": meta.line_size,
+        "n_refs": meta.n_refs,
+        "write_mask": list(meta.write_mask),
+        "steps_per_thread": list(meta.steps_per_thread),
+        "arrays": [list(a) for a in meta.arrays],
+        "version": meta.version,
+    }
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`record_trace`."""
+    with np.load(Path(path)) as data:
+        raw = bytes(data["meta_json"].tobytes())
+        blob = json.loads(raw.decode("utf-8"))
+        if blob.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {blob.get('version')!r} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        meta = TraceMeta(
+            nest_name=blob["nest_name"],
+            num_threads=blob["num_threads"],
+            chunk=blob["chunk"],
+            line_size=blob["line_size"],
+            n_refs=blob["n_refs"],
+            write_mask=tuple(bool(w) for w in blob["write_mask"]),
+            steps_per_thread=tuple(blob["steps_per_thread"]),
+            arrays=tuple(tuple(a) for a in blob["arrays"]),
+        )
+        addresses = tuple(
+            data[f"thread_{t}"] for t in range(meta.num_threads)
+        )
+    return Trace(meta=meta, addresses=addresses)
+
+
+def iter_trace_accesses(trace: Trace) -> Iterator[tuple[int, int, bool]]:
+    """Replay a trace in the canonical lockstep interleaving.
+
+    Yields ``(thread, byte_address, is_write)`` — step-major, threads in
+    id order within a step, references in program order per thread.
+    """
+    meta = trace.meta
+    rows = [m.tolist() for m in trace.addresses]
+    n_steps = max(meta.steps_per_thread, default=0)
+    for s in range(n_steps):
+        for t in range(meta.num_threads):
+            if s >= meta.steps_per_thread[t]:
+                continue
+            row = rows[t][s]
+            for k in range(meta.n_refs):
+                yield t, row[k], meta.write_mask[k]
+
+
+def replay_fs_detection(trace: Trace, stack_lines: int, mode: str = "invalidate"):
+    """Run the φ/mask detector over a recorded trace.
+
+    Returns the detector (its ``stats`` carry the counts) — equivalence
+    with a direct model run is a test-suite invariant.
+    """
+    from repro.model.detector import FSDetector
+
+    detector = FSDetector(trace.meta.num_threads, stack_lines, mode=mode)
+    line_size = trace.meta.line_size
+    for t, addr, w in iter_trace_accesses(trace):
+        detector.access(t, addr // line_size, w)
+    return detector

@@ -1,0 +1,43 @@
+"""Model-guided false-sharing mitigation (the paper's future-work section).
+
+* :class:`ChunkSizeOptimizer` — pick the schedule chunk minimizing
+  Eq. (1) total cost (cf. the paper's Fig. 2 motivation and [7]);
+* :class:`PaddingAdvisor` — pad struct elements to line multiples and
+  verify the cure with the model (cf. [10]);
+* :func:`replace_array` — the nest-rewriting primitive both build on.
+"""
+
+from repro.transform.chunk_optimizer import (
+    ChunkRecommendation,
+    ChunkScore,
+    ChunkSizeOptimizer,
+    DEFAULT_CANDIDATES,
+)
+from repro.transform.padding import PaddingAdvice, PaddingAdvisor
+from repro.transform.parallelize_advisor import (
+    LevelScore,
+    ParallelizationAdvisor,
+    ParallelizationPlan,
+)
+from repro.transform.rewrite import replace_array
+from repro.transform.unroll_advisor import (
+    UnrollAdvisor,
+    UnrollRecommendation,
+    UnrollScore,
+)
+
+__all__ = [
+    "ChunkRecommendation",
+    "ChunkScore",
+    "ChunkSizeOptimizer",
+    "DEFAULT_CANDIDATES",
+    "PaddingAdvice",
+    "PaddingAdvisor",
+    "LevelScore",
+    "ParallelizationAdvisor",
+    "ParallelizationPlan",
+    "replace_array",
+    "UnrollAdvisor",
+    "UnrollRecommendation",
+    "UnrollScore",
+]

@@ -1,0 +1,168 @@
+"""Model-guided chunk-size selection.
+
+The paper closes by noting the model "will be helpful for both
+programmers and compilers to choose the optimal chunk size for OpenMP
+loops".  This pass implements that use: it scores candidate chunk sizes
+with Eq. (1) — non-FS cost from the Open64-style models plus
+``FalseSharing_c`` from the FS model (optionally via the fast
+linear-regression predictor) — and recommends the cheapest.
+
+The mitigation extension bench validates recommendations against the
+simulator (the recommendation should land within a few percent of the
+simulated optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodels import TotalCostModel
+from repro.ir.loops import ParallelLoopNest
+from repro.machine import MachineConfig
+from repro.model.fsmodel import FalseSharingModel
+from repro.model.regression import FalseSharingPredictor
+from repro.model.schedule import static_chunk_positions
+from repro.util import get_logger
+
+logger = get_logger(__name__)
+
+#: Default chunk candidates, pruned against the loop's trip count.
+DEFAULT_CANDIDATES = (1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128)
+
+
+@dataclass(frozen=True)
+class ChunkScore:
+    """Predicted cost of one chunk-size candidate.
+
+    ``imbalance`` is the ratio of the busiest thread's iteration share to
+    the perfectly balanced share — large chunks on short loops starve
+    some threads, and wall-clock time follows the busiest thread.
+    """
+
+    chunk: int
+    fs_cases: float
+    fs_cycles: float
+    base_cycles: float
+    imbalance: float = 1.0
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.base_cycles + self.fs_cycles) * self.imbalance
+
+
+@dataclass(frozen=True)
+class ChunkRecommendation:
+    """The optimizer's verdict plus the full candidate table."""
+
+    nest_name: str
+    num_threads: int
+    best_chunk: int
+    scores: tuple[ChunkScore, ...]
+
+    @property
+    def best(self) -> ChunkScore:
+        for s in self.scores:
+            if s.chunk == self.best_chunk:
+                return s
+        raise AssertionError("best chunk missing from scores")
+
+    def improvement_percent(self, baseline_chunk: int = 1) -> float:
+        """Predicted time saving of the best chunk vs a baseline chunk."""
+        base = next((s for s in self.scores if s.chunk == baseline_chunk), None)
+        if base is None or base.total_cycles == 0:
+            return 0.0
+        return 100.0 * (base.total_cycles - self.best.total_cycles) / base.total_cycles
+
+
+class ChunkSizeOptimizer:
+    """Pick the chunk size minimizing Eq. (1) total cost.
+
+    Parameters
+    ----------
+    machine:
+        Target machine.
+    use_predictor:
+        When True (default) FS counts come from the linear-regression
+        predictor over ``predictor_runs`` chunk runs — the compile-time-
+        friendly mode; otherwise the full model is evaluated per
+        candidate.
+    predictor_runs:
+        Chunk runs sampled per candidate in predictor mode.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        use_predictor: bool = True,
+        predictor_runs: int = 10,
+        mode: str = "invalidate",
+    ) -> None:
+        self.machine = machine
+        self.use_predictor = use_predictor
+        self.predictor_runs = predictor_runs
+        self.model = FalseSharingModel(machine, mode=mode)
+        self.total_model = TotalCostModel(machine)
+
+    def score(
+        self, nest: ParallelLoopNest, num_threads: int, chunk: int
+    ) -> ChunkScore:
+        """Score one candidate chunk size."""
+        candidate = nest.with_chunk(chunk)
+        if self.use_predictor:
+            predictor = FalseSharingPredictor(self.model, n_runs=self.predictor_runs)
+            pred = predictor.predict(candidate, num_threads)
+            fs_cases = pred.predicted_fs_cases
+            prefix = pred.prefix_result
+            total = max(prefix.fs_cases, 1)
+            fs_cycles = fs_cases * (
+                (prefix.fs_read_cases / total) * self.machine.fs_read_penalty_cycles
+                + (prefix.fs_write_cases / total) * self.machine.fs_write_penalty_cycles
+            )
+        else:
+            result = self.model.analyze(candidate, num_threads)
+            fs_cases = float(result.fs_cases)
+            fs_cycles = result.fs_cycles(self.machine)
+        base = self.total_model.total_cycles(candidate, num_threads, fs_cases=0.0)
+        return ChunkScore(
+            chunk=chunk,
+            fs_cases=fs_cases,
+            fs_cycles=fs_cycles,
+            base_cycles=base,
+            imbalance=self._imbalance(candidate, num_threads, chunk),
+        )
+
+    @staticmethod
+    def _imbalance(nest: ParallelLoopNest, num_threads: int, chunk: int) -> float:
+        """Busiest thread's share over the balanced share (≥ 1)."""
+        trip = nest.trip_counts()[nest.parallel_depth()]
+        if trip == 0:
+            return 1.0
+        busiest = max(
+            len(static_chunk_positions(trip, num_threads, chunk, t))
+            for t in range(num_threads)
+        )
+        return busiest / (trip / num_threads)
+
+    def recommend(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    ) -> ChunkRecommendation:
+        """Score all candidates and return the cheapest."""
+        trip = nest.trip_counts()[nest.parallel_depth()]
+        usable = [c for c in candidates if c * num_threads <= trip]
+        if not usable:
+            usable = [max(trip // num_threads, 1)]
+        scores = tuple(self.score(nest, num_threads, c) for c in usable)
+        best = min(scores, key=lambda s: s.total_cycles)
+        logger.debug(
+            "chunk recommendation for %s T=%d: %d (of %s)",
+            nest.name, num_threads, best.chunk, usable,
+        )
+        return ChunkRecommendation(
+            nest_name=nest.name,
+            num_threads=num_threads,
+            best_chunk=best.chunk,
+            scores=scores,
+        )

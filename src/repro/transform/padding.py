@@ -1,0 +1,129 @@
+"""Array-padding advisor: eliminate FS by layout transformation.
+
+The classical compile-time FS cure (Jeremiassen & Eggers, cited as [10]
+by the paper) pads each element of a falsely-shared array of aggregates
+out to a cache-line multiple so no two elements cohabit a line.  The
+advisor uses the FS model to (a) find victim arrays, (b) construct the
+padded declaration, and (c) *verify the cure* by re-running the model on
+the rewritten nest — reporting the FS counts before and after alongside
+the memory cost of the padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.layout import ArrayType, CHAR, StructType, align_up
+from repro.ir.loops import ParallelLoopNest
+from repro.ir.refs import ArrayDecl
+from repro.machine import MachineConfig
+from repro.model.fsmodel import FalseSharingModel
+from repro.transform.rewrite import replace_array
+from repro.util import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class PaddingAdvice:
+    """One padding recommendation, with model-verified effect."""
+
+    array: str
+    element_bytes: int
+    padded_bytes: int
+    extra_memory_bytes: int
+    fs_before: int
+    fs_after: int
+    nest_after: ParallelLoopNest
+
+    @property
+    def pad_bytes(self) -> int:
+        return self.padded_bytes - self.element_bytes
+
+    @property
+    def fs_reduction_percent(self) -> float:
+        if self.fs_before == 0:
+            return 0.0
+        return 100.0 * (self.fs_before - self.fs_after) / self.fs_before
+
+    def emit_c(self) -> str:
+        """The transformed kernel as compilable C/OpenMP source."""
+        from repro.ir.emit import emit_nest
+
+        return emit_nest(self.nest_after)
+
+
+class PaddingAdvisor:
+    """Recommend and verify element padding for falsely-shared arrays.
+
+    Only arrays of *structs* are padded (padding a plain scalar array
+    changes its indexing semantics; for those the chunk-size optimizer
+    is the right tool — the advisor says so in its log).
+    """
+
+    def __init__(self, machine: MachineConfig, mode: str = "invalidate") -> None:
+        self.machine = machine
+        self.model = FalseSharingModel(machine, mode=mode)
+
+    def padded_struct(self, struct: StructType) -> StructType:
+        """The struct padded out to the next cache-line multiple."""
+        line = self.machine.line_size
+        target = align_up(struct.size, line)
+        pad = target - struct.size
+        if pad == 0:
+            return struct
+        members = [(f.name, f.ctype) for f in struct.fields]
+        members.append(("_fs_pad", ArrayType(CHAR, pad)))
+        return StructType.create(f"{struct.name}_padded", members)
+
+    def advise(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        min_fs_share: float = 0.05,
+    ) -> list[PaddingAdvice]:
+        """Produce verified padding advice for a nest.
+
+        Parameters
+        ----------
+        min_fs_share:
+            Arrays below this share of total FS cases are ignored.
+        """
+        baseline = self.model.analyze(nest, num_threads)
+        if baseline.fs_cases == 0:
+            return []
+        advices: list[PaddingAdvice] = []
+        arrays = {a.name: a for a in nest.arrays()}
+        for victim in baseline.victim_arrays():
+            if victim.fs_cases < baseline.fs_cases * min_fs_share:
+                continue
+            decl = arrays.get(victim.name)
+            if decl is None:
+                continue
+            if not isinstance(decl.element, StructType):
+                logger.info(
+                    "victim %r is a scalar array; padding does not apply — "
+                    "consider the chunk-size optimizer instead",
+                    victim.name,
+                )
+                continue
+            padded_elem = self.padded_struct(decl.element)
+            if padded_elem.size == decl.element.size:
+                continue
+            padded_decl = ArrayDecl(decl.name, padded_elem, decl.dims)
+            new_nest = replace_array(nest, padded_decl)
+            after = self.model.analyze(new_nest, num_threads)
+            advices.append(
+                PaddingAdvice(
+                    array=decl.name,
+                    element_bytes=decl.element.size,
+                    padded_bytes=padded_elem.size,
+                    extra_memory_bytes=(
+                        padded_decl.size_bytes() - decl.size_bytes()
+                    ),
+                    fs_before=baseline.fs_cases,
+                    fs_after=after.fs_cases,
+                    nest_after=new_nest,
+                )
+            )
+        return advices

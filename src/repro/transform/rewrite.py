@@ -1,0 +1,72 @@
+"""Nest rewriting utilities for model-guided transformations.
+
+The mitigation passes (padding, layout changes) need to produce a
+*modified copy* of a loop nest — same loops, same statements, but with
+one array declaration swapped for a transformed one.  This module
+implements that substitution over the immutable IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir.exprtree import (
+    BinOp,
+    CallExpr,
+    CastExpr,
+    Const,
+    Expr,
+    LoadExpr,
+    UnOp,
+    VarRef,
+)
+from repro.ir.loops import Assign, Loop, ParallelLoopNest
+from repro.ir.refs import ArrayDecl, ArrayRef
+
+
+def replace_array(nest: ParallelLoopNest, new_decl: ArrayDecl) -> ParallelLoopNest:
+    """Return a copy of ``nest`` with every reference to
+    ``new_decl.name`` retargeted at ``new_decl``.
+
+    The new declaration must keep the dimensionality of the old one
+    (subscripts are preserved verbatim).
+    """
+
+    def fix_ref(ref: ArrayRef) -> ArrayRef:
+        if ref.array.name != new_decl.name:
+            return ref
+        if ref.array.ndim != new_decl.ndim:
+            raise ValueError(
+                f"replacement for {new_decl.name!r} changes dimensionality "
+                f"({ref.array.ndim} -> {new_decl.ndim})"
+            )
+        return ArrayRef(new_decl, ref.indices, ref.field_path, ref.is_write, ref.extra)
+
+    def fix_expr(e: Expr) -> Expr:
+        if isinstance(e, LoadExpr):
+            return LoadExpr(fix_ref(e.ref))
+        if isinstance(e, BinOp):
+            return BinOp(e.op, fix_expr(e.left), fix_expr(e.right))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, fix_expr(e.operand))
+        if isinstance(e, CallExpr):
+            return CallExpr(e.func, tuple(fix_expr(a) for a in e.args), e.ctype)
+        if isinstance(e, CastExpr):
+            return CastExpr(e.to, fix_expr(e.operand))
+        assert isinstance(e, (Const, VarRef)), f"unknown expr {type(e)}"
+        return e
+
+    def fix_stmt(stmt: Assign) -> Assign:
+        target = stmt.target
+        if isinstance(target, ArrayRef):
+            target = fix_ref(target)
+        return Assign(target, fix_expr(stmt.rhs), stmt.augmented)
+
+    def fix_loop(loop: Loop) -> Loop:
+        body = tuple(
+            fix_loop(item) if isinstance(item, Loop) else fix_stmt(item)
+            for item in loop.body
+        )
+        return Loop(loop.var, loop.lower, loop.upper, body, loop.step)
+
+    return replace(nest, root=fix_loop(nest.root))

@@ -1,0 +1,131 @@
+"""Unroll-factor selection from the processor model.
+
+Section II-B1: "The Open64 compiler uses the processor model to make
+decisions regarding the best loop unrolling factor."  This pass
+reproduces that use of the model:
+
+* unrolling amortizes the per-iteration loop overhead by the factor;
+* for latency-bound bodies with no loop-carried recurrence, unrolling
+  overlaps independent iterations until the resource bound takes over;
+* a loop-carried recurrence (memory accumulator) is a hard serial
+  floor that no unroll factor can beat;
+* register pressure caps the usable factor (each unrolled copy keeps
+  its loaded values live).
+
+The advisor scores candidate factors with this model and returns the
+cheapest; like Open64 it prefers the *smallest* factor within 1% of the
+best to limit code growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodels.parallel import ParallelModel
+from repro.costmodels.processor import ProcessorModel
+from repro.ir.loops import ParallelLoopNest
+from repro.machine import MachineConfig
+
+#: Architectural FP registers available for live values (SSE, pre-AVX512).
+FP_REGISTERS = 16
+
+
+@dataclass(frozen=True)
+class UnrollScore:
+    """Modeled per-original-iteration cost at one unroll factor."""
+
+    factor: int
+    cycles_per_iter: float
+    resource_bound: float
+    latency_bound: float
+    loop_overhead: float
+    register_limited: bool
+
+
+@dataclass(frozen=True)
+class UnrollRecommendation:
+    """The advisor's verdict and its full candidate table."""
+
+    nest_name: str
+    best_factor: int
+    scores: tuple[UnrollScore, ...]
+
+    @property
+    def best(self) -> UnrollScore:
+        for s in self.scores:
+            if s.factor == self.best_factor:
+                return s
+        raise AssertionError("best factor missing")
+
+    def speedup_percent(self) -> float:
+        """Modeled gain of the recommendation over no unrolling."""
+        base = next(s for s in self.scores if s.factor == 1)
+        if base.cycles_per_iter == 0:
+            return 0.0
+        return 100.0 * (
+            (base.cycles_per_iter - self.best.cycles_per_iter)
+            / base.cycles_per_iter
+        )
+
+
+class UnrollAdvisor:
+    """Pick an unroll factor for a nest's innermost loop."""
+
+    CANDIDATES = (1, 2, 4, 8, 16)
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.processor = ProcessorModel(machine)
+        self.parallel = ParallelModel(machine)
+
+    def score(self, nest: ParallelLoopNest, factor: int) -> UnrollScore:
+        """Per-original-iteration cycles at one unroll factor."""
+        if factor <= 0:
+            raise ValueError(f"unroll factor must be positive, got {factor}")
+        est = self.processor.estimate(nest)
+        recurrence = self.processor.recurrence_bound(nest)
+        loop_oh = self.parallel.loop_overhead_per_iter(nest) / factor
+
+        # Live FP values per iteration copy ≈ loads feeding FP work.
+        live = est.op_counts.get("load", 0) + 1
+        register_limited = live * factor > FP_REGISTERS
+        spill_penalty = 0.0
+        if register_limited:
+            spills = live * factor - FP_REGISTERS
+            spill_penalty = (
+                spills * self.machine.op_latencies["store"] / factor
+            )
+
+        resource = est.resource_cycles
+        if recurrence > 0:
+            # Recurrence serializes successive iterations of the same
+            # statement; unrolling does not shorten it.
+            latency = recurrence
+        else:
+            # Independent iterations overlap; the effective latency per
+            # original iteration shrinks with the factor.
+            latency = est.latency_cycles / factor
+        cycles = max(resource, latency) + loop_oh + spill_penalty
+        return UnrollScore(
+            factor=factor,
+            cycles_per_iter=cycles,
+            resource_bound=resource,
+            latency_bound=latency,
+            loop_overhead=loop_oh,
+            register_limited=register_limited,
+        )
+
+    def recommend(
+        self, nest: ParallelLoopNest, candidates: tuple[int, ...] = CANDIDATES
+    ) -> UnrollRecommendation:
+        """Score the candidates; prefer the smallest factor within 1%."""
+        trip = nest.innermost().trip_count()
+        usable = [f for f in candidates if f <= max(trip, 1)]
+        scores = tuple(self.score(nest, f) for f in usable)
+        best_cost = min(s.cycles_per_iter for s in scores)
+        best = next(
+            s for s in scores if s.cycles_per_iter <= best_cost * 1.01
+        )
+        return UnrollRecommendation(
+            nest_name=nest.name, best_factor=best.factor, scores=scores
+        )

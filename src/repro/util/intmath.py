@@ -1,0 +1,44 @@
+"""Integer helpers shared by the scheduler, caches and detectors."""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``.
+
+    >>> ceil_div(7, 3)
+    3
+    >>> ceil_div(6, 3)
+    2
+    >>> ceil_div(0, 5)
+    0
+    """
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in a non-negative integer.
+
+    Thread-holder sets in the FS detector are bitmasks over thread ids;
+    counting φ hits is a popcount over those masks.
+    """
+    if x < 0:
+        raise ValueError("popcount of negative integer is undefined here")
+    return x.bit_count()
+
+
+def is_power_of_two(x: int) -> bool:
+    """True when ``x`` is a positive power of two.
+
+    >>> is_power_of_two(64)
+    True
+    >>> is_power_of_two(0)
+    False
+    >>> is_power_of_two(3)
+    False
+    """
+    return x > 0 and (x & (x - 1)) == 0

@@ -1,0 +1,44 @@
+"""Package-wide logging setup.
+
+Every module obtains its logger through :func:`get_logger` so the whole
+package shares one configuration point.  The default level is WARNING;
+``REPRO_LOG`` in the environment overrides it (e.g. ``REPRO_LOG=DEBUG``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    level_name = os.environ.get("REPRO_LOG", "WARNING").upper()
+    level = getattr(logging, level_name, logging.WARNING)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        root.addHandler(handler)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Dotted module name; a ``repro.`` prefix is added when missing.
+    """
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,39 @@
+"""Lightweight wall-clock timer used by experiment drivers.
+
+The guides for this domain stress *measure before optimizing*; the
+experiment drivers time the model and the prediction path with this
+helper so the efficiency claims in EXPERIMENTS.md are backed by numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating across multiple uses.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0

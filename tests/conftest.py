@@ -1,0 +1,78 @@
+"""Shared fixtures: miniature machines, nests and kernel instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+    Schedule,
+)
+from repro.machine import paper_machine, tiny_machine
+
+
+@pytest.fixture
+def machine():
+    """The paper's 48-core machine."""
+    return paper_machine()
+
+
+@pytest.fixture
+def small_machine():
+    """A 4-core machine with 16-line caches (evictions observable)."""
+    return tiny_machine(num_cores=4, cache_lines=16)
+
+
+def make_copy_nest(
+    n: int = 64, chunk: int = 1, parallel_var: str = "i", name: str = "copy.i"
+) -> ParallelLoopNest:
+    """``parallel for (i) b[i] = a[i] + 1`` — the simplest FS-prone loop."""
+    a = ArrayDecl.create("a", DOUBLE, (n,))
+    b = ArrayDecl.create("b", DOUBLE, (n,))
+    i = AffineExpr.var("i")
+    body = Assign(
+        ArrayRef(b, (i,), is_write=True),
+        BinOp("+", LoadExpr(ArrayRef(a, (i,))), Const(1.0, DOUBLE)),
+    )
+    loop = Loop.create("i", 0, n, [body])
+    return ParallelLoopNest(
+        name=name, root=loop, parallel_var=parallel_var,
+        schedule=Schedule("static", chunk),
+    )
+
+
+def make_nested_nest(rows: int = 4, cols: int = 32, chunk: int = 1) -> ParallelLoopNest:
+    """``for (i) parallel for (j) b[i][j] = a[i][j]`` — inner-parallel 2D."""
+    a = ArrayDecl.create("a2", DOUBLE, (rows, cols))
+    b = ArrayDecl.create("b2", DOUBLE, (rows, cols))
+    i = AffineExpr.var("i")
+    j = AffineExpr.var("j")
+    body = Assign(
+        ArrayRef(b, (i, j), is_write=True),
+        LoadExpr(ArrayRef(a, (i, j))),
+    )
+    inner = Loop.create("j", 0, cols, [body])
+    outer = Loop.create("i", 0, rows, [inner])
+    return ParallelLoopNest(
+        name="nested.j", root=outer, parallel_var="j",
+        schedule=Schedule("static", chunk),
+    )
+
+
+@pytest.fixture
+def copy_nest():
+    return make_copy_nest()
+
+
+@pytest.fixture
+def nested_nest():
+    return make_nested_nest()

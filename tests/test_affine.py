@@ -1,0 +1,155 @@
+"""Unit and property tests for affine expressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.affine import AffineExpr, flatten_affine
+
+VARS = ("i", "j", "k")
+
+
+def affine_exprs():
+    """Hypothesis strategy for random affine expressions."""
+    return st.builds(
+        AffineExpr.from_mapping,
+        st.integers(-1000, 1000),
+        st.dictionaries(st.sampled_from(VARS), st.integers(-50, 50), max_size=3),
+    )
+
+
+def envs():
+    return st.fixed_dictionaries({v: st.integers(-100, 100) for v in VARS})
+
+
+class TestConstruction:
+    def test_const(self):
+        assert AffineExpr.const_expr(5).as_int() == 5
+
+    def test_var(self):
+        e = AffineExpr.var("i")
+        assert e.coeff("i") == 1
+        assert not e.is_constant
+
+    def test_var_zero_coeff_collapses(self):
+        assert AffineExpr.var("i", 0).is_constant
+
+    def test_from_mapping_drops_zeros(self):
+        e = AffineExpr.from_mapping(3, {"i": 0, "j": 2})
+        assert e.variables() == ("j",)
+
+    def test_as_int_rejects_nonconstant(self):
+        with pytest.raises(ValueError):
+            AffineExpr.var("i").as_int()
+
+
+class TestAlgebra:
+    def test_add_collects(self):
+        i = AffineExpr.var("i")
+        e = i + i + 1
+        assert e.coeff("i") == 2 and e.const == 1
+
+    def test_sub_cancels(self):
+        i = AffineExpr.var("i")
+        assert (i - i).is_constant
+
+    def test_mul_by_const(self):
+        e = (AffineExpr.var("i") + 2) * 3
+        assert e.coeff("i") == 3 and e.const == 6
+
+    def test_rmul(self):
+        e = 4 * AffineExpr.var("j")
+        assert e.coeff("j") == 4
+
+    def test_nonlinear_product_rejected(self):
+        i, j = AffineExpr.var("i"), AffineExpr.var("j")
+        with pytest.raises(ValueError):
+            _ = i * j
+
+    def test_neg(self):
+        e = -(AffineExpr.var("i") + 1)
+        assert e.coeff("i") == -1 and e.const == -1
+
+    def test_rsub(self):
+        e = 10 - AffineExpr.var("i")
+        assert e.coeff("i") == -1 and e.const == 10
+
+
+class TestEval:
+    def test_eval(self):
+        e = 2 * AffineExpr.var("i") + AffineExpr.var("j") - 3
+        assert e.eval({"i": 5, "j": 1}) == 8
+
+    def test_eval_missing_var(self):
+        with pytest.raises(KeyError):
+            AffineExpr.var("i").eval({})
+
+    def test_vectorized_matches_scalar(self):
+        e = 3 * AffineExpr.var("i") - 2 * AffineExpr.var("j") + 7
+        env = {"i": np.arange(10), "j": np.arange(10) * 2}
+        vec = e.eval_vectorized(env)
+        for s in range(10):
+            assert vec[s] == e.eval({"i": s, "j": 2 * s})
+
+    def test_vectorized_constant_needs_length(self):
+        e = AffineExpr.const_expr(5)
+        out = e.eval_vectorized({}, length=4)
+        assert (out == 5).all()
+        with pytest.raises(ValueError):
+            e.eval_vectorized({})
+
+
+class TestSubstitute:
+    def test_bind_param(self):
+        e = AffineExpr.var("N") * 2 + 1
+        assert e.substitute({"N": 10}).as_int() == 21
+
+    def test_bind_with_expr(self):
+        e = AffineExpr.var("x") + 1
+        out = e.substitute({"x": AffineExpr.var("i") * 3})
+        assert out.coeff("i") == 3 and out.const == 1
+
+    def test_partial(self):
+        e = AffineExpr.var("i") + AffineExpr.var("N")
+        out = e.substitute({"N": 5})
+        assert out.coeff("i") == 1 and out.const == 5
+
+
+class TestFlatten:
+    def test_strides(self):
+        i, j = AffineExpr.var("i"), AffineExpr.var("j")
+        e = flatten_affine([i, j], [80, 8], const=4)
+        assert e.coeff("i") == 80 and e.coeff("j") == 8 and e.const == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            flatten_affine([AffineExpr.var("i")], [8, 8])
+
+
+class TestProperties:
+    @given(affine_exprs(), affine_exprs(), envs())
+    def test_add_homomorphism(self, a, b, env):
+        assert (a + b).eval(env) == a.eval(env) + b.eval(env)
+
+    @given(affine_exprs(), st.integers(-20, 20), envs())
+    def test_mul_homomorphism(self, a, k, env):
+        assert (a * k).eval(env) == a.eval(env) * k
+
+    @given(affine_exprs(), envs())
+    def test_neg_involution(self, a, env):
+        assert (-(-a)).eval(env) == a.eval(env)
+        assert (-a).eval(env) == -a.eval(env)
+
+    @given(affine_exprs(), affine_exprs(), envs())
+    def test_sub_is_add_neg(self, a, b, env):
+        assert (a - b).eval(env) == (a + (-b)).eval(env)
+
+    @given(affine_exprs(), envs())
+    def test_vectorized_single_point(self, a, env):
+        np_env = {v: np.array([x]) for v, x in env.items()}
+        assert a.eval_vectorized(np_env, length=1)[0] == a.eval(env)
+
+    @given(affine_exprs())
+    def test_hashable_and_equal(self, a):
+        b = AffineExpr(a.const, a.coeffs)
+        assert a == b and hash(a) == hash(b)

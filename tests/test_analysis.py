@@ -1,0 +1,140 @@
+"""Unit tests for experiment drivers and report rendering (tiny scale)."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    ExperimentSuite,
+    PAPER_EXPECTATIONS,
+    format_cell,
+    render_all,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(scale="tiny")
+
+
+class TestFormatting:
+    def test_format_cell(self):
+        assert format_cell(1234567) == "1,234,567"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(0) == "0"
+        assert format_cell("x") == "x"
+
+    def test_result_rendering(self):
+        r = ExperimentResult("Table X", "demo", ("a", "b"))
+        r.add_row(1, 2.5)
+        text = r.to_text()
+        assert "Table X" in text and "2.5" in text
+        md = r.to_markdown()
+        assert md.startswith("### Table X")
+
+    def test_row_arity_checked(self):
+        r = ExperimentResult("T", "t", ("a", "b"))
+        with pytest.raises(ValueError):
+            r.add_row(1)
+
+    def test_column_extraction(self):
+        r = ExperimentResult("T", "t", ("a", "b"))
+        r.add_row(1, 10)
+        r.add_row(2, 20)
+        assert r.column("b") == [10, 20]
+
+    def test_render_all(self):
+        r1 = ExperimentResult("A", "x", ("c",))
+        r2 = ExperimentResult("B", "y", ("c",))
+        out = render_all([r1, r2])
+        assert "A: x" in out and "B: y" in out
+
+
+class TestTableDrivers:
+    def test_table1_shape_and_agreement(self, suite):
+        res = suite.run_table1()
+        assert res.columns[0] == "threads"
+        assert len(res.rows) == len(suite.scale.threads)
+        measured = res.column("measured FS %")
+        modeled = res.column("modeled FS %")
+        for m, mod in zip(measured, modeled):
+            assert m > 0 and mod > 0
+
+    def test_table2_dft_heavier_than_heat(self, suite):
+        heat = suite.run_table1()
+        dft = suite.run_table2()
+        assert max(heat.column("modeled FS %")) < max(dft.column("modeled FS %")) + 15
+
+    def test_table3_linreg_modeled_declines(self, suite):
+        res = suite.run_table3()
+        modeled = res.column("modeled FS %")
+        assert modeled[-1] < modeled[0]
+
+    def test_table4_prediction_close_to_model(self, suite):
+        res = suite.run_table4()
+        for row in res.rows:
+            pred_fs, model_fs = row[1], row[4]
+            if model_fs:
+                assert abs(pred_fs - model_fs) / model_fs < 0.25
+
+    def test_table6_runs(self, suite):
+        res = suite.run_table6()
+        assert len(res.rows) == len(suite.scale.threads)
+
+
+class TestFigureDrivers:
+    def test_fig2_time_decreases(self, suite):
+        res = suite.run_fig2()
+        times = res.column("time (ms)")
+        assert times[-1] < times[0]
+
+    def test_fig6_linear(self, suite):
+        res = suite.run_fig6()
+        assert any("R^2" in n for n in res.notes)
+        series = res.column("cumulative FS cases")
+        assert series == sorted(series)
+
+    def test_fig8_columns(self, suite):
+        res = suite.run_fig8()
+        assert res.columns == ("threads", "measured %", "modeled %", "predicted %")
+        assert len(res.rows) == len(suite.scale.threads)
+
+
+class TestSuitePlumbing:
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentSuite(scale="galactic")
+
+    def test_expectations_cover_all_experiments(self, suite):
+        ids = {
+            "Fig. 2", "Fig. 6", "Table I", "Table II", "Table III",
+            "Table IV", "Table V", "Table VI", "Fig. 8", "Fig. 9",
+        }
+        assert ids <= set(PAPER_EXPECTATIONS)
+
+
+class TestSupplementaryDrivers:
+    def test_victims_table(self, suite):
+        res = suite.run_supp_victims()
+        rows = {r[0]: r for r in res.rows}
+        assert rows["heat"][1] == "b"
+        assert rows["dft"][1] in ("out_re", "out_im")
+        assert rows["linreg"][1] == "tid_args"
+
+    def test_baseline_table(self, suite):
+        res = suite.run_supp_baseline()
+        for row in res.rows:
+            _, rt_events, model_cases, pred_cases, rt_acc, pred_acc = row
+            assert rt_events > 0 and model_cases > 0
+            assert pred_acc < rt_acc
+
+    def test_mitigation_table(self, suite):
+        res = suite.run_supp_mitigation()
+        assert len(res.rows) == 2
+        for row in res.rows:
+            assert row[3] < row[2]  # every fix must beat the baseline
+
+    def test_run_supplementary_bundle(self, suite):
+        out = suite.run_supplementary()
+        assert [r.experiment for r in out] == [
+            "Supp. victims", "Supp. baseline", "Supp. mitigation"
+        ]

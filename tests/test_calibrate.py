@@ -1,0 +1,55 @@
+"""Calibration tests: shipped constants must match what the simulator
+measures on dedicated microbenchmarks.
+
+This is the guard against per-experiment tuning: if someone nudges a
+penalty to make one table look better, these bands break.
+"""
+
+import pytest
+
+from repro.machine import calibrate, paper_machine
+from repro.machine.calibrate import CalibrationEntry
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibrate(paper_machine())
+
+
+class TestCalibrationBands:
+    def test_fs_read_penalty_within_band(self, report):
+        e = report.entry("fs_read_penalty")
+        assert e.relative_error < 0.30, (
+            f"configured read-FS penalty {e.configured} is not within 30% of "
+            f"the simulator-measured {e.measured:.0f}"
+        )
+
+    def test_fs_write_penalty_within_band(self, report):
+        e = report.entry("fs_write_penalty")
+        assert e.relative_error < 0.30
+
+    def test_prefetch_coverage_within_band(self, report):
+        e = report.entry("prefetch_coverage")
+        assert abs(e.configured - e.measured) < 0.2
+
+    def test_all_measurements_positive(self, report):
+        for e in report.entries:
+            assert e.measured > 0
+
+    def test_report_text(self, report):
+        text = report.to_text()
+        assert "fs_read_penalty" in text and "measured" in text
+
+    def test_unknown_entry(self, report):
+        with pytest.raises(KeyError):
+            report.entry("warp_drive_latency")
+
+
+class TestEntryMath:
+    def test_relative_error(self):
+        e = CalibrationEntry("x", configured=110.0, measured=100.0)
+        assert e.relative_error == pytest.approx(0.1)
+
+    def test_zero_measured(self):
+        assert CalibrationEntry("x", 0.0, 0.0).relative_error == 0.0
+        assert CalibrationEntry("x", 5.0, 0.0).relative_error == float("inf")

@@ -1,0 +1,150 @@
+"""Unit tests for the repro-fs command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kernels import heat_source, linreg_source
+
+
+@pytest.fixture
+def heat_file(tmp_path):
+    p = tmp_path / "heat.c"
+    p.write_text(heat_source(6, 130))
+    return str(p)
+
+
+@pytest.fixture
+def linreg_file(tmp_path):
+    p = tmp_path / "linreg.c"
+    p.write_text(linreg_source(16, 8))
+    return str(p)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "f.c"])
+        assert args.threads is None and args.chunk is None
+
+
+class TestAnalyze:
+    def test_reports_fs(self, heat_file, capsys):
+        assert main(["analyze", heat_file, "--threads", "4", "--chunk", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "false sharing cases" in out
+        assert "victim" in out
+        assert "b (" in out  # the stencil output array is the victim
+
+    def test_define_injects_macros(self, tmp_path, capsys):
+        p = tmp_path / "k.c"
+        p.write_text(
+            "double a[N];\nvoid f(void){int i;\n"
+            "#pragma omp parallel for\n"
+            "for(i=0;i<N;i++){a[i]=1.0;}}\n"
+        )
+        assert main(["analyze", str(p), "-D", "N=64", "-t", "2"]) == 0
+        assert "false sharing" in capsys.readouterr().out
+
+    def test_bad_define_rejected(self, heat_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", heat_file, "-D", "N=abc"])
+
+    def test_no_kernels_errors(self, tmp_path):
+        p = tmp_path / "plain.c"
+        p.write_text("void f(void) { }\n")
+        with pytest.raises(SystemExit, match="no OpenMP"):
+            main(["analyze", str(p)])
+
+    def test_literal_mode(self, heat_file, capsys):
+        assert main(
+            ["analyze", heat_file, "-t", "2", "--mode", "literal"]
+        ) == 0
+
+
+class TestPredict:
+    def test_prediction_output(self, heat_file, capsys):
+        assert main(["predict", heat_file, "-t", "4", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out and "chunk runs" in out
+
+
+class TestOptimize:
+    def test_recommends_chunk(self, linreg_file, capsys):
+        assert main(["optimize", linreg_file, "-t", "2", "--runs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended schedule(static," in out
+        assert "best" in out
+
+
+class TestDiagnose:
+    def test_diagnosis_output(self, heat_file, capsys):
+        assert main(["diagnose", heat_file, "-t", "4", "--chunk", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "false-sharing diagnosis" in out
+        assert "adjacent-thread share" in out
+
+
+class TestTrace:
+    def test_writes_trace_file(self, heat_file, tmp_path, capsys):
+        out_file = str(tmp_path / "heat.npz")
+        assert main(
+            ["trace", heat_file, "-t", "2", "-o", out_file, "--max-steps", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        from repro.sim import load_trace
+
+        trace = load_trace(out_file)
+        assert trace.meta.num_threads == 2
+        assert trace.meta.steps_per_thread == (8, 8)
+
+
+class TestSweep:
+    def test_sweep_table(self, heat_file, capsys):
+        assert main(
+            ["sweep", heat_file, "--threads-list", "2,4",
+             "--chunks-list", "1,8", "--runs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "configurations" in out
+        assert "best:" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, heat_file):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", heat_file, "-t", "2"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "false sharing cases" in proc.stdout
+
+
+class TestNumThreadsClause:
+    def test_pragma_num_threads_used_as_default(self, tmp_path, capsys):
+        p = tmp_path / "k.c"
+        p.write_text(
+            "#define N 64\ndouble a[N];\nvoid f(void){int i;\n"
+            "#pragma omp parallel for num_threads(4) schedule(static,1)\n"
+            "for(i=0;i<N;i++){a[i]=1.0;}}\n"
+        )
+        assert main(["analyze", str(p)]) == 0
+        assert "4 threads" in capsys.readouterr().out
+
+    def test_flag_overrides_clause(self, tmp_path, capsys):
+        p = tmp_path / "k.c"
+        p.write_text(
+            "#define N 64\ndouble a[N];\nvoid f(void){int i;\n"
+            "#pragma omp parallel for num_threads(4)\n"
+            "for(i=0;i<N;i++){a[i]=1.0;}}\n"
+        )
+        assert main(["analyze", str(p), "-t", "2"]) == 0
+        assert "2 threads" in capsys.readouterr().out

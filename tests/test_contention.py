@@ -1,0 +1,90 @@
+"""Unit tests for the shared-cache and bus contention extensions."""
+
+import pytest
+
+from repro.costmodels import BusModel, ContentionModel, SharedCacheModel
+from repro.machine import paper_machine
+from tests.conftest import make_copy_nest
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+class TestSharedCacheModel:
+    def test_small_working_set_free(self, machine):
+        model = SharedCacheModel(machine)
+        nest = make_copy_nest(n=1024)  # 16 KB total: far below L3
+        assert model.l3_pressure(nest, 12) < 0.01
+        assert model.extra_cycles(nest, 12) == 0.0
+
+    def test_overflow_costs(self, machine):
+        model = SharedCacheModel(machine)
+        big = make_copy_nest(n=2_000_000)  # 32 MB of streams
+        assert model.l3_pressure(big, 12) > 1.0
+        assert model.extra_cycles(big, 12) > 0.0
+
+    def test_pressure_constant_within_socket(self, machine):
+        """A fixed data set split among co-resident threads keeps the
+        same combined footprint: pressure is thread-count-independent
+        up to the socket size."""
+        model = SharedCacheModel(machine)
+        nest = make_copy_nest(n=500_000)
+        assert model.l3_pressure(nest, 12) == pytest.approx(
+            model.l3_pressure(nest, 2), rel=0.01
+        )
+
+    def test_pressure_drops_across_sockets(self, machine):
+        """Beyond one socket the data splits across multiple L3s."""
+        model = SharedCacheModel(machine, cores_per_socket=12)
+        nest = make_copy_nest(n=480_000)
+        assert model.l3_pressure(nest, 48) < model.l3_pressure(nest, 12)
+
+    def test_rejects_bad_socket(self, machine):
+        with pytest.raises(ValueError):
+            SharedCacheModel(machine, cores_per_socket=0)
+
+
+class TestBusModel:
+    def test_compute_bound_loop_free(self, machine):
+        model = BusModel(machine)
+        nest = make_copy_nest(n=1024)
+        # Plenty of compute per byte: below saturation.
+        assert model.utilization(nest, 4, machine_cycles_per_iter=200.0) < 1.0
+        assert model.extra_cycles(nest, 4, machine_cycles_per_iter=200.0) == 0.0
+
+    def test_streaming_many_threads_saturates(self, machine):
+        model = BusModel(machine, bytes_per_cycle=4.0)
+        big = make_copy_nest(n=2_000_000)
+        util = model.utilization(big, 48, machine_cycles_per_iter=2.0)
+        assert util > 1.0
+        assert model.extra_cycles(big, 48, machine_cycles_per_iter=2.0) > 0.0
+
+    def test_fs_traffic_raises_utilization(self, machine):
+        model = BusModel(machine)
+        nest = make_copy_nest(n=4096)
+        base = model.utilization(nest, 8, fs_cases=0.0)
+        loaded = model.utilization(nest, 8, fs_cases=4096.0)
+        assert loaded > base
+
+    def test_rejects_bad_bandwidth(self, machine):
+        with pytest.raises(ValueError):
+            BusModel(machine, bytes_per_cycle=0.0)
+
+
+class TestContentionModel:
+    def test_combined_estimate(self, machine):
+        model = ContentionModel(machine, bus_bytes_per_cycle=4.0)
+        big = make_copy_nest(n=2_000_000)
+        est = model.estimate(big, 12, machine_cycles_per_iter=2.0)
+        assert est.total == est.shared_cache_cycles + est.bus_cycles
+        assert est.l3_pressure > 1.0
+        assert est.bus_utilization > 1.0
+        assert est.shared_cache_cycles > 0.0
+
+    def test_empty_loop(self, machine):
+        model = ContentionModel(machine)
+        nest = make_copy_nest(n=64)
+        est = model.estimate(nest, 2)
+        assert est.total == 0.0

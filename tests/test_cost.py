@@ -1,0 +1,96 @@
+"""Unit tests for Eq. (1) integration and Eq. (5) percentages."""
+
+import pytest
+
+from repro.costmodels import TotalCostModel
+from repro.machine import paper_machine
+from repro.model import (
+    FalseSharingModel,
+    fs_overhead_percent,
+    measured_fs_percent,
+    predicted_fs_percent,
+)
+from tests.conftest import make_copy_nest
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return FalseSharingModel(machine)
+
+
+class TestMeasuredPercent:
+    def test_basic(self):
+        assert measured_fs_percent(10.0, 9.0) == pytest.approx(10.0)
+
+    def test_no_difference(self):
+        assert measured_fs_percent(5.0, 5.0) == 0.0
+
+    def test_negative_when_nfs_slower(self):
+        assert measured_fs_percent(5.0, 6.0) < 0
+
+    def test_rejects_zero_tfs(self):
+        with pytest.raises(ValueError):
+            measured_fs_percent(0.0, 1.0)
+
+
+class TestModeledPercent:
+    def test_positive_for_fs_loop(self, machine, model):
+        nest = make_copy_nest(n=128)
+        r_fs = model.analyze(nest, 4, chunk=1)
+        r_nfs = model.analyze(nest, 4, chunk=8)
+        rep = fs_overhead_percent(r_fs, r_nfs, machine, nest)
+        assert 0 < rep.percent < 100
+        assert rep.fs_cases > rep.nfs_cases
+
+    def test_zero_when_equal(self, machine, model):
+        nest = make_copy_nest(n=128)
+        r = model.analyze(nest, 4, chunk=8)
+        rep = fs_overhead_percent(r, r, machine, nest)
+        assert rep.percent == 0.0
+
+    def test_thread_mismatch_rejected(self, machine, model):
+        nest = make_copy_nest(n=128)
+        r2 = model.analyze(nest, 2, chunk=1)
+        r4 = model.analyze(nest, 4, chunk=1)
+        with pytest.raises(ValueError):
+            fs_overhead_percent(r2, r4, machine, nest)
+
+    def test_shared_total_model_accepted(self, machine, model):
+        nest = make_copy_nest(n=128)
+        tm = TotalCostModel(machine)
+        r_fs = model.analyze(nest, 4, chunk=1)
+        r_nfs = model.analyze(nest, 4, chunk=8)
+        a = fs_overhead_percent(r_fs, r_nfs, machine, nest, tm)
+        b = fs_overhead_percent(r_fs, r_nfs, machine, nest)
+        assert a.percent == pytest.approx(b.percent)
+
+    def test_report_str(self, machine, model):
+        nest = make_copy_nest(n=128)
+        r_fs = model.analyze(nest, 4, chunk=1)
+        r_nfs = model.analyze(nest, 4, chunk=8)
+        text = str(fs_overhead_percent(r_fs, r_nfs, machine, nest))
+        assert "T=4" in text and "%" in text
+
+
+class TestPredictedPercent:
+    def test_matches_modeled_when_counts_match(self, machine, model):
+        nest = make_copy_nest(n=128)
+        r_fs = model.analyze(nest, 4, chunk=1)
+        r_nfs = model.analyze(nest, 4, chunk=8)
+        tm = TotalCostModel(machine)
+        ref_cycles = tm.breakdown(nest, num_threads=4).total
+        pct = predicted_fs_percent(
+            float(r_fs.fs_cases), float(r_nfs.fs_cases), r_fs, machine, ref_cycles
+        )
+        modeled = fs_overhead_percent(r_fs, r_nfs, machine, nest).percent
+        assert pct == pytest.approx(modeled, rel=0.01)
+
+    def test_zero_prediction(self, machine, model):
+        nest = make_copy_nest(n=128)
+        r = model.analyze(nest, 4, chunk=1)
+        assert predicted_fs_percent(0.0, 0.0, r, machine, 1e6) == 0.0

@@ -1,0 +1,160 @@
+"""Unit tests for the Open64-style processor/cache/TLB/parallel models."""
+
+import pytest
+
+from repro.costmodels import (
+    CacheModel,
+    ParallelModel,
+    ProcessorModel,
+    TotalCostModel,
+)
+from repro.kernels import build_dft_nest, build_heat_nest, build_linreg_nest
+from repro.machine import paper_machine
+from tests.conftest import make_copy_nest, make_nested_nest
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+class TestProcessorModel:
+    def test_copy_kernel_counts(self, machine):
+        pm = ProcessorModel(machine)
+        counts = pm.op_counts(make_copy_nest())
+        assert counts["load"] == 1
+        assert counts["store"] == 1
+        assert counts["fadd"] == 1
+
+    def test_augmented_assign_adds_load_and_op(self, machine):
+        pm = ProcessorModel(machine)
+        counts = pm.op_counts(build_linreg_nest(4, 4))
+        # 5 accumulator updates: 5 stores, 5 extra target loads, 5 iadds.
+        assert counts["store"] == 5
+        assert counts["iadd"] == 5
+        assert counts["load"] == 5 + 8  # 5 RMW loads + 8 point loads
+
+    def test_recurrence_bound_for_accumulators(self, machine):
+        pm = ProcessorModel(machine)
+        lat = machine.op_latencies
+        rec = pm.recurrence_bound(build_linreg_nest(4, 4))
+        assert rec == lat["iadd"] + lat["load"] + lat["store"]
+
+    def test_no_recurrence_for_plain_stores(self, machine):
+        pm = ProcessorModel(machine)
+        assert pm.recurrence_bound(make_copy_nest()) == 0.0
+
+    def test_calls_dominate_dft(self, machine):
+        pm = ProcessorModel(machine)
+        est_dft = pm.estimate(build_dft_nest(4, 64))
+        est_heat = pm.estimate(build_heat_nest(4, 64))
+        # Unpipelined trig calls make DFT far more expensive per iteration.
+        assert est_dft.cycles_per_iter > 5 * est_heat.cycles_per_iter
+
+    def test_machine_c_is_max_of_bounds(self, machine):
+        pm = ProcessorModel(machine)
+        est = pm.estimate(make_copy_nest())
+        assert est.cycles_per_iter == max(est.resource_cycles, est.latency_cycles)
+
+
+class TestCacheModel:
+    def test_reference_groups_merge_neighbors(self, machine):
+        cm = CacheModel(machine)
+        groups = cm.reference_groups(build_heat_nest(8, 64))
+        names = sorted(g.leader.array.name for g in groups)
+        # a[i][j], a[i][j-1], a[i][j+1] group together; a[i-1][j] and
+        # a[i+1][j] differ by a full row (> line) so stay separate.
+        assert names == ["a", "a", "a", "b"]
+
+    def test_group_stride(self, machine):
+        cm = CacheModel(machine)
+        groups = cm.reference_groups(make_copy_nest())
+        assert all(g.stride_bytes == 8 for g in groups)
+
+    def test_streaming_misses_when_footprint_exceeds_cache(self, machine):
+        cm = CacheModel(machine)
+        big = make_copy_nest(n=2_000_000)  # 16 MB per array stream
+        small = make_copy_nest(n=64)
+        est_big = cm.estimate(big)
+        est_small = cm.estimate(small)
+        assert est_big.misses_per_iter_l3 > 0
+        assert est_small.misses_per_iter_l1 <= est_big.misses_per_iter_l1
+
+    def test_resident_working_set_only_cold_misses(self, machine):
+        cm = CacheModel(machine)
+        est = cm.estimate(make_copy_nest(n=64))
+        # 16 lines over 64 iterations = 0.25 cold misses/iter at most.
+        assert est.misses_per_iter_l1 <= 0.25 + 1e-9
+
+    def test_tlb_cost_nonnegative_and_small(self, machine):
+        cm = CacheModel(machine)
+        est = cm.estimate(make_copy_nest(n=4096))
+        assert 0 <= est.tlb_cycles_per_iter < est.cache_cycles_per_iter + 1
+
+    def test_prefetch_coverage_reduces_cost(self):
+        import dataclasses
+
+        m_no_pf = dataclasses.replace(paper_machine(), prefetch_coverage=0.0)
+        m_pf = dataclasses.replace(paper_machine(), prefetch_coverage=0.9)
+        big = make_copy_nest(n=2_000_000)
+        cost_no = CacheModel(m_no_pf).estimate(big).cache_cycles_per_iter
+        cost_pf = CacheModel(m_pf).estimate(big).cache_cycles_per_iter
+        assert cost_pf < cost_no
+
+
+class TestParallelModel:
+    def test_loop_overhead_amortizes_outer_levels(self, machine):
+        pm = ParallelModel(machine)
+        flat = pm.loop_overhead_per_iter(make_copy_nest(n=64))
+        nested = pm.loop_overhead_per_iter(make_nested_nest(rows=4, cols=32))
+        per = machine.overheads.loop_overhead_per_iter_cycles
+        assert flat == pytest.approx(per)
+        assert nested == pytest.approx(per + per / 32)
+
+    def test_num_chunks(self, machine):
+        pm = ParallelModel(machine)
+        nest = make_nested_nest(rows=4, cols=32, chunk=2)
+        # per execution: 32/2/... = 16 chunks; 4 outer runs.
+        assert pm.num_chunks(nest, 4) == 64
+
+    def test_num_chunks_default_schedule(self, machine):
+        pm = ParallelModel(machine)
+        nest = make_copy_nest(n=64).with_chunk(None)
+        assert pm.num_chunks(nest, 4) == 4
+
+    def test_barrier_scales_with_threads_and_outer_runs(self, machine):
+        pm = ParallelModel(machine)
+        nest = make_nested_nest(rows=4, cols=32)
+        e2 = pm.estimate(nest, 2)
+        e8 = pm.estimate(nest, 8)
+        assert e8.barrier_cycles == 4 * e2.barrier_cycles
+
+    def test_rejects_bad_threads(self, machine):
+        with pytest.raises(ValueError):
+            ParallelModel(machine).estimate(make_copy_nest(), 0)
+
+
+class TestTotalCostModel:
+    def test_breakdown_sums(self, machine):
+        tm = TotalCostModel(machine)
+        bd = tm.breakdown(make_copy_nest(n=64), num_threads=2, fs_cases=10)
+        assert bd.total == pytest.approx(
+            bd.false_sharing + bd.machine + bd.cache + bd.tlb
+            + bd.parallel_overhead + bd.loop_overhead
+        )
+        assert bd.false_sharing == 10 * machine.fs_penalty_cycles
+
+    def test_fs_fraction(self, machine):
+        tm = TotalCostModel(machine)
+        bd = tm.breakdown(make_copy_nest(n=64), num_threads=2, fs_cases=1000)
+        assert 0 < bd.fs_fraction < 1
+        assert bd.scaled_without_fs().fs_fraction == 0.0
+
+    def test_per_iteration_terms_scale_with_iterations(self, machine):
+        tm = TotalCostModel(machine)
+        small = tm.breakdown(make_copy_nest(n=64))
+        big = tm.breakdown(make_copy_nest(n=6400))
+        # Fixed startup overhead aside, the per-iteration terms scale 100x.
+        assert big.machine == pytest.approx(100 * small.machine)
+        assert big.loop_overhead == pytest.approx(100 * small.loop_overhead)
+        assert big.total > small.total

@@ -1,0 +1,115 @@
+"""Tests for the unknown-boundaries FS-rate mode (paper §III preamble)."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+    Schedule,
+)
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel
+from tests.conftest import make_copy_nest
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FalseSharingModel(paper_machine())
+
+
+def symbolic_copy_nest(extent: int = 4096) -> ParallelLoopNest:
+    """``for (i = 0; i < n; i++) b[i] = a[i] + 1`` with symbolic ``n``.
+
+    The arrays carry a concrete (large) extent, as in real code where
+    the buffer is allocated but the processed prefix ``n`` is a runtime
+    argument.
+    """
+    a = ArrayDecl.create("a", DOUBLE, (extent,))
+    b = ArrayDecl.create("b", DOUBLE, (extent,))
+    i = AffineExpr.var("i")
+    stmt = Assign(
+        ArrayRef(b, (i,), is_write=True),
+        BinOp("+", LoadExpr(ArrayRef(a, (i,))), Const(1.0, DOUBLE)),
+    )
+    loop = Loop("i", AffineExpr.const_expr(0), AffineExpr.var("n"), (stmt,))
+    return ParallelLoopNest(
+        "sym_copy.i", loop, "i", schedule=Schedule("static", 1), params=("n",)
+    )
+
+
+class TestCycleRate:
+    def test_symbolic_bound_analyzed(self, model):
+        rate = model.analyze_cycle_rate(symbolic_copy_nest(), 4, chunk=1)
+        assert rate.fs_cases_per_cycle > 0
+        assert rate.cycles_evaluated > 0
+
+    def test_rate_matches_concrete_loop(self, model):
+        """The per-cycle rate extrapolates to the concrete loop's count."""
+        rate = model.analyze_cycle_rate(
+            symbolic_copy_nest(), 4, chunk=1, warmup_cycles=2, measured_cycles=8
+        )
+        concrete = make_copy_nest(n=512)
+        full = model.analyze(concrete, 4, chunk=1)
+        total_cycles = full.total_chunk_runs
+        projected = rate.extrapolate(total_cycles)
+        assert projected == pytest.approx(full.fs_cases, rel=0.1)
+
+    def test_concrete_bound_also_accepted(self, model):
+        rate = model.analyze_cycle_rate(make_copy_nest(n=512), 4, chunk=1)
+        assert rate.fs_cases_per_cycle > 0
+
+    def test_warmup_discards_cold_cycles(self, model):
+        cold = model.analyze_cycle_rate(
+            symbolic_copy_nest(), 4, chunk=1, warmup_cycles=0, measured_cycles=4
+        )
+        warm = model.analyze_cycle_rate(
+            symbolic_copy_nest(), 4, chunk=1, warmup_cycles=2, measured_cycles=4
+        )
+        # The very first cycle has no prior writers: the cold-inclusive
+        # rate cannot exceed the steady-state one.
+        assert cold.fs_cases_per_cycle <= warm.fs_cases_per_cycle + 1e-9
+
+    def test_rejects_multiple_unknowns(self, model):
+        nest = symbolic_copy_nest()
+        loop = nest.root
+        bad = Loop(
+            loop.var, loop.lower,
+            AffineExpr.var("n") + AffineExpr.var("m"), loop.body, loop.step,
+        )
+        nest2 = ParallelLoopNest(
+            "bad.i", bad, "i", schedule=Schedule("static", 1), params=("n", "m")
+        )
+        with pytest.raises(ValueError, match="several unknowns"):
+            model.analyze_cycle_rate(nest2, 4, chunk=1)
+
+    def test_rejects_scaled_unknown(self, model):
+        nest = symbolic_copy_nest()
+        loop = nest.root
+        bad = Loop(
+            loop.var, loop.lower, AffineExpr.var("n") * 2, loop.body, loop.step
+        )
+        nest2 = ParallelLoopNest(
+            "bad2.i", bad, "i", schedule=Schedule("static", 1), params=("n",)
+        )
+        with pytest.raises(ValueError, match="coefficient 1"):
+            model.analyze_cycle_rate(nest2, 4, chunk=1)
+
+    def test_rejects_bad_args(self, model):
+        nest = symbolic_copy_nest()
+        with pytest.raises(ValueError):
+            model.analyze_cycle_rate(nest, 4, chunk=0)
+        with pytest.raises(ValueError):
+            model.analyze_cycle_rate(nest, 4, chunk=1, measured_cycles=0)
+
+    def test_extrapolate_validation(self, model):
+        rate = model.analyze_cycle_rate(symbolic_copy_nest(), 2, chunk=1)
+        with pytest.raises(ValueError):
+            rate.extrapolate(-1)

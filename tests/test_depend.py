@@ -1,0 +1,153 @@
+"""Unit tests for the dependence analysis substrate."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+    analyze_dependences,
+    banerjee_test,
+    gcd_test,
+    siv_distance,
+)
+from repro.kernels import build_heat_nest, build_linreg_nest
+from tests.conftest import make_copy_nest
+
+I = AffineExpr.var("i")
+A = ArrayDecl.create("a", DOUBLE, (128,))
+
+
+def ref(idx, write=False, arr=A):
+    return ArrayRef(arr, (idx,), is_write=write)
+
+
+def nest_with(stmts, n=16):
+    return ParallelLoopNest("t.i", Loop.create("i", 0, n, stmts), "i")
+
+
+class TestGCDTest:
+    def test_even_vs_odd_independent(self):
+        assert not gcd_test(ref(2 * I), ref(2 * I + 1))
+
+    def test_same_subscript_dependent(self):
+        assert gcd_test(ref(I), ref(I, write=True))
+
+    def test_offset_multiple_of_stride(self):
+        assert gcd_test(ref(2 * I), ref(2 * I + 4))
+
+    def test_constant_subscripts(self):
+        c0 = AffineExpr.const_expr(0)
+        c1 = AffineExpr.const_expr(1)
+        assert gcd_test(ref(c0), ref(c0, write=True))
+        assert not gcd_test(ref(c0), ref(c1, write=True))
+
+
+class TestBanerjeeTest:
+    def test_out_of_range_offset_independent(self):
+        # a[i] vs a[i' + 100] with i, i' in [0, 15]: difference spans
+        # [-115, -85]·8 bytes — never zero.
+        assert not banerjee_test(ref(I), ref(I + 100), {"i": (0, 15)})
+
+    def test_in_range_offset_possibly_dependent(self):
+        assert banerjee_test(ref(I), ref(I + 4), {"i": (0, 15)})
+
+    def test_unknown_bounds_conservative(self):
+        assert banerjee_test(ref(I), ref(I + 1000), {})
+
+    def test_empty_loop_independent(self):
+        assert not banerjee_test(ref(I), ref(I), {"i": (5, 4)})
+
+
+class TestSIVDistance:
+    def test_unit_distance(self):
+        assert siv_distance(ref(I, write=True), ref(I + 1), "i") == 1
+
+    def test_zero_distance(self):
+        assert siv_distance(ref(I), ref(I, write=True), "i") == 0
+
+    def test_non_siv_returns_none(self):
+        assert siv_distance(ref(I), ref(2 * I), "i") is None
+
+    def test_fractional_distance_none(self):
+        assert siv_distance(ref(2 * I), ref(2 * I + 1), "i") is None
+
+
+class TestAnalyzeDependences:
+    def test_copy_nest_parallelizable(self):
+        report = analyze_dependences(make_copy_nest(n=64))
+        assert report.parallelizable("i")
+
+    def test_heat_parallelizable(self):
+        nest = build_heat_nest(6, 34)
+        report = analyze_dependences(nest)
+        assert report.parallelizable("j")
+        assert report.parallelizable("i")
+
+    def test_linreg_accumulators_loop_independent(self):
+        """`s[j] += ...` carries nothing on j across iterations."""
+        nest = build_linreg_nest(8, 4)
+        report = analyze_dependences(nest)
+        assert report.parallelizable("j")
+        # The RMW pairs show up as loop-independent dependences.
+        assert any(d.carrier is None for d in report.dependences)
+
+    def test_recurrence_blocks_parallelization(self):
+        """a[i] = a[i-1] + 1: carried by i, distance 1."""
+        stmt = Assign(
+            ref(I, write=True),
+            BinOp("+", LoadExpr(ref(I - 1)), Const(1.0, DOUBLE)),
+        )
+        report = analyze_dependences(nest_with([stmt]))
+        assert not report.parallelizable("i")
+        (dep,) = report.carried_by("i")
+        assert abs(dep.distance) == 1
+
+    def test_far_recurrence_still_carried(self):
+        stmt = Assign(
+            ref(I, write=True),
+            BinOp("+", LoadExpr(ref(I - 5)), Const(1.0, DOUBLE)),
+        )
+        report = analyze_dependences(nest_with([stmt], n=32))
+        assert not report.parallelizable("i")
+
+    def test_shift_beyond_bounds_is_parallel(self):
+        """a[i] = b[i + 64] with disjoint arrays: independent."""
+        b = ArrayDecl.create("b", DOUBLE, (256,))
+        stmt = Assign(ref(I, write=True), LoadExpr(ref(I + 64, arr=b)))
+        report = analyze_dependences(nest_with([stmt], n=16))
+        assert report.parallelizable("i")
+
+    def test_true_sharing_reduction_detected(self):
+        """s[0] += a[i]: every iteration writes the same element —
+        output/flow dependence carried by i (non-SIV constant pair)."""
+        s = ArrayDecl.create("s", DOUBLE, (1,))
+        zero = AffineExpr.const_expr(0)
+        stmt = Assign(
+            ArrayRef(s, (zero,), is_write=True),
+            LoadExpr(ref(I)),
+            augmented="+",
+        )
+        report = analyze_dependences(nest_with([stmt]))
+        # Constant subscripts collide at every iteration pair: the
+        # reduction is carried by every loop and blocks parallelization.
+        assert not report.parallelizable("i")
+        deps = [d for d in report.dependences if d.source.array.name == "s"]
+        assert deps, "the reduction dependence must be found"
+
+    def test_dependence_str(self):
+        stmt = Assign(
+            ref(I, write=True),
+            BinOp("+", LoadExpr(ref(I - 1)), Const(1.0, DOUBLE)),
+        )
+        report = analyze_dependences(nest_with([stmt]))
+        assert "carried by i" in str(report.dependences[0]) or any(
+            "carried by i" in str(d) for d in report.dependences
+        )

@@ -1,0 +1,196 @@
+"""Unit tests for the φ/mask false-sharing detector (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.model.detector import FSDetector
+
+
+def det(threads=2, lines=64, mode="invalidate"):
+    return FSDetector(threads, lines, mode=mode)
+
+
+class TestPhiCounting:
+    def test_write_then_remote_read_counts_one(self):
+        d = det()
+        assert d.access(0, 100, True) == 0   # first write: no FS
+        assert d.access(1, 100, False) == 1  # remote modified -> 1 case
+        assert d.stats.fs_read_cases == 1
+        assert d.stats.fs_write_cases == 0
+
+    def test_write_then_remote_write_counts_one(self):
+        d = det()
+        d.access(0, 100, True)
+        assert d.access(1, 100, True) == 1
+        assert d.stats.fs_write_cases == 1
+
+    def test_read_read_no_fs(self):
+        d = det()
+        d.access(0, 100, False)
+        assert d.access(1, 100, False) == 0
+
+    def test_disjoint_lines_no_fs(self):
+        d = det()
+        d.access(0, 100, True)
+        assert d.access(1, 200, True) == 0
+        assert d.stats.fs_cases == 0
+
+    def test_mask_excludes_own_state(self):
+        d = det()
+        d.access(0, 100, True)
+        # Same thread re-writing its own modified line: no FS.
+        assert d.access(0, 100, True) == 0
+
+    def test_per_line_and_per_thread_attribution(self):
+        d = det()
+        d.access(0, 100, True)
+        d.access(1, 100, False)
+        assert d.stats.fs_by_line[100] == 1
+        assert d.stats.fs_by_thread[1] == 1
+
+
+class TestInvalidateSemantics:
+    def test_write_invalidates_remote_copies(self):
+        d = det(threads=3)
+        d.access(0, 100, False)
+        d.access(1, 100, False)
+        d.access(2, 100, True)  # invalidates 0 and 1
+        assert d.stats.invalidations == 2
+        assert d.holders_of(100) == 0b100
+        assert d.writers_of(100) == 0b100
+
+    def test_read_downgrades_writer(self):
+        d = det()
+        d.access(0, 100, True)
+        d.access(1, 100, False)
+        assert d.stats.downgrades == 1
+        assert d.writers_of(100) == 0
+        assert d.holders_of(100) == 0b11
+
+    def test_pingpong_counts_each_transfer(self):
+        d = det()
+        d.access(0, 100, True)
+        for _ in range(5):
+            assert d.access(1, 100, True) == 1
+            assert d.access(0, 100, True) == 1
+
+    def test_modified_is_exclusive(self):
+        d = det(threads=4)
+        for t in range(4):
+            d.access(t, 100, True)
+        # Only the last writer holds the line.
+        assert d.holders_of(100) == 0b1000
+        assert d.cache_state(0) == []
+
+
+class TestLiteralSemantics:
+    def test_counts_only_on_insertion(self):
+        d = det(mode="literal")
+        d.access(0, 100, True)
+        assert d.access(1, 100, False) == 1  # insertion -> counted
+        # Hit in own state: literal mode does not re-evaluate phi.
+        assert d.access(1, 100, False) == 0
+
+    def test_multiple_writers_accumulate(self):
+        d = det(threads=4, mode="literal")
+        d.access(0, 100, True)
+        d.access(1, 100, True)
+        d.access(2, 100, True)
+        # Thread 3 inserts: three remote modified copies -> 3 cases.
+        assert d.access(3, 100, True) == 3
+
+    def test_no_invalidation_in_literal_mode(self):
+        d = det(mode="literal")
+        d.access(0, 100, True)
+        d.access(1, 100, True)
+        assert d.stats.invalidations == 0
+        assert d.holders_of(100) == 0b11
+
+
+class TestEviction:
+    def test_eviction_clears_directory_bits(self):
+        d = det(threads=1, lines=2)
+        d.access(0, 1, True)
+        d.access(0, 2, True)
+        d.access(0, 3, True)  # evicts line 1
+        assert d.stats.evictions == 1
+        assert d.holders_of(1) == 0
+        assert d.writers_of(1) == 0
+
+    def test_evicted_line_refetch_is_cold(self):
+        d = det(threads=2, lines=1)
+        d.access(0, 1, True)
+        d.access(0, 2, True)  # evicts 1; writer bit cleared
+        assert d.access(1, 1, False) == 0  # no stale writer state
+
+
+class TestBlockProcessing:
+    def test_block_equals_single_access_stream(self):
+        """process_block must agree with the one-at-a-time API."""
+        rng = np.random.default_rng(42)
+        steps, refs, threads = 40, 3, 4
+        lines = [rng.integers(0, 12, size=(steps, refs)) for _ in range(threads)]
+        writes = np.array([False, True, True])
+
+        d_block = det(threads=threads, lines=8)
+        d_block.process_block([m.astype(np.int64) for m in lines], writes)
+
+        d_single = det(threads=threads, lines=8)
+        for s in range(steps):
+            for t in range(threads):
+                for k in range(refs):
+                    d_single.access(t, int(lines[t][s, k]), bool(writes[k]))
+
+        assert d_block.stats.fs_cases == d_single.stats.fs_cases
+        assert d_block.stats.fs_read_cases == d_single.stats.fs_read_cases
+        assert d_block.stats.invalidations == d_single.stats.invalidations
+        assert d_block.stats.fs_by_line == d_single.stats.fs_by_line
+
+    def test_ragged_blocks(self):
+        d = det(threads=2, lines=8)
+        lines = [
+            np.array([[1], [2], [3]], dtype=np.int64),
+            np.array([[1]], dtype=np.int64),  # thread 1 idles after step 0
+        ]
+        d.process_block(lines, np.array([True]))
+        assert d.stats.steps == 3
+        assert d.stats.accesses == 4
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            FSDetector(2, 8, mode="bogus")
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ValueError):
+            FSDetector(0, 8)
+
+
+class TestStatsMerge:
+    def test_merge_accumulates_everything(self):
+        a = det(threads=2)
+        a.access(0, 1, True)
+        a.access(1, 1, False)  # 1 read-FS
+        b = det(threads=2)
+        b.access(0, 2, True)
+        b.access(1, 2, True)  # 1 write-FS
+
+        merged = a.stats
+        merged.merge(b.stats)
+        assert merged.fs_cases == 2
+        assert merged.fs_read_cases == 1
+        assert merged.fs_write_cases == 1
+        assert merged.accesses == 4
+        assert merged.fs_by_line == {1: 1, 2: 1}
+        assert merged.fs_by_pair[(0, 1)] == 2
+
+    def test_merge_empty_is_identity(self):
+        from repro.model.detector import FSStats
+
+        a = det()
+        a.access(0, 1, True)
+        a.access(1, 1, True)
+        before = (a.stats.fs_cases, a.stats.accesses)
+        a.stats.merge(FSStats())
+        assert (a.stats.fs_cases, a.stats.accesses) == before

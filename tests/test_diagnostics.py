@@ -1,0 +1,75 @@
+"""Unit tests for FS diagnostics (hot lines, thread-pair matrix)."""
+
+import pytest
+
+from repro.kernels import build_linreg_nest
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, diagnose
+from tests.conftest import make_copy_nest
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return FalseSharingModel(machine)
+
+
+class TestPairMatrix:
+    def test_pair_counts_sum_to_cases(self, model):
+        r = model.analyze(make_copy_nest(n=128), 4, chunk=1)
+        assert sum(r.stats.fs_by_pair.values()) == r.fs_cases
+
+    def test_no_self_pairs(self, model):
+        r = model.analyze(make_copy_nest(n=128), 4, chunk=1)
+        assert all(w != a for (w, a) in r.stats.fs_by_pair)
+
+    def test_chunk1_conflicts_are_adjacent(self, model):
+        """Under schedule(static,1) neighbouring iterations run on
+        neighbouring threads: conflicts concentrate on |Δthread| == 1."""
+        r = model.analyze(make_copy_nest(n=256), 4, chunk=1)
+        d = diagnose(r)
+        assert d.adjacency_share > 0.5
+
+    def test_matrix_shape(self, model):
+        r = model.analyze(make_copy_nest(n=128), 4, chunk=1)
+        d = diagnose(r)
+        assert d.pair_matrix.shape == (4, 4)
+        assert d.pair_matrix.sum() == r.fs_cases
+
+
+class TestHotLines:
+    def test_hot_lines_attributed_to_arrays(self, model):
+        r = model.analyze(build_linreg_nest(48, 8), 4, chunk=1)
+        d = diagnose(r)
+        assert d.hot_lines
+        assert all(hl.array == "tid_args" for hl in d.hot_lines)
+        assert all(hl.offset_in_array >= 0 for hl in d.hot_lines)
+
+    def test_hot_lines_sorted_desc(self, model):
+        r = model.analyze(build_linreg_nest(48, 8), 4, chunk=1)
+        d = diagnose(r)
+        counts = [hl.fs_cases for hl in d.hot_lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_lines_limit(self, model):
+        r = model.analyze(build_linreg_nest(48, 8), 4, chunk=1)
+        d = diagnose(r, top_lines=3)
+        assert len(d.hot_lines) <= 3
+
+
+class TestReportText:
+    def test_text_mentions_victims_and_share(self, model):
+        r = model.analyze(build_linreg_nest(48, 8), 4, chunk=1)
+        text = diagnose(r).to_text()
+        assert "tid_args" in text
+        assert "adjacent-thread share" in text
+
+    def test_no_fs_diagnosis(self, model):
+        r = model.analyze(make_copy_nest(n=64), 2, chunk=8)
+        d = diagnose(r)
+        assert d.adjacency_share == 0.0
+        assert not d.hot_lines

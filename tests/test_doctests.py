@@ -1,0 +1,28 @@
+"""Execute every doctest in the package as part of the test suite.
+
+Doctests in this repository are API contracts (affine algebra, layout
+rules, scheduling examples); running them here keeps the documentation
+honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names() -> list[str]:
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("modname", _module_names())
+def test_module_doctests(modname):
+    module = importlib.import_module(modname)
+    result = doctest.testmod(module, raise_on_error=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {modname}"

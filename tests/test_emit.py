@@ -1,0 +1,146 @@
+"""Unit + round-trip tests for C emission from the IR."""
+
+import pytest
+
+from repro.frontend import parse_c_source
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    BinOp,
+    CallExpr,
+    CastExpr,
+    Const,
+    DOUBLE,
+    INT,
+    LoadExpr,
+    StructType,
+    UnOp,
+    VarRef,
+    emit_affine,
+    emit_expr,
+    emit_nest,
+    emit_struct,
+)
+from repro.ir.emit import EmitError, emit_ref
+from repro.kernels import build_dft_nest, build_heat_nest, build_linreg_nest
+from tests.conftest import make_copy_nest, make_nested_nest
+
+I = AffineExpr.var("i")
+A = ArrayDecl.create("a", DOUBLE, (16,))
+
+
+class TestEmitAffine:
+    def test_simple(self):
+        assert emit_affine(2 * I + 1) == "2 * i + 1"
+
+    def test_negative_const(self):
+        assert emit_affine(I - 1) == "i - 1"
+
+    def test_pure_const(self):
+        assert emit_affine(AffineExpr.const_expr(7)) == "7"
+
+    def test_negative_coeff(self):
+        assert emit_affine(-1 * I + 3) == "-i + 3"
+
+
+class TestEmitExpr:
+    def test_load(self):
+        assert emit_expr(LoadExpr(ArrayRef(A, (I,)))) == "a[i]"
+
+    def test_binop_parenthesized(self):
+        e = BinOp("+", VarRef("x", DOUBLE), Const(1.0, DOUBLE))
+        assert emit_expr(e) == "(x + 1.0)"
+
+    def test_call(self):
+        e = CallExpr("cos", (VarRef("w", DOUBLE),))
+        assert emit_expr(e) == "cos(w)"
+
+    def test_cast(self):
+        e = CastExpr(DOUBLE, VarRef("n", INT))
+        assert emit_expr(e) == "((double)(n))"
+
+    def test_unop(self):
+        assert emit_expr(UnOp("-", VarRef("x", DOUBLE))) == "-(x)"
+
+    def test_int_const(self):
+        assert emit_expr(Const(3, INT)) == "3"
+
+
+class TestEmitRef:
+    def test_plain(self):
+        assert emit_ref(ArrayRef(A, (I + 1,))) == "a[i + 1]"
+
+    def test_struct_field(self):
+        s = StructType.create("s_t", [("v", DOUBLE)])
+        arr = ArrayDecl.create("arr", s, (8,))
+        assert emit_ref(ArrayRef(arr, (I,), ("v",))) == "arr[i].v"
+
+    def test_synthetic_pointer_member(self):
+        pt = StructType.create("pt", [("x", DOUBLE)])
+        arr = ArrayDecl.create("base.points", pt, (8, 4))
+        j = AffineExpr.var("j")
+        out = emit_ref(ArrayRef(arr, (j, I), ("x",)))
+        assert out == "base[j].points[i].x"
+
+    def test_extra_offset_rejected(self):
+        ref = ArrayRef(A, (I,), extra=AffineExpr.var("k"))
+        with pytest.raises(EmitError):
+            emit_ref(ref)
+
+
+class TestEmitStruct:
+    def test_plain_struct(self):
+        s = StructType.create("pair", [("a", DOUBLE), ("b", INT)])
+        out = emit_struct(s)
+        assert "typedef struct {" in out
+        assert "double a;" in out
+        assert "} pair;" in out
+
+    def test_member_array(self):
+        from repro.ir import ArrayType, CHAR
+
+        s = StructType.create("padded", [("v", DOUBLE), ("_pad", ArrayType(CHAR, 56))])
+        out = emit_struct(s)
+        assert "char _pad[56];" in out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "nest",
+        [
+            make_copy_nest(n=32),
+            make_nested_nest(rows=3, cols=16),
+            build_heat_nest(6, 130),
+            build_dft_nest(4, 64),
+            build_linreg_nest(16, 8),
+        ],
+        ids=["copy", "nested", "heat", "dft", "linreg"],
+    )
+    def test_emit_parse_identical_accesses(self, nest):
+        """emit → parse must preserve every address function exactly."""
+        src = emit_nest(nest)
+        (kernel,) = parse_c_source(src)
+        parsed = kernel.nest
+        assert parsed.trip_counts() == nest.trip_counts()
+        assert parsed.parallel_var == nest.parallel_var
+        assert parsed.schedule.chunk == nest.schedule.chunk
+        pa = parsed.innermost_accesses()
+        ba = nest.innermost_accesses()
+        assert len(pa) == len(ba)
+        for x, y in zip(pa, ba):
+            assert x.offset_expr() == y.offset_expr()
+            assert x.is_write == y.is_write
+
+    def test_padded_nest_round_trips(self):
+        """The padding advisor's output is valid, parseable C."""
+        from repro.machine import paper_machine
+        from repro.transform import PaddingAdvisor
+
+        nest = build_linreg_nest(16, 8)
+        advice = PaddingAdvisor(paper_machine()).advise(nest, 4)[0]
+        src = advice.emit_c()
+        assert "_fs_pad" in src
+        (kernel,) = parse_c_source(src)
+        tid_args = next(a for a in kernel.nest.arrays() if a.name == "tid_args")
+        assert tid_args.element.size == 64

@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+Each example is executed as a subprocess (the way a user runs it); the
+faster ones run in every test session, the heavier ones are marked slow
+so ``pytest -m "not slow"`` stays quick.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "trace_and_replay.py",
+    "reproduce_table.py",
+]
+SLOW = [
+    "compiler_pipeline.py",
+    "diagnose_custom_kernel.py",
+    "pad_shared_structs.py",
+    "tune_openmp_schedule.py",
+    "whatif_landscape.py",
+]
+
+
+def run_example(name: str, cwd: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=cwd,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name, tmp_path):
+    proc = run_example(name, tmp_path)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_run(name, tmp_path):
+    proc = run_example(name, tmp_path)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW), (
+        "new example files must be added to FAST or SLOW above"
+    )

@@ -1,0 +1,49 @@
+"""Unit tests for CSV/JSON export of experiment results."""
+
+import csv
+
+from repro.analysis import (
+    ExperimentResult,
+    load_results_json,
+    result_to_csv,
+    results_to_csv_dir,
+    results_to_json,
+)
+
+
+def sample_results():
+    r1 = ExperimentResult("Table I", "heat", ("threads", "pct"))
+    r1.add_row(2, 31.3)
+    r1.add_row(4, 31.6)
+    r1.notes.append("a note")
+    r2 = ExperimentResult("Fig. 2", "chunks", ("chunk", "ms"))
+    r2.add_row(1, 0.5)
+    return [r1, r2]
+
+
+class TestCSV:
+    def test_single_result(self, tmp_path):
+        path = result_to_csv(sample_results()[0], tmp_path / "t1.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["threads", "pct"]
+        assert rows[1] == ["2", "31.3"]
+
+    def test_directory_export(self, tmp_path):
+        paths = results_to_csv_dir(sample_results(), tmp_path / "out")
+        names = sorted(p.name for p in paths)
+        assert names == ["fig_2.csv", "table_i.csv"]
+        assert all(p.exists() for p in paths)
+
+
+class TestJSONRoundTrip:
+    def test_round_trip(self, tmp_path):
+        originals = sample_results()
+        path = results_to_json(originals, tmp_path / "all.json")
+        loaded = load_results_json(path)
+        assert len(loaded) == 2
+        for a, b in zip(originals, loaded):
+            assert a.experiment == b.experiment
+            assert a.columns == b.columns
+            assert a.rows == [tuple(r) for r in b.rows] or a.rows == b.rows
+            assert a.notes == b.notes

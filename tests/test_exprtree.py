@@ -1,0 +1,115 @@
+"""Unit tests for computational expression trees (processor-model input)."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    BinOp,
+    CallExpr,
+    CastExpr,
+    Const,
+    DOUBLE,
+    INT,
+    LoadExpr,
+    UnOp,
+    VarRef,
+)
+from repro.machine import OpLatencies
+
+I = AffineExpr.var("i")
+A = ArrayDecl.create("a", DOUBLE, (16,))
+B = ArrayDecl.create("bints", INT, (16,))
+
+
+def load(arr=A):
+    return LoadExpr(ArrayRef(arr, (I,)))
+
+
+class TestOpCounts:
+    def test_load_counts(self):
+        e = BinOp("+", load(), load())
+        counts = e.op_counts()
+        assert counts["load"] == 2
+        assert counts["fadd"] == 1
+
+    def test_float_vs_int_classification(self):
+        f = BinOp("*", load(), Const(2.0, DOUBLE))
+        i = BinOp("*", VarRef("n"), VarRef("k"))
+        assert f.op_counts()["fmul"] == 1
+        assert i.op_counts()["imul"] == 1
+
+    def test_mixed_promotes_to_float(self):
+        e = BinOp("+", VarRef("n", INT), Const(1.0, DOUBLE))
+        assert e.op_counts()["fadd"] == 1
+        assert e.ctype.is_float
+
+    def test_call_counts(self):
+        e = CallExpr("cos", (VarRef("x", DOUBLE),))
+        assert e.op_counts()["call"] == 1
+
+    def test_unop(self):
+        assert UnOp("-", load()).op_counts()["fneg"] == 1
+        assert UnOp("-", VarRef("n")).op_counts()["ineg"] == 1
+
+    def test_cast(self):
+        e = CastExpr(DOUBLE, VarRef("n"))
+        assert e.op_counts()["cast"] == 1
+        assert e.ctype is DOUBLE
+
+    def test_division_classes(self):
+        assert BinOp("/", load(), load()).op_counts()["fdiv"] == 1
+        assert BinOp("%", VarRef("a"), VarRef("b")).op_counts()["mod"] == 1
+
+    def test_comparison_and_logic(self):
+        assert BinOp("<", VarRef("a"), VarRef("b")).op_counts()["icmp"] == 1
+        assert BinOp("&&", VarRef("a"), VarRef("b")).op_counts()["logic"] == 1
+        assert BinOp("<<", VarRef("a"), Const(1, INT)).op_counts()["shift"] == 1
+
+    def test_unsupported_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", VarRef("a"), VarRef("b"))
+
+
+class TestCriticalPath:
+    def test_chain_adds(self):
+        lat = OpLatencies()
+        # ((a[i] + a[i]) + a[i]): load(3) -> fadd(4) -> fadd(4) = 11
+        e = BinOp("+", BinOp("+", load(), load()), load())
+        assert e.critical_path(lat) == 3 + 4 + 4
+
+    def test_balanced_tree_shorter_than_chain(self):
+        lat = OpLatencies()
+        chain = BinOp("+", BinOp("+", BinOp("+", load(), load()), load()), load())
+        balanced = BinOp(
+            "+", BinOp("+", load(), load()), BinOp("+", load(), load())
+        )
+        assert balanced.critical_path(lat) < chain.critical_path(lat)
+
+    def test_leaf_costs(self):
+        lat = OpLatencies()
+        assert Const(1.0, DOUBLE).critical_path(lat) == 0
+        assert VarRef("x").critical_path(lat) == 0
+        assert load().critical_path(lat) == 3
+
+
+class TestRefsTraversal:
+    def test_refs_in_order(self):
+        e = BinOp("*", load(), LoadExpr(ArrayRef(A, (I + 1,))))
+        refs = list(e.refs())
+        assert len(refs) == 2
+        assert refs[0].indices[0] == I
+
+    def test_load_rejects_write_ref(self):
+        with pytest.raises(ValueError):
+            LoadExpr(ArrayRef(A, (I,), is_write=True))
+
+    def test_walk_preorder(self):
+        e = BinOp("+", Const(1.0, DOUBLE), Const(2.0, DOUBLE))
+        nodes = list(e.walk())
+        assert nodes[0] is e and len(nodes) == 3
+
+    def test_str_roundtrips_something(self):
+        e = BinOp("+", load(), Const(1.0, DOUBLE))
+        assert "a[i]" in str(e)

@@ -1,0 +1,268 @@
+"""Extended frontend coverage: higher-dimensional arrays, nested
+structs, member arrays, multiple functions and dialect corner cases."""
+
+import pytest
+
+from repro.frontend import FrontendError, parse_c_source
+
+
+class Test3DArrays:
+    SRC = """
+#define A 4
+#define B 6
+#define C 8
+double vol[A][B][C];
+void sweep(void) {
+    int i, j, k;
+    for (i = 0; i < A; i++) {
+        for (j = 0; j < B; j++) {
+            #pragma omp parallel for schedule(static,1)
+            for (k = 0; k < C; k++) {
+                vol[i][j][k] = vol[i][j][k] + 1.0;
+            }
+        }
+    }
+}
+"""
+
+    def test_three_level_nest(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        assert nest.loop_vars() == ("i", "j", "k")
+        assert nest.parallel_depth() == 2
+        assert nest.trip_counts() == (4, 6, 8)
+
+    def test_3d_strides(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        ref = nest.innermost_accesses()[0]
+        off = ref.offset_expr()
+        assert off.coeff("i") == 6 * 8 * 8
+        assert off.coeff("j") == 8 * 8
+        assert off.coeff("k") == 8
+
+
+class TestNestedStructs:
+    SRC = """
+#define N 16
+typedef struct { double re; double im; } cplx;
+typedef struct { cplx val; int tag; } cell;
+cell grid[N];
+void touch(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) {
+        grid[i].val.im = grid[i].val.re;
+    }
+}
+"""
+
+    def test_nested_field_paths(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        read, write = nest.innermost_accesses()
+        assert read.field_path == ("val", "re")
+        assert write.field_path == ("val", "im")
+        # cell: cplx(16) + int(4) -> padded to 24; im at offset 8.
+        assert write.offset_expr().const == 8
+        assert write.offset_expr().coeff("i") == 24
+
+
+class TestMemberArrays:
+    SRC = """
+#define N 8
+typedef struct { double vals[4]; double sum; } bucket;
+bucket buckets[N];
+void fold(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) {
+        buckets[i].sum = buckets[i].vals[2];
+    }
+}
+"""
+
+    def test_fixed_member_array_offset(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        read, write = nest.innermost_accesses()
+        # vals[2] at byte 16; element size 40.
+        assert read.offset_expr().const == 16
+        assert read.offset_expr().coeff("i") == 40
+        assert write.offset_expr().const == 32
+
+    def test_variable_member_array_subscript(self):
+        src = self.SRC.replace("vals[2]", "vals[i - i]")  # affine, zero
+        nest = parse_c_source(src)[0].nest
+        read = nest.innermost_accesses()[0]
+        assert read.offset_expr().const == 0
+
+
+class TestTaggedStructs:
+    SRC = """
+#define N 8
+struct pt { double x; double y; };
+struct pt pts[N];
+void go(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) {
+        pts[i].y = pts[i].x;
+    }
+}
+"""
+
+    def test_struct_tag_reference(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        read, write = nest.innermost_accesses()
+        assert write.offset_expr().const == 8
+
+
+class TestMultipleFunctions:
+    SRC = """
+#define N 16
+double a[N];
+double b[N];
+void first(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) { a[i] = 1.0; }
+}
+void second(void) {
+    int i;
+    #pragma omp parallel for schedule(static,4)
+    for (i = 0; i < N; i++) { b[i] = a[i]; }
+}
+"""
+
+    def test_kernels_from_both_functions(self):
+        ks = parse_c_source(self.SRC)
+        assert [k.function for k in ks] == ["first", "second"]
+        assert ks[1].nest.schedule.chunk == 4
+
+
+class TestDialectCorners:
+    def test_scalar_accumulator_in_body(self):
+        src = """
+#define N 16
+double a[N];
+void f(void) {
+    int i;
+    double acc;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) {
+        acc = a[i] + 1.0;
+        a[i] = acc * 2.0;
+    }
+}
+"""
+        nest = parse_c_source(src)[0].nest
+        accs = nest.innermost_accesses()
+        # Scalar acc generates no memory traffic: load a[i], store a[i].
+        assert [(r.array.name, r.is_write) for r in accs] == [
+            ("a", False), ("a", True)
+        ]
+
+    def test_float_arrays(self):
+        src = """
+#define N 32
+float v[N];
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) { v[i] = v[i] * 0.5; }
+}
+"""
+        nest = parse_c_source(src)[0].nest
+        ref = nest.innermost_accesses()[0]
+        assert ref.offset_expr().coeff("i") == 4  # float stride
+
+    def test_prefix_increment(self):
+        src = """
+#define N 8
+double a[N];
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; ++i) { a[i] = 0.0; }
+}
+"""
+        assert parse_c_source(src)[0].nest.trip_counts() == (8,)
+
+    def test_extra_macros_override_sizes(self):
+        src = """
+double a[N];
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) { a[i] = 0.0; }
+}
+"""
+        nest = parse_c_source(src, extra_macros={"N": 24})[0].nest
+        assert nest.trip_counts() == (24,)
+
+    def test_undefined_struct_rejected(self):
+        src = """
+struct mystery a[8];
+void f(void) { }
+"""
+        with pytest.raises(FrontendError, match="undefined struct"):
+            parse_c_source(src)
+
+    def test_unparsable_type_rejected(self):
+        # An unknown typedef name is a *parse* error in C (the grammar
+        # needs the typedef); it must surface as a FrontendError, not a
+        # raw pycparser exception.
+        with pytest.raises(FrontendError, match="parse error"):
+            parse_c_source("mystery_t a[8];\nvoid f(void) { }\n")
+
+    def test_negative_constant_in_bound(self):
+        src = """
+#define N 8
+double a[N];
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N - -2; i++) { a[i - 2] = 0.0; }
+}
+"""
+        # N - -2 = 10; exercising unary minus in affine lowering.
+        nest = parse_c_source(src)[0].nest
+        assert nest.trip_counts() == (10,)
+
+
+class TestSplitDirectives:
+    SRC = """
+#define N 32
+double a[N];
+void f(void) {
+    int i;
+    #pragma omp parallel private(i)
+    {
+        #pragma omp for schedule(static,2)
+        for (i = 0; i < N; i++) {
+            a[i] = a[i] * 2.0;
+        }
+    }
+}
+"""
+
+    def test_parallel_region_with_inner_for(self):
+        ks = parse_c_source(self.SRC)
+        assert len(ks) == 1
+        nest = ks[0].nest
+        assert nest.parallel_var == "i"
+        assert nest.schedule.chunk == 2
+
+    def test_region_private_clause_merged(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        assert "i" in nest.private
+
+    def test_parallel_region_without_for_ok(self):
+        src = """
+double x[4];
+void f(void) {
+    #pragma omp parallel
+    {
+        x[0] = 1.0;
+    }
+}
+"""
+        # A parallel region with no worksharing loop: nothing to model.
+        assert parse_c_source(src) == []

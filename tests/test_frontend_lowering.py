@@ -1,0 +1,230 @@
+"""Unit tests for C → IR lowering."""
+
+import pytest
+
+from repro.frontend import FrontendError, parse_c_source
+from repro.ir import DOUBLE, StructType
+
+SIMPLE = """
+#define N 64
+double a[N];
+double b[N];
+
+void copy(void) {
+    int i;
+    #pragma omp parallel for schedule(static,1)
+    for (i = 0; i < N; i++) {
+        b[i] = a[i] + 1.0;
+    }
+}
+"""
+
+
+class TestSimpleKernel:
+    def test_one_kernel_found(self):
+        ks = parse_c_source(SIMPLE)
+        assert len(ks) == 1
+        assert ks[0].function == "copy"
+
+    def test_loop_shape(self):
+        nest = parse_c_source(SIMPLE)[0].nest
+        assert nest.trip_counts() == (64,)
+        assert nest.parallel_var == "i"
+        assert nest.schedule.chunk == 1
+
+    def test_accesses(self):
+        nest = parse_c_source(SIMPLE)[0].nest
+        accs = nest.innermost_accesses()
+        assert [(r.array.name, r.is_write) for r in accs] == [
+            ("a", False), ("b", True)
+        ]
+
+
+class TestLoopForms:
+    def test_le_condition(self):
+        src = SIMPLE.replace("i < N", "i <= 62")
+        nest = parse_c_source(src)[0].nest
+        assert nest.trip_counts() == (63,)
+
+    def test_step_increment(self):
+        src = SIMPLE.replace("i++", "i += 2")
+        nest = parse_c_source(src)[0].nest
+        assert nest.trip_counts() == (32,)
+
+    def test_i_equals_i_plus_c(self):
+        src = SIMPLE.replace("i++", "i = i + 4")
+        nest = parse_c_source(src)[0].nest
+        assert nest.trip_counts() == (16,)
+
+    def test_decl_in_init(self):
+        src = SIMPLE.replace("int i;", "").replace(
+            "for (i = 0;", "for (int i = 0;"
+        )
+        nest = parse_c_source(src)[0].nest
+        assert nest.trip_counts() == (64,)
+
+    def test_macro_bound_arith(self):
+        src = SIMPLE.replace("i < N", "i < N - 1")
+        nest = parse_c_source(src)[0].nest
+        assert nest.trip_counts() == (63,)
+
+    def test_downward_loop_rejected(self):
+        src = SIMPLE.replace("i++", "i--").replace("i < N", "i > 0")
+        with pytest.raises(FrontendError):
+            parse_c_source(src)
+
+
+class TestInnerParallel:
+    SRC = """
+#define R 4
+#define C 32
+double g[R][C];
+void sweep(void) {
+    int i, j;
+    for (i = 0; i < R; i++) {
+        #pragma omp parallel for schedule(static,2)
+        for (j = 0; j < C; j++) {
+            g[i][j] = g[i][j] * 0.5;
+        }
+    }
+}
+"""
+
+    def test_nest_rooted_at_outer_loop(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        assert nest.loop_vars() == ("i", "j")
+        assert nest.parallel_var == "j"
+        assert nest.parallel_depth() == 1
+        assert nest.schedule.chunk == 2
+
+    def test_2d_subscripts(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        read, write = nest.innermost_accesses()
+        assert read.offset_expr().coeff("i") == 32 * 8
+        assert read.offset_expr().coeff("j") == 8
+        assert write.is_write
+
+
+class TestStructsAndPointers:
+    SRC = """
+#define N 8
+#define M 4
+typedef struct { double x; double y; } point_t;
+typedef struct { point_t *points; long long sx; } args_t;
+args_t tasks[N];
+
+void run(void) {
+    int i, j;
+    #pragma omp parallel for private(i,j) schedule(static,1)
+    for (j = 0; j < N; j++) {
+        for (i = 0; i < M; i++) {
+            tasks[j].sx += tasks[j].points[i].x;
+        }
+    }
+}
+"""
+
+    def test_struct_field_access(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        accs = nest.innermost_accesses()
+        # load points[i].x, read sx, write sx
+        names = [(r.array.name, r.field_path, r.is_write) for r in accs]
+        assert names == [
+            ("tasks.points", ("x",), False),
+            ("tasks", ("sx",), False),
+            ("tasks", ("sx",), True),
+        ]
+
+    def test_synthetic_array_extent_from_loop(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        points = next(a for a in nest.arrays() if a.name == "tasks.points")
+        assert points.concrete_dims() == (8, 4)
+
+    def test_struct_offsets_correct(self):
+        nest = parse_c_source(self.SRC)[0].nest
+        sx_write = nest.innermost_accesses()[2]
+        # args_t: pointer (8 bytes) then sx at offset 8; element size 16
+        off = sx_write.offset_expr()
+        assert off.const == 8
+        assert off.coeff("j") == 16
+
+
+class TestExpressions:
+    def test_calls_lowered(self):
+        src = """
+#define N 16
+double out[N];
+void f(void) {
+    int k;
+    #pragma omp parallel for schedule(static,1)
+    for (k = 0; k < N; k++) {
+        out[k] = cos(0.1 * k) + sin(0.1 * k);
+    }
+}
+"""
+        nest = parse_c_source(src)[0].nest
+        counts = nest.innermost().stmts()[0].rhs.op_counts()
+        assert counts["call"] == 2
+
+    def test_nonaffine_subscript_rejected(self):
+        src = """
+#define N 16
+double a[N];
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) { a[i*i] = 0.0; }
+}
+"""
+        with pytest.raises(FrontendError, match="affine|not affine|non-affine"):
+            parse_c_source(src)
+
+    def test_undeclared_identifier_rejected(self):
+        src = """
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < 4; i++) { mystery[i] = 0.0; }
+}
+"""
+        with pytest.raises(FrontendError, match="undeclared"):
+            parse_c_source(src)
+
+    def test_pragma_not_followed_by_for_rejected(self):
+        src = """
+void f(void) {
+    int x;
+    #pragma omp parallel for
+    x = 1;
+}
+"""
+        with pytest.raises(FrontendError, match="followed by a for"):
+            parse_c_source(src)
+
+
+class TestMultipleKernels:
+    def test_two_parallel_loops(self):
+        src = """
+#define N 8
+double a[N]; double b[N];
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) { a[i] = 1.0; }
+    #pragma omp parallel for
+    for (i = 0; i < N; i++) { b[i] = a[i]; }
+}
+"""
+        ks = parse_c_source(src)
+        assert len(ks) == 2
+
+    def test_sequential_loops_not_extracted(self):
+        src = """
+#define N 8
+double a[N];
+void f(void) {
+    int i;
+    for (i = 0; i < N; i++) { a[i] = 1.0; }
+}
+"""
+        assert parse_c_source(src) == []

@@ -1,0 +1,148 @@
+"""Unit tests for the full FS model driver (Section III)."""
+
+import pytest
+
+from repro.machine import paper_machine, tiny_machine
+from repro.model import FalseSharingModel
+from tests.conftest import make_copy_nest, make_nested_nest
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture(scope="module")
+def model(machine):
+    return FalseSharingModel(machine)
+
+
+class TestAnalyze:
+    def test_chunk1_has_fs(self, model):
+        r = model.analyze(make_copy_nest(n=64), 2, chunk=1)
+        assert r.fs_cases > 0
+
+    def test_line_aligned_chunks_have_none(self, model):
+        r = model.analyze(make_copy_nest(n=64), 2, chunk=8)
+        assert r.fs_cases == 0
+
+    def test_single_thread_never_fs(self, model):
+        r = model.analyze(make_copy_nest(n=64), 1, chunk=1)
+        assert r.fs_cases == 0
+
+    def test_fs_decreases_with_chunk(self, model):
+        counts = [
+            model.analyze(make_copy_nest(n=128), 4, chunk=c).fs_cases
+            for c in (1, 2, 4, 8)
+        ]
+        assert counts[0] >= counts[1] >= counts[2] >= counts[3]
+        assert counts[3] == 0
+
+    def test_victims_identified(self, model):
+        r = model.analyze(make_copy_nest(n=64), 2, chunk=1)
+        victims = r.victim_arrays()
+        assert victims[0].name == "b"  # only the written array false-shares
+
+    def test_chunk_override_does_not_mutate(self, model):
+        nest = make_copy_nest(n=64, chunk=1)
+        model.analyze(nest, 2, chunk=8)
+        assert nest.schedule.chunk == 1
+
+    def test_steps_evaluated_full(self, model):
+        nest = make_nested_nest(rows=2, cols=16)
+        r = model.analyze(nest, 2, chunk=1)
+        # All_num_iters / num_threads
+        assert r.steps_evaluated == nest.total_iterations() // 2
+
+    def test_series_recording(self, model):
+        nest = make_copy_nest(n=64)
+        r = model.analyze(nest, 2, chunk=1, record_series=True)
+        assert r.per_chunk_run is not None
+        assert len(r.per_chunk_run) == r.total_chunk_runs
+        assert r.per_chunk_run[-1] == r.fs_cases
+        # Cumulative: monotone non-decreasing.
+        assert all(
+            a <= b for a, b in zip(r.per_chunk_run, r.per_chunk_run[1:])
+        )
+
+    def test_max_chunk_runs_prefix(self, model):
+        nest = make_copy_nest(n=64)
+        r = model.analyze(nest, 2, chunk=1, max_chunk_runs=5, record_series=True)
+        assert r.chunk_runs_evaluated == 5
+        assert len(r.per_chunk_run) == 5
+
+    def test_fs_cycles_split(self, machine, model):
+        nest = make_copy_nest(n=64)
+        r = model.analyze(nest, 2, chunk=1)
+        expected = (
+            r.fs_read_cases * machine.fs_read_penalty_cycles
+            + r.fs_write_cases * machine.fs_write_penalty_cycles
+        )
+        assert r.fs_cycles(machine) == expected
+
+    def test_rejects_bad_threads(self, model):
+        with pytest.raises(ValueError):
+            model.analyze(make_copy_nest(), 0)
+
+
+class TestModes:
+    def test_literal_mode_runs(self):
+        m = FalseSharingModel(paper_machine(), mode="literal")
+        r = m.analyze(make_copy_nest(n=64), 2, chunk=1)
+        assert r.mode == "literal"
+        assert r.fs_cases > 0
+
+    def test_literal_counts_at_least_invalidate_for_pingpong(self):
+        """Literal mode never invalidates, so modified copies accumulate
+        and phi can count more cases per insertion than invalidate mode."""
+        inv = FalseSharingModel(paper_machine(), mode="invalidate")
+        lit = FalseSharingModel(paper_machine(), mode="literal")
+        nest = make_copy_nest(n=128)
+        r_inv = inv.analyze(nest, 4, chunk=1)
+        r_lit = lit.analyze(nest, 4, chunk=1)
+        assert r_lit.fs_cases > 0 and r_inv.fs_cases > 0
+
+
+class TestCapacityEffects:
+    def test_small_stack_evicts(self):
+        machine = tiny_machine(num_cores=2, cache_lines=2)
+        model = FalseSharingModel(machine)
+        r = model.analyze(make_copy_nest(n=256), 2, chunk=1)
+        assert r.stats.evictions > 0
+
+
+class TestNumaCycles:
+    def test_neutral_factor_matches_flat(self):
+        machine = paper_machine()
+        model = FalseSharingModel(machine)
+        r = model.analyze(make_copy_nest(n=128), 4, chunk=1)
+        assert r.fs_cycles_numa(machine, "contiguous") == pytest.approx(
+            r.fs_cycles(machine)
+        )
+        assert r.fs_cycles_numa(machine, "scatter") == pytest.approx(
+            r.fs_cycles(machine)
+        )
+
+    def test_cross_socket_factor_scales_scatter(self):
+        import dataclasses
+
+        base = paper_machine()
+        machine = dataclasses.replace(
+            base,
+            cores_per_socket=2,
+            coherence=dataclasses.replace(
+                base.coherence, cross_socket_factor=2.0
+            ),
+        )
+        model = FalseSharingModel(machine)
+        r = model.analyze(make_copy_nest(n=128), 4, chunk=1)
+        contiguous = r.fs_cycles_numa(machine, "contiguous")
+        scatter = r.fs_cycles_numa(machine, "scatter")
+        # chunk=1 conflicts are thread-adjacent: scatter crosses sockets.
+        assert scatter > contiguous
+
+    def test_zero_cases(self):
+        machine = paper_machine()
+        model = FalseSharingModel(machine)
+        r = model.analyze(make_copy_nest(n=128), 4, chunk=8)
+        assert r.fs_cycles_numa(machine) == 0.0

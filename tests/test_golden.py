@@ -1,0 +1,55 @@
+"""Golden-value tests: exact FS counts pinned for the paper kernels.
+
+The model is deterministic by design (a compile-time analysis must be).
+These tests pin exact case counts at small sizes so any behavioural
+change — a schedule tweak, a detector transition edit, a layout change —
+is caught immediately rather than surfacing as a silent drift in
+EXPERIMENTS.md.  If a change is *intended*, update the constants here
+and the rationale in the commit that changes them.
+"""
+
+import pytest
+
+from repro.kernels import dft, heat_diffusion, linear_regression, transpose
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel
+
+#: (kernel factory, threads, chunk) -> expected exact FS case count.
+GOLDEN = {
+    ("heat", 2, 1): 1343,
+    ("heat", 4, 1): 1343,
+    ("heat", 4, 64): 23,
+    ("dft", 2, 1): 5952,
+    ("dft", 4, 1): 5952,
+    ("dft", 4, 16): 0,
+    ("linreg", 2, 1): 11496,
+    ("linreg", 4, 1): 17208,
+    ("linreg", 4, 10): 5,
+    ("transpose", 4, 1): 0,
+}
+
+FACTORIES = {
+    "heat": lambda: heat_diffusion(rows=5, cols=514),
+    "dft": lambda: dft(samples=4, freqs=768),
+    "linreg": lambda: linear_regression(4, tasks=96, total_points=480),
+    "transpose": lambda: transpose(rows=8, cols=256),
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return FalseSharingModel(paper_machine())
+
+
+@pytest.mark.parametrize(
+    "kernel,threads,chunk",
+    sorted(GOLDEN),
+    ids=[f"{k}-T{t}-c{c}" for k, t, c in sorted(GOLDEN)],
+)
+def test_golden_fs_counts(model, kernel, threads, chunk):
+    nest = FACTORIES[kernel]().nest
+    result = model.analyze(nest, threads, chunk=chunk)
+    assert result.fs_cases == GOLDEN[(kernel, threads, chunk)], (
+        f"{kernel} at T={threads}, chunk={chunk}: FS count drifted to "
+        f"{result.fs_cases}"
+    )

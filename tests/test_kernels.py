@@ -1,0 +1,193 @@
+"""Unit tests for the evaluation kernels: builders, sources, invariants."""
+
+import pytest
+
+from repro.kernels import (
+    build_dft_nest,
+    build_heat_nest,
+    build_linreg_nest,
+    dft,
+    dft_source,
+    heat_diffusion,
+    heat_source,
+    linear_regression,
+    linreg_source,
+)
+from repro.ir import validate_nest
+
+
+class TestHeat:
+    def test_nest_shape(self):
+        k = heat_diffusion(rows=8, cols=66)
+        assert k.nest.loop_vars() == ("i", "j")
+        assert k.nest.parallel_var == "j"
+        assert k.nest.trip_counts() == (6, 64)
+        assert validate_nest(k.nest).ok
+
+    def test_reference_nest_is_same(self):
+        k = heat_diffusion(rows=8, cols=66)
+        assert k.reference_nest is k.nest
+
+    def test_five_point_stencil_accesses(self):
+        k = heat_diffusion(rows=8, cols=66)
+        accs = k.nest.innermost_accesses()
+        assert sum(1 for a in accs if not a.is_write) == 5
+        assert sum(1 for a in accs if a.is_write) == 1
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            build_heat_nest(2, 2)
+
+    def test_paper_chunk_configs(self):
+        k = heat_diffusion()
+        assert (k.fs_chunk, k.nfs_chunk, k.pred_chunk_runs) == (1, 64, 20)
+
+    def test_default_divisibility(self):
+        """Parallel trip divides by threads*chunk for the paper sweep."""
+        k = heat_diffusion()
+        trip = k.nest.trip_counts()[k.nest.parallel_depth()]
+        for T in (2, 4, 8, 16, 24, 32, 48):
+            assert trip % (T * k.fs_chunk) == 0
+            assert trip % (T * k.nfs_chunk) == 0
+
+
+class TestDFT:
+    def test_nest_shape(self):
+        k = dft(samples=4, freqs=64)
+        assert k.nest.loop_vars() == ("n", "k")
+        assert k.nest.parallel_var == "k"
+        assert validate_nest(k.nest).ok
+
+    def test_rmw_accesses(self):
+        k = dft(samples=4, freqs=64)
+        accs = k.nest.innermost_accesses()
+        out_re = [a for a in accs if a.array.name == "out_re"]
+        assert [a.is_write for a in out_re] == [False, True]  # RMW pair
+
+    def test_trig_calls_present(self):
+        k = dft(samples=4, freqs=64)
+        counts = k.nest.innermost().stmts()[0].rhs.op_counts()
+        assert counts["call"] == 2
+
+    def test_paper_chunk_configs(self):
+        k = dft()
+        assert (k.fs_chunk, k.nfs_chunk, k.pred_chunk_runs) == (1, 16, 50)
+
+
+class TestLinreg:
+    def test_inner_trip_is_points_over_threads(self):
+        k = linear_regression(4, tasks=32, total_points=64)
+        assert k.nest.trip_counts() == (32, 16)
+        assert k.reference_nest.trip_counts() == (32, 64)
+
+    def test_outer_parallelization(self):
+        k = linear_regression(2, tasks=32, total_points=64)
+        assert k.nest.parallel_var == "j"
+        assert k.nest.parallel_depth() == 0
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            linear_regression(7, tasks=32, total_points=64)
+
+    def test_struct_size_not_line_multiple(self):
+        """The FS mechanism: 48-byte structs straddle 64-byte lines."""
+        k = linear_regression(2, tasks=32, total_points=64)
+        tid_args = next(a for a in k.nest.arrays() if a.name == "tid_args")
+        assert tid_args.element.size == 48
+        assert 64 % tid_args.element.size != 0
+
+    def test_accumulator_access_pattern(self):
+        k = linear_regression(2, tasks=32, total_points=64)
+        accs = k.nest.innermost_accesses()
+        writes = [a for a in accs if a.is_write]
+        assert [a.field_path[0] for a in writes] == [
+            "sx", "sxx", "sy", "syy", "sxy"
+        ]
+
+    def test_paper_chunk_configs(self):
+        k = linear_regression(2)
+        assert (k.fs_chunk, k.nfs_chunk, k.pred_chunk_runs) == (1, 10, 10)
+
+
+class TestSourcesParse:
+    """The C sources and the builders must agree (frontend integration)."""
+
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            heat_diffusion(rows=6, cols=130),
+            dft(samples=4, freqs=64),
+            linear_regression(2, tasks=16, total_points=8),
+        ],
+        ids=["heat", "dft", "linreg"],
+    )
+    def test_frontend_matches_builder(self, instance):
+        parsed = instance.frontend_nest()
+        built = instance.nest
+        assert parsed.loop_vars() == built.loop_vars()
+        assert parsed.parallel_var == built.parallel_var
+        assert parsed.trip_counts() == built.trip_counts()
+        p_acc = parsed.innermost_accesses()
+        b_acc = built.innermost_accesses()
+        assert len(p_acc) == len(b_acc)
+        for pa, ba in zip(p_acc, b_acc):
+            assert pa.array.name == ba.array.name
+            assert pa.is_write == ba.is_write
+            assert pa.field_path == ba.field_path
+            # Byte-identical affine offsets.
+            assert pa.offset_expr() == ba.offset_expr()
+
+    def test_sources_contain_pragma(self):
+        assert "#pragma omp parallel for" in heat_source(8, 66)
+        assert "#pragma omp parallel for" in dft_source(4, 64)
+        assert "#pragma omp parallel for" in linreg_source(16, 8)
+
+
+class TestTransposeNegativeControl:
+    """The specificity check: transpose must NOT trigger the detector."""
+
+    def test_zero_fs_at_chunk_one(self):
+        from repro.kernels import transpose
+        from repro.machine import paper_machine
+        from repro.model import FalseSharingModel
+
+        k = transpose(rows=8, cols=256)
+        model = FalseSharingModel(paper_machine())
+        for T in (2, 4, 8):
+            r = model.analyze(k.nest, T, chunk=1)
+            assert r.fs_cases == 0, (
+                f"transpose must be FS-free at T={T}, got {r.fs_cases}"
+            )
+
+    def test_simulator_agrees(self):
+        from repro.kernels import transpose
+        from repro.machine import paper_machine
+        from repro.sim import MulticoreSimulator
+
+        k = transpose(rows=8, cols=256)
+        s = MulticoreSimulator(paper_machine()).run(k.nest, 4, chunk=1)
+        assert s.counters.coherence_events == 0
+
+    def test_layout_sensitivity(self):
+        """Shrinking the output rows below a line flips the verdict:
+        48-byte rows straddle lines exactly like linreg's 48-byte
+        structs, and the model must catch the difference."""
+        from repro.kernels import transpose
+        from repro.machine import paper_machine
+        from repro.model import FalseSharingModel
+
+        model = FalseSharingModel(paper_machine())
+        aligned = model.analyze(transpose(rows=8, cols=256).nest, 4, chunk=1)
+        straddling = model.analyze(transpose(rows=6, cols=256).nest, 4, chunk=1)
+        assert aligned.fs_cases == 0
+        assert straddling.fs_cases > straddling.steps_evaluated / 2
+
+    def test_frontend_matches_builder(self):
+        from repro.kernels import transpose
+
+        k = transpose(rows=8, cols=64)
+        parsed = k.frontend_nest()
+        for pa, ba in zip(
+            parsed.innermost_accesses(), k.nest.innermost_accesses()
+        ):
+            assert pa.offset_expr() == ba.offset_expr()

@@ -1,0 +1,139 @@
+"""Unit tests for the C struct layout engine (System-V x86-64 rules)."""
+
+import pytest
+
+from repro.ir.layout import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    LONGLONG,
+    PointerType,
+    SHORT,
+    StructType,
+    align_up,
+)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(16, 8) == 16
+
+    def test_rounds(self):
+        assert align_up(17, 8) == 24
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "t,size", [(CHAR, 1), (SHORT, 2), (INT, 4), (LONG, 8), (DOUBLE, 8), (FLOAT, 4)]
+    )
+    def test_sizes(self, t, size):
+        assert t.size == size
+        assert t.alignment == size  # x86-64 self-alignment
+
+    def test_float_flag(self):
+        assert DOUBLE.is_float and FLOAT.is_float
+        assert not INT.is_float and not LONG.is_float
+
+
+class TestPointerAndArray:
+    def test_pointer_is_8_bytes(self):
+        p = PointerType(DOUBLE)
+        assert p.size == 8 and p.alignment == 8
+
+    def test_array_type(self):
+        a = ArrayType(INT, 10)
+        assert a.size == 40
+        assert a.alignment == 4
+
+    def test_array_rejects_zero_extent(self):
+        with pytest.raises(ValueError):
+            ArrayType(INT, 0)
+
+
+class TestStructLayout:
+    def test_point_struct(self):
+        pt = StructType.create("point", [("x", DOUBLE), ("y", DOUBLE)])
+        assert pt.size == 16
+        assert pt.alignment == 8
+        assert pt.field_offset(("y",)) == 8
+
+    def test_padding_between_members(self):
+        # char then int: 3 bytes of padding before the int.
+        s = StructType.create("s", [("c", CHAR), ("i", INT)])
+        assert s.field_offset(("i",)) == 4
+        assert s.size == 8
+
+    def test_tail_padding(self):
+        # int then char: tail-padded to 8 so arrays tile correctly? No —
+        # alignment is max(4,1)=4, so size rounds to 8? 4+1=5 -> 8? No: to 8
+        # only if alignment 8; here alignment 4 -> size 8.
+        s = StructType.create("s", [("i", INT), ("c", CHAR)])
+        assert s.alignment == 4
+        assert s.size == 8
+
+    def test_paper_lreg_args_struct(self):
+        """The Phoenix linreg accumulator struct: 48 bytes on LP64."""
+        pt = StructType.create("point_t", [("x", DOUBLE), ("y", DOUBLE)])
+        s = StructType.create(
+            "lreg_args",
+            [
+                ("points", PointerType(pt)),
+                ("sx", LONGLONG),
+                ("sxx", LONGLONG),
+                ("sy", LONGLONG),
+                ("syy", LONGLONG),
+                ("sxy", LONGLONG),
+            ],
+        )
+        assert s.size == 48
+        assert s.field_offset(("sx",)) == 8
+        assert s.field_offset(("sxy",)) == 40
+
+    def test_nested_struct_offsets(self):
+        inner = StructType.create("inner", [("a", INT), ("b", DOUBLE)])
+        outer = StructType.create("outer", [("tag", CHAR), ("in_", inner)])
+        assert inner.size == 16  # int + pad(4) + double
+        assert outer.field_offset(("in_",)) == 8  # aligned to inner's 8
+        assert outer.field_offset(("in_", "b")) == 16
+
+    def test_member_array(self):
+        s = StructType.create("s", [("arr", ArrayType(INT, 4)), ("d", DOUBLE)])
+        assert s.field_offset(("d",)) == 16
+        assert s.size == 24
+
+    def test_field_lookup_error(self):
+        s = StructType.create("s", [("a", INT)])
+        with pytest.raises(KeyError):
+            s.field("missing")
+
+    def test_field_through_non_struct_fails(self):
+        s = StructType.create("s", [("a", INT)])
+        with pytest.raises(TypeError):
+            s.field_offset(("a", "nope"))
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError):
+            StructType.create("s", [("a", INT), ("a", DOUBLE)])
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ValueError):
+            StructType.create("s", [])
+
+    def test_field_type(self):
+        pt = StructType.create("p", [("x", DOUBLE)])
+        s = StructType.create("s", [("p", pt)])
+        assert s.field_type(("p", "x")) is DOUBLE
+
+    def test_struct_not_float(self):
+        s = StructType.create("s", [("x", DOUBLE)])
+        assert not s.is_float

@@ -1,0 +1,153 @@
+"""Unit tests for the loop IR: statements, loops, parallel nests."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+    Schedule,
+)
+from tests.conftest import make_copy_nest, make_nested_nest
+
+I = AffineExpr.var("i")
+A = ArrayDecl.create("a", DOUBLE, (64,))
+B = ArrayDecl.create("b", DOUBLE, (64,))
+
+
+class TestAssign:
+    def test_plain_assign_accesses(self):
+        stmt = Assign(
+            ArrayRef(B, (I,), is_write=True), LoadExpr(ArrayRef(A, (I,)))
+        )
+        kinds = [(r.array.name, r.is_write) for r in stmt.accesses()]
+        assert kinds == [("a", False), ("b", True)]
+
+    def test_augmented_assign_reads_target_first(self):
+        stmt = Assign(
+            ArrayRef(B, (I,), is_write=True),
+            LoadExpr(ArrayRef(A, (I,))),
+            augmented="+",
+        )
+        kinds = [(r.array.name, r.is_write) for r in stmt.accesses()]
+        assert kinds == [("a", False), ("b", False), ("b", True)]
+
+    def test_scalar_target_no_store(self):
+        stmt = Assign("acc", LoadExpr(ArrayRef(A, (I,))), augmented="+")
+        assert [r.is_write for r in stmt.accesses()] == [False]
+
+    def test_target_must_be_write_ref(self):
+        with pytest.raises(ValueError):
+            Assign(ArrayRef(B, (I,)), Const(0.0, DOUBLE))
+
+    def test_bad_compound_op(self):
+        with pytest.raises(ValueError):
+            Assign(ArrayRef(B, (I,), is_write=True), Const(0.0, DOUBLE), augmented="%")
+
+
+class TestLoop:
+    def test_trip_count(self):
+        body = [Assign("t", Const(0.0, DOUBLE))]
+        assert Loop.create("i", 0, 10, body).trip_count() == 10
+        assert Loop.create("i", 0, 10, body, step=3).trip_count() == 4
+        assert Loop.create("i", 5, 5, body).trip_count() == 0
+
+    def test_trip_count_with_env(self):
+        body = [Assign("t", Const(0.0, DOUBLE))]
+        lp = Loop("i", AffineExpr.const_expr(0), AffineExpr.var("N"), tuple(body))
+        assert lp.trip_count({"N": 12}) == 12
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            Loop.create("i", 0, 10, [Assign("t", Const(0.0, DOUBLE))], step=0)
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            Loop.create("i", 0, 10, [])
+
+    def test_substitute_binds_params(self):
+        body = [Assign("t", Const(0.0, DOUBLE))]
+        lp = Loop("i", AffineExpr.const_expr(0), AffineExpr.var("N"), tuple(body))
+        assert lp.substitute({"N": 8}).trip_count() == 8
+
+    def test_substitute_protects_own_var(self):
+        stmt = Assign(ArrayRef(B, (I,), is_write=True), Const(0.0, DOUBLE))
+        lp = Loop.create("i", 0, 4, [stmt])
+        out = lp.substitute({"i": 99})
+        (inner_stmt,) = out.stmts()
+        assert inner_stmt.target.indices[0].coeff("i") == 1  # untouched
+
+    def test_walk(self):
+        nest = make_nested_nest()
+        assert [lp.var for lp in nest.root.walk()] == ["i", "j"]
+
+
+class TestSchedule:
+    def test_static_only(self):
+        with pytest.raises(ValueError):
+            Schedule("dynamic", 1)
+
+    def test_positive_chunk(self):
+        with pytest.raises(ValueError):
+            Schedule("static", 0)
+
+    def test_with_chunk(self):
+        assert Schedule("static", 1).with_chunk(8).chunk == 8
+
+    def test_default_chunk_none(self):
+        assert Schedule("static", None).chunk is None
+
+
+class TestParallelLoopNest:
+    def test_spine(self):
+        nest = make_nested_nest()
+        assert nest.loop_vars() == ("i", "j")
+        assert nest.parallel_depth() == 1
+        assert nest.innermost().var == "j"
+
+    def test_parallel_var_must_exist(self):
+        lp = Loop.create("i", 0, 4, [Assign("t", Const(0.0, DOUBLE))])
+        with pytest.raises(ValueError):
+            ParallelLoopNest("bad", lp, "zz")
+
+    def test_trip_counts_and_total(self):
+        nest = make_nested_nest(rows=3, cols=16)
+        assert nest.trip_counts() == (3, 16)
+        assert nest.total_iterations() == 48
+
+    def test_innermost_accesses(self):
+        nest = make_copy_nest(n=8)
+        accs = nest.innermost_accesses()
+        assert [a.array.name for a in accs] == ["a", "b"]
+
+    def test_arrays_unique(self):
+        nest = make_copy_nest()
+        assert [a.name for a in nest.arrays()] == ["a", "b"]
+
+    def test_with_chunk_immutable(self):
+        nest = make_copy_nest(chunk=1)
+        other = nest.with_chunk(16)
+        assert nest.schedule.chunk == 1
+        assert other.schedule.chunk == 16
+
+    def test_bind_removes_params(self):
+        a = ArrayDecl.create("arr", DOUBLE, (AffineExpr.var("N"),))
+        body = Assign(
+            ArrayRef(a.bind({}), (I,), is_write=True), Const(0.0, DOUBLE)
+        )
+        lp = Loop("i", AffineExpr.const_expr(0), AffineExpr.var("N"), (body,))
+        nest = ParallelLoopNest("p", lp, "i", params=("N",))
+        bound = nest.bind({"N": 32})
+        assert bound.params == ()
+        assert bound.trip_counts() == (32,)
+
+    def test_str(self):
+        s = str(make_copy_nest())
+        assert "parallel=i" in s and "schedule" in s

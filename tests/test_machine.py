@@ -1,0 +1,138 @@
+"""Unit tests for machine configuration and presets."""
+
+import pytest
+
+from repro.machine import (
+    CacheLevel,
+    CoherenceCosts,
+    FunctionalUnits,
+    MachineConfig,
+    OpLatencies,
+    RuntimeOverheads,
+    paper_machine,
+    tiny_machine,
+)
+
+
+class TestCacheLevel:
+    def test_derived_quantities(self):
+        c = CacheLevel(64 * 1024, line_size=64, associativity=2)
+        assert c.num_lines == 1024
+        assert c.num_sets == 512
+
+    def test_fully_associative_single_set(self):
+        c = CacheLevel(4096, line_size=64, associativity=0)
+        assert c.num_sets == 1
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheLevel(4096, line_size=48)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ValueError):
+            CacheLevel(100, line_size=64)
+
+    def test_rejects_bad_assoc_split(self):
+        with pytest.raises(ValueError):
+            CacheLevel(64 * 3, line_size=64, associativity=2)
+
+
+class TestMachineConfig:
+    def test_paper_machine_matches_paper(self):
+        m = paper_machine()
+        assert m.num_cores == 48
+        assert m.freq_ghz == 2.2
+        assert m.line_size == 64
+        assert m.l1.size_bytes == 64 * 1024
+        assert m.l2.size_bytes == 512 * 1024
+        assert m.l3.size_bytes == 10 * 1024 * 1024
+        assert m.l3.shared
+
+    def test_model_stack_defaults_to_l2(self):
+        m = paper_machine()
+        assert m.model_stack_lines == m.l2.num_lines == 8192
+
+    def test_model_stack_override(self):
+        m = tiny_machine(cache_lines=16)
+        assert m.model_stack_lines == 16
+
+    def test_with_cores(self):
+        m = paper_machine().with_cores(8)
+        assert m.num_cores == 8
+        assert m.l2.size_bytes == 512 * 1024  # rest untouched
+
+    def test_cycles_to_seconds(self):
+        m = paper_machine()
+        assert m.cycles_to_seconds(2.2e9) == pytest.approx(1.0)
+
+    def test_line_size_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                l1=CacheLevel(64 * 1024, line_size=64),
+                l2=CacheLevel(512 * 1024, line_size=128),
+            )
+
+    def test_fs_penalties(self):
+        m = paper_machine()
+        assert m.fs_read_penalty_cycles == m.coherence.remote_fetch_cycles
+        assert m.fs_write_penalty_cycles > m.coherence.invalidate_cycles
+
+    def test_rejects_bad_prefetch_coverage(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(paper_machine(), prefetch_coverage=1.5)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=0)
+
+
+class TestOpLatencies:
+    def test_known_op(self):
+        lat = OpLatencies()
+        assert lat["fadd"] == 4
+
+    def test_call_fallback(self):
+        lat = OpLatencies()
+        assert lat["call:atan2"] == lat["call"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            OpLatencies()["frobnicate"]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            OpLatencies({"fadd": -1})
+
+
+class TestValidationOfParts:
+    def test_coherence_nonnegative(self):
+        with pytest.raises(ValueError):
+            CoherenceCosts(remote_fetch_cycles=-1)
+
+    def test_units_positive(self):
+        with pytest.raises(ValueError):
+            FunctionalUnits(issue_width=0)
+
+    def test_overheads_nonnegative(self):
+        with pytest.raises(ValueError):
+            RuntimeOverheads(parallel_startup_cycles=-5)
+
+
+class TestDesktopPreset:
+    def test_single_socket(self):
+        from repro.machine import desktop_machine
+
+        m = desktop_machine()
+        assert m.num_cores == m.cores_per_socket == 8
+        assert m.l2.size_bytes == 1024 * 1024
+        assert m.line_size == 64
+
+    def test_faster_coherence_than_server(self):
+        from repro.machine import desktop_machine, paper_machine
+
+        assert (
+            desktop_machine().coherence.remote_fetch_cycles
+            < paper_machine().coherence.remote_fetch_cycles
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for cache line ownership list generation (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import AddressSpace
+from repro.model.ownership import OwnershipListGenerator
+from tests.conftest import make_copy_nest, make_nested_nest
+
+
+class TestOwnershipGeneration:
+    def test_write_mask_matches_refs(self):
+        gen = OwnershipListGenerator(make_copy_nest(), 2, line_size=64)
+        assert gen.write_mask.tolist() == [False, True]
+
+    def test_line_ids_follow_layout(self):
+        nest = make_copy_nest(n=64, chunk=1)
+        gen = OwnershipListGenerator(nest, 2, line_size=64)
+        mat = gen.full_matrix(0)
+        base_a = gen.space.base("a") // 64
+        # Thread 0 visits even i; 8 doubles per line.
+        assert mat[0, 0] == base_a       # i=0
+        assert mat[3, 0] == base_a       # i=6
+        assert mat[4, 0] == base_a + 1   # i=8
+
+    def test_threads_partition_lines(self):
+        nest = make_copy_nest(n=64, chunk=8)
+        gen = OwnershipListGenerator(nest, 2, line_size=64)
+        m0 = gen.full_matrix(0)
+        m1 = gen.full_matrix(1)
+        # chunk=8 aligns to the line: write lines are disjoint.
+        assert not set(m0[:, 1].tolist()) & set(m1[:, 1].tolist())
+
+    def test_chunk1_shares_lines(self):
+        nest = make_copy_nest(n=64, chunk=1)
+        gen = OwnershipListGenerator(nest, 2, line_size=64)
+        m0 = gen.full_matrix(0)
+        m1 = gen.full_matrix(1)
+        assert set(m0[:, 1].tolist()) == set(m1[:, 1].tolist())
+
+    def test_blocks_cover_all_steps(self):
+        nest = make_nested_nest(rows=3, cols=8, chunk=1)
+        gen = OwnershipListGenerator(nest, 2, line_size=64, block_steps=4)
+        total = sum(len(b.lines[0]) for b in gen.blocks())
+        assert total == gen.enum.thread_steps(0) == 12
+
+    def test_shared_address_space_reused(self):
+        space = AddressSpace()
+        nest = make_copy_nest()
+        gen1 = OwnershipListGenerator(nest, 2, line_size=64, space=space)
+        gen2 = OwnershipListGenerator(nest, 4, line_size=64, space=space)
+        assert gen1.space.base("a") == gen2.space.base("a")
+
+    def test_touched_lines_count(self):
+        nest = make_copy_nest(n=64)
+        gen = OwnershipListGenerator(nest, 2, line_size=64)
+        # 64 doubles = 8 lines per array, 2 arrays.
+        assert len(gen.touched_lines()) == 16
+
+    def test_rejects_nest_without_accesses(self):
+        from repro.ir import Assign, Const, DOUBLE, Loop, ParallelLoopNest
+
+        nest = ParallelLoopNest(
+            "empty",
+            Loop.create("i", 0, 4, [Assign("t", Const(0.0, DOUBLE))]),
+            "i",
+        )
+        with pytest.raises(ValueError, match="no innermost array accesses"):
+            OwnershipListGenerator(nest, 2, line_size=64)
+
+    def test_max_steps_prefix(self):
+        nest = make_copy_nest(n=64, chunk=1)
+        gen = OwnershipListGenerator(nest, 2, line_size=64)
+        mat = gen.full_matrix(0, max_steps=5)
+        assert mat.shape == (5, 2)

@@ -1,0 +1,80 @@
+"""Unit tests for parallelization-level selection."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+)
+from repro.kernels import build_heat_nest
+from repro.machine import paper_machine
+from repro.transform import ParallelizationAdvisor
+from tests.conftest import make_nested_nest
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return ParallelizationAdvisor(paper_machine())
+
+
+class TestLevelChoice:
+    def test_heat_prefers_outer_level(self, advisor):
+        """Row-parallel heat: one worksharing region, no per-row
+        barriers, line-aligned blocks — the model must prefer it over
+        the FS-heavy inner level the paper's benchmark provokes."""
+        nest = build_heat_nest(10, 130, chunk=1)
+        plan = advisor.plan(nest, 4)
+        assert plan.best_var == "i"
+        outer = next(s for s in plan.scores if s.var == "i")
+        inner = next(s for s in plan.scores if s.var == "j")
+        assert outer.wall_cycles < inner.wall_cycles
+        assert outer.fs_cases < inner.fs_cases
+
+    def test_all_levels_scored(self, advisor):
+        plan = advisor.plan(make_nested_nest(rows=4, cols=32), 4)
+        assert [s.var for s in plan.scores] == ["i", "j"]
+        assert all(s.legal for s in plan.scores)
+
+    def test_illegal_level_flagged(self, advisor):
+        """A recurrence over i leaves only j legal."""
+        a = ArrayDecl.create("w", DOUBLE, (64, 64))
+        i, j = AffineExpr.var("i"), AffineExpr.var("j")
+        stmt = Assign(
+            ArrayRef(a, (i, j), is_write=True),
+            BinOp("+", LoadExpr(ArrayRef(a, (i - 1, j))), Const(1.0, DOUBLE)),
+        )
+        inner = Loop.create("j", 0, 64, [stmt])
+        outer = Loop.create("i", 1, 64, [inner])
+        nest = ParallelLoopNest("wave.j", outer, "j")
+        plan = advisor.plan(nest, 4)
+        by_var = {s.var: s for s in plan.scores}
+        assert not by_var["i"].legal
+        assert by_var["i"].blockers
+        assert by_var["j"].legal
+        assert plan.best_var == "j"
+
+    def test_no_legal_level(self, advisor):
+        """A full recurrence on a 1-D loop: nothing to parallelize."""
+        a = ArrayDecl.create("w1", DOUBLE, (64,))
+        i = AffineExpr.var("i")
+        stmt = Assign(
+            ArrayRef(a, (i,), is_write=True),
+            BinOp("+", LoadExpr(ArrayRef(a, (i - 1,))), Const(1.0, DOUBLE)),
+        )
+        nest = ParallelLoopNest("chain.i", Loop.create("i", 1, 64, [stmt]), "i")
+        plan = advisor.plan(nest, 4)
+        assert plan.best_var is None
+        with pytest.raises(ValueError):
+            _ = plan.best
+
+    def test_best_property(self, advisor):
+        plan = advisor.plan(make_nested_nest(rows=4, cols=32), 4)
+        assert plan.best.var == plan.best_var

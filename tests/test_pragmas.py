@@ -1,0 +1,80 @@
+"""Unit tests for OpenMP pragma parsing."""
+
+import pytest
+
+from repro.frontend import PragmaError, parse_omp_pragma
+
+
+class TestParallelFor:
+    def test_combined(self):
+        p = parse_omp_pragma("omp parallel for")
+        assert p.is_parallel_for
+
+    def test_for_only(self):
+        p = parse_omp_pragma("omp for")
+        assert p.is_for and not p.is_parallel
+
+    def test_private(self):
+        p = parse_omp_pragma("omp parallel for private(i, j)")
+        assert p.private == ("i", "j")
+
+    def test_schedule_static_chunk(self):
+        p = parse_omp_pragma("omp parallel for schedule(static, 16)")
+        assert p.schedule.kind == "static" and p.schedule.chunk == 16
+
+    def test_schedule_static_no_chunk(self):
+        p = parse_omp_pragma("omp parallel for schedule(static)")
+        assert p.schedule.chunk is None
+
+    def test_num_threads(self):
+        p = parse_omp_pragma("omp parallel for num_threads(8)")
+        assert p.num_threads == 8
+
+    def test_everything_together(self):
+        p = parse_omp_pragma(
+            "omp parallel for private(i,j) schedule(static,1) num_threads(4)"
+        )
+        assert p.is_parallel_for
+        assert p.private == ("i", "j")
+        assert p.schedule.chunk == 1
+        assert p.num_threads == 4
+
+
+class TestRejections:
+    def test_dynamic_schedule_rejected(self):
+        with pytest.raises(PragmaError, match="static"):
+            parse_omp_pragma("omp parallel for schedule(dynamic, 4)")
+
+    def test_guided_rejected(self):
+        with pytest.raises(PragmaError):
+            parse_omp_pragma("omp for schedule(guided)")
+
+    def test_symbolic_chunk_rejected(self):
+        with pytest.raises(PragmaError, match="integer"):
+            parse_omp_pragma("omp for schedule(static, CHUNK)")
+
+    def test_zero_chunk_rejected(self):
+        with pytest.raises(PragmaError):
+            parse_omp_pragma("omp for schedule(static, 0)")
+
+    def test_bad_num_threads(self):
+        with pytest.raises(PragmaError):
+            parse_omp_pragma("omp parallel for num_threads(n)")
+
+    def test_private_requires_args(self):
+        with pytest.raises(PragmaError):
+            parse_omp_pragma("omp parallel for private")
+
+
+class TestNonLoopPragmas:
+    def test_not_omp(self):
+        assert parse_omp_pragma("pack(1)") is None
+
+    def test_omp_barrier_passthrough(self):
+        p = parse_omp_pragma("omp barrier")
+        assert p is not None and not p.is_parallel_for
+
+    def test_unknown_clauses_recorded(self):
+        p = parse_omp_pragma("omp parallel for reduction(+:s)")
+        assert p.is_parallel_for
+        assert any("reduction" in u for u in p.unknown)

@@ -1,0 +1,83 @@
+"""Unit tests for the mini C preprocessor."""
+
+import pytest
+
+from repro.frontend import PRAGMA_MARKER, PreprocessError, preprocess
+
+
+class TestDefines:
+    def test_integer_macro(self):
+        r = preprocess("#define N 42\nint a[N];\n")
+        assert r.macros == {"N": 42}
+        assert "int a[42];" in r.source
+
+    def test_macro_arithmetic(self):
+        r = preprocess("#define N 10\n#define HALF (N/2)\nint a[HALF];\n")
+        assert r.macros["HALF"] == 5
+
+    def test_extra_macros_take_precedence(self):
+        r = preprocess("#define N 42\nint a[N];\n", extra_macros={"N": 7})
+        assert "int a[7];" in r.source
+
+    def test_word_boundary_substitution(self):
+        r = preprocess("#define N 5\nint NN = N;\n")
+        assert "int NN = 5;" in r.source  # NN untouched
+
+    def test_nonint_macro_rejected(self):
+        with pytest.raises(PreprocessError):
+            preprocess('#define S "hello"\n')
+
+    def test_chained_macros(self):
+        r = preprocess("#define A 3\n#define B A\nint x[B];\n")
+        assert r.macros["B"] == 3
+
+
+class TestPragmas:
+    def test_omp_pragma_becomes_marker(self):
+        src = "#pragma omp parallel for\nfor(;;);\n"
+        r = preprocess(src)
+        assert f"{PRAGMA_MARKER}(0);" in r.source
+        assert r.pragmas[0] == "omp parallel for"
+
+    def test_macro_substitution_inside_pragma(self):
+        src = "#define C 4\n#pragma omp parallel for schedule(static,C)\n"
+        r = preprocess(src)
+        assert "schedule(static,4)" in r.pragmas[0]
+
+    def test_non_omp_pragma_dropped(self):
+        r = preprocess("#pragma once\nint x;\n")
+        assert not r.pragmas
+        assert PRAGMA_MARKER not in r.source
+
+    def test_multiple_pragmas_numbered(self):
+        src = "#pragma omp parallel for\n#pragma omp for\n"
+        r = preprocess(src)
+        assert set(r.pragmas) == {0, 1}
+
+
+class TestLineStructure:
+    def test_line_count_preserved(self):
+        src = "#include <stdio.h>\n#define N 2\nint a[N];\n#pragma omp for\n"
+        r = preprocess(src)
+        assert r.source.count("\n") == src.count("\n")
+
+    def test_includes_blanked(self):
+        r = preprocess("#include <math.h>\nint x;\n")
+        assert "include" not in r.source
+
+    def test_comments_stripped(self):
+        r = preprocess("int x; // a comment\n/* block\ncomment */int y;\n")
+        assert "comment" not in r.source
+        assert "int y;" in r.source
+        # Block comments preserve line structure.
+        assert r.source.count("\n") == 3
+
+    def test_comment_with_directive_inside(self):
+        r = preprocess("/* #define N 4 */\nint x;\n")
+        assert "N" not in r.macros
+
+
+class TestFunctionLikeMacros:
+    def test_function_like_macro_rejected_clearly(self):
+        with pytest.raises(PreprocessError, match="unsupported"):
+            preprocess("#define SQ(x) ((x)*(x))\n")

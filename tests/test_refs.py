@@ -1,0 +1,139 @@
+"""Unit tests for array declarations, references and the address space."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    AddressSpace,
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    DOUBLE,
+    INT,
+    StructType,
+)
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+
+
+class TestArrayDecl:
+    def test_strides_row_major(self):
+        a = ArrayDecl.create("a", DOUBLE, (4, 5))
+        assert a.strides_bytes() == (40, 8)
+
+    def test_strides_3d(self):
+        a = ArrayDecl.create("a", INT, (2, 3, 4))
+        assert a.strides_bytes() == (48, 16, 4)
+
+    def test_size_bytes(self):
+        assert ArrayDecl.create("a", DOUBLE, (10,)).size_bytes() == 80
+
+    def test_scalar_decl(self):
+        s = ArrayDecl.create("s", DOUBLE, ())
+        assert s.ndim == 0 and s.size_bytes() == 8
+
+    def test_symbolic_dims_require_binding(self):
+        a = ArrayDecl.create("a", DOUBLE, (AffineExpr.var("N"),))
+        with pytest.raises(ValueError):
+            a.concrete_dims()
+        assert a.bind({"N": 7}).concrete_dims() == (7,)
+
+
+class TestArrayRef:
+    def test_subscript_arity_checked(self):
+        a = ArrayDecl.create("a", DOUBLE, (4, 5))
+        with pytest.raises(ValueError):
+            ArrayRef(a, (I,))
+
+    def test_field_on_nonstruct_rejected(self):
+        a = ArrayDecl.create("a", DOUBLE, (4,))
+        with pytest.raises(TypeError):
+            ArrayRef(a, (I,), ("x",))
+
+    def test_offset_expr_flattens(self):
+        a = ArrayDecl.create("a", DOUBLE, (100, 200))
+        r = ArrayRef(a, (I + 1, 2 * J), is_write=True)
+        off = r.offset_expr()
+        assert off.coeff("i") == 1600
+        assert off.coeff("j") == 16
+        assert off.const == 1600
+
+    def test_struct_field_offset(self):
+        pt = StructType.create("pt", [("x", DOUBLE), ("y", DOUBLE)])
+        a = ArrayDecl.create("pts", pt, (10,))
+        r = ArrayRef(a, (I,), ("y",))
+        assert r.offset_expr().const == 8
+        assert r.accessed_type is DOUBLE
+
+    def test_extra_offset(self):
+        a = ArrayDecl.create("a", DOUBLE, (10,))
+        r = ArrayRef(a, (I,), extra=AffineExpr.var("k") * 4)
+        assert r.offset_expr().coeff("k") == 4
+
+    def test_str_shows_direction(self):
+        a = ArrayDecl.create("a", DOUBLE, (10,))
+        assert str(ArrayRef(a, (I,), is_write=True)).endswith(":W")
+        assert str(ArrayRef(a, (I,))).endswith(":R")
+
+
+class TestAddressSpace:
+    def test_line_alignment(self):
+        sp = AddressSpace(alignment=4096)
+        a = ArrayDecl.create("a", DOUBLE, (3,))
+        base = sp.place(a)
+        assert base % 4096 == 0
+
+    def test_distinct_arrays_never_share_lines(self):
+        sp = AddressSpace()
+        a = ArrayDecl.create("a", DOUBLE, (3,))  # 24 bytes
+        b = ArrayDecl.create("b", DOUBLE, (3,))
+        base_a = sp.place(a)
+        base_b = sp.place(b)
+        last_line_a = (base_a + a.size_bytes() - 1) // 64
+        first_line_b = base_b // 64
+        assert first_line_b > last_line_a
+
+    def test_idempotent_placement(self):
+        sp = AddressSpace()
+        a = ArrayDecl.create("a", DOUBLE, (3,))
+        assert sp.place(a) == sp.place(a)
+
+    def test_conflicting_redeclaration_rejected(self):
+        sp = AddressSpace()
+        sp.place(ArrayDecl.create("a", DOUBLE, (3,)))
+        with pytest.raises(ValueError):
+            sp.place(ArrayDecl.create("a", DOUBLE, (4,)))
+
+    def test_explicit_base_must_align(self):
+        sp = AddressSpace(alignment=4096)
+        with pytest.raises(ValueError):
+            sp.place(ArrayDecl.create("a", DOUBLE, (3,)), base=100)
+
+    def test_address_expr_includes_base(self):
+        sp = AddressSpace()
+        a = ArrayDecl.create("a", DOUBLE, (10,))
+        r = ArrayRef(a, (I,))
+        addr = sp.address_expr(r)
+        assert addr.const == sp.base("a")
+        assert addr.coeff("i") == 8
+
+    def test_line_ids_vectorized(self):
+        sp = AddressSpace()
+        a = ArrayDecl.create("a", DOUBLE, (64,))
+        r = ArrayRef(a, (I,))
+        env = {"i": np.arange(16)}
+        lines = sp.line_ids(r, env, 64)
+        base_line = sp.base("a") // 64
+        # 8 doubles per 64-byte line
+        assert lines[0] == base_line
+        assert lines[7] == base_line
+        assert lines[8] == base_line + 1
+
+    def test_arrays_listing(self):
+        sp = AddressSpace()
+        a = ArrayDecl.create("a", DOUBLE, (4,))
+        b = ArrayDecl.create("b", DOUBLE, (4,))
+        sp.place(a)
+        sp.place(b)
+        assert [x.name for x in sp.arrays()] == ["a", "b"]

@@ -1,0 +1,109 @@
+"""Unit + property tests for the linear-regression FS predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, FalseSharingPredictor, ols_fit, paper_fit
+from tests.conftest import make_copy_nest
+
+
+class TestPaperFit:
+    def test_exact_line_through_origin(self):
+        fit = paper_fit(np.array([1.0, 2, 3]), np.array([3.0, 6, 9]))
+        assert fit.a == pytest.approx(3.0)
+        assert fit.b == pytest.approx(0.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_formula_matches_paper(self):
+        """a = Σxy/Σx², b = mean(y − a·x) — verbatim from Section III-E."""
+        x = np.array([1.0, 2, 3, 4])
+        y = np.array([2.0, 3, 5, 9])
+        fit = paper_fit(x, y)
+        a_expected = float(x @ y) / float(x @ x)
+        assert fit.a == pytest.approx(a_expected)
+        assert fit.b == pytest.approx(np.mean(y - a_expected * x))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            paper_fit(np.array([]), np.array([]))
+
+    def test_rejects_all_zero_x(self):
+        with pytest.raises(ValueError):
+            paper_fit(np.zeros(3), np.ones(3))
+
+
+class TestOlsFit:
+    def test_recovers_affine_data(self):
+        x = np.arange(1, 20, dtype=float)
+        y = 4.0 * x + 11.0
+        fit = ols_fit(x, y)
+        assert fit.a == pytest.approx(4.0)
+        assert fit.b == pytest.approx(11.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_single_point(self):
+        fit = ols_fit(np.array([2.0]), np.array([5.0]))
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_constant_x(self):
+        fit = ols_fit(np.array([3.0, 3.0]), np.array([1.0, 3.0]))
+        assert fit.a == 0.0
+        assert fit.b == pytest.approx(2.0)
+
+    @given(
+        a=st.floats(-100, 100, allow_nan=False),
+        b=st.floats(-1000, 1000, allow_nan=False),
+        n=st.integers(2, 40),
+    )
+    @settings(max_examples=60)
+    def test_exact_recovery_property(self, a, b, n):
+        x = np.arange(1, n + 1, dtype=float)
+        y = a * x + b
+        fit = ols_fit(x, y)
+        assert fit.a == pytest.approx(a, abs=1e-6)
+        assert fit.b == pytest.approx(b, abs=1e-4)
+
+
+class TestPredictor:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return FalseSharingModel(paper_machine())
+
+    def test_prediction_close_to_full_model(self, model):
+        nest = make_copy_nest(n=256)
+        pred = FalseSharingPredictor(model, n_runs=8).predict(nest, 4, chunk=1)
+        full = model.analyze(nest, 4, chunk=1)
+        rel_err = abs(pred.predicted_fs_cases - full.fs_cases) / full.fs_cases
+        assert rel_err < 0.05
+
+    def test_prediction_evaluates_fewer_iterations(self, model):
+        nest = make_copy_nest(n=4096)
+        pred = FalseSharingPredictor(model, n_runs=8).predict(nest, 4, chunk=1)
+        full_steps = nest.total_iterations() // 4
+        assert pred.prefix_result.steps_evaluated < full_steps / 10
+
+    def test_sampled_runs_clipped_to_total(self, model):
+        nest = make_copy_nest(n=32)  # only 8 chunk runs exist at T=4 chunk=1
+        pred = FalseSharingPredictor(model, n_runs=100).predict(nest, 4, chunk=1)
+        assert pred.sampled_runs == pred.total_runs == 8
+
+    def test_nonnegative_prediction(self, model):
+        nest = make_copy_nest(n=64)
+        pred = FalseSharingPredictor(model, n_runs=4).predict(nest, 2, chunk=8)
+        assert pred.predicted_fs_cases == 0.0  # aligned chunks: no FS
+
+    def test_ols_method_available(self, model):
+        nest = make_copy_nest(n=256)
+        pred = FalseSharingPredictor(model, n_runs=8, method="ols").predict(
+            nest, 4, chunk=1
+        )
+        full = model.analyze(nest, 4, chunk=1)
+        assert pred.predicted_fs_cases == pytest.approx(full.fs_cases, rel=0.05)
+
+    def test_rejects_bad_args(self, model):
+        with pytest.raises(ValueError):
+            FalseSharingPredictor(model, n_runs=0)
+        with pytest.raises(ValueError):
+            FalseSharingPredictor(model, method="quadratic")

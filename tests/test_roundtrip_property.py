@@ -1,0 +1,160 @@
+"""Property-based round-trip tests over randomly generated loop nests.
+
+Hypothesis builds random (but valid) parallel nests — random array
+shapes, affine subscripts, read/write mixes and schedules — and checks
+the big cross-component contracts:
+
+* ``emit_nest`` → ``parse_c_source`` reproduces every address function;
+* the FS model produces identical counts on the original and the
+  re-parsed nest (the full frontend/emitter/model loop is closed);
+* the model and the simulator agree on coherence-event counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_c_source
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DOUBLE,
+    LoadExpr,
+    Loop,
+    ParallelLoopNest,
+    Schedule,
+    emit_nest,
+)
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel
+from repro.sim import MulticoreSimulator
+
+
+@st.composite
+def random_nests(draw) -> ParallelLoopNest:
+    """A random rectangular 1- or 2-deep parallel nest."""
+    depth = draw(st.integers(1, 2))
+    trips = [draw(st.sampled_from([4, 8, 12, 16])) for _ in range(depth)]
+    loop_vars = ["i", "j"][:depth]
+    parallel_var = draw(st.sampled_from(loop_vars))
+
+    n_arrays = draw(st.integers(1, 3))
+    arrays = []
+    for a in range(n_arrays):
+        nd = draw(st.integers(1, depth))
+        dims = tuple(
+            draw(st.sampled_from([16, 24, 32])) for _ in range(nd)
+        )
+        arrays.append(ArrayDecl.create(f"arr{a}", DOUBLE, dims))
+
+    def subscript(var_pool):
+        var = draw(st.sampled_from(var_pool))
+        coeff = draw(st.sampled_from([1, 1, 1, 2]))
+        const = draw(st.integers(0, 3))
+        return coeff * AffineExpr.var(var) + const
+
+    def in_bounds_ref(arr: ArrayDecl, write: bool) -> ArrayRef:
+        idxs = []
+        for extent in arr.concrete_dims():
+            # Keep subscripts within the extent for the loop ranges used.
+            var_pool = loop_vars
+            ix = subscript(var_pool)
+            # Clamp: evaluate max and retry with plain var when needed.
+            max_val = ix.const + sum(
+                c * (trips[loop_vars.index(v)] - 1) for v, c in ix.coeffs
+            )
+            if max_val >= extent:
+                ix = AffineExpr.var(draw(st.sampled_from(var_pool)))
+                if trips[loop_vars.index(ix.variables()[0])] > extent:
+                    ix = AffineExpr.const_expr(draw(st.integers(0, extent - 1)))
+            idxs.append(ix)
+        return ArrayRef(arr, tuple(idxs), is_write=write)
+
+    n_stmts = draw(st.integers(1, 3))
+    stmts = []
+    for _ in range(n_stmts):
+        target_arr = draw(st.sampled_from(arrays))
+        src_arr = draw(st.sampled_from(arrays))
+        rhs = BinOp(
+            "+",
+            LoadExpr(in_bounds_ref(src_arr, write=False)),
+            Const(float(draw(st.integers(1, 5))), DOUBLE),
+        )
+        stmts.append(
+            Assign(
+                in_bounds_ref(target_arr, write=True),
+                rhs,
+                augmented=draw(st.sampled_from([None, "+"])),
+            )
+        )
+
+    body = stmts
+    for var, trip in zip(reversed(loop_vars), reversed(trips)):
+        body = [Loop.create(var, 0, trip, body)]
+    chunk = draw(st.sampled_from([1, 2, 4]))
+    return ParallelLoopNest(
+        name="rand.kernel",
+        root=body[0],
+        parallel_var=parallel_var,
+        schedule=Schedule("static", chunk),
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return paper_machine()
+
+
+class TestRandomNestRoundTrips:
+    @given(nest=random_nests())
+    @settings(max_examples=25, deadline=None)
+    def test_emit_parse_preserves_addresses(self, nest):
+        src = emit_nest(nest)
+        (kernel,) = parse_c_source(src)
+        parsed = kernel.nest
+        assert parsed.trip_counts() == nest.trip_counts()
+        pa = parsed.innermost_accesses()
+        ba = nest.innermost_accesses()
+        assert len(pa) == len(ba)
+        for x, y in zip(pa, ba):
+            assert x.offset_expr() == y.offset_expr()
+            assert x.is_write == y.is_write
+
+    @given(nest=random_nests(), threads=st.sampled_from([2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_model_invariant_under_roundtrip(self, nest, threads):
+        machine = paper_machine()
+        model = FalseSharingModel(machine)
+        (kernel,) = parse_c_source(emit_nest(nest))
+        direct = model.analyze(nest, threads)
+        via_c = model.analyze(kernel.nest.with_schedule(nest.schedule), threads)
+        assert direct.fs_cases == via_c.fs_cases
+
+    @given(nest=random_nests(), threads=st.sampled_from([2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_model_matches_simulator_on_random_nests(self, nest, threads):
+        machine = paper_machine()
+        m = FalseSharingModel(machine).analyze(nest, threads)
+        s = MulticoreSimulator(machine).run(nest, threads)
+        assert m.fs_cases == s.counters.coherence_events
+
+
+class TestTraceRoundTrips:
+    @given(nest=random_nests(), threads=st.sampled_from([2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_trace_replay_equals_direct_model(self, nest, threads, tmp_path_factory):
+        """record → load → replay == a direct model run, for any nest."""
+        from repro.sim import load_trace, record_trace, replay_fs_detection
+
+        machine = paper_machine()
+        path = tmp_path_factory.mktemp("traces") / "t.npz"
+        record_trace(nest, threads, machine, path)
+        trace = load_trace(path)
+        detector = replay_fs_detection(trace, machine.model_stack_lines)
+        direct = FalseSharingModel(machine).analyze(nest, threads)
+        assert detector.stats.fs_cases == direct.fs_cases

@@ -1,0 +1,60 @@
+"""Unit tests for the EXPERIMENTS.md builder and deviation notes."""
+
+from repro.analysis.paper import PAPER_EXPECTATIONS, deviations_section
+from repro.analysis.report import ExperimentResult
+from repro.analysis.runner import build_markdown
+
+
+def fake_results():
+    r1 = ExperimentResult("Table I", "demo table", ("threads", "pct"))
+    r1.add_row(2, 10.0)
+    r1.add_row(4, 11.0)
+    r2 = ExperimentResult("Fig. 6", "demo figure", ("x", "y"))
+    r2.add_row(1, 5)
+    return [r1, r2]
+
+
+class TestBuildMarkdown:
+    def test_contains_tables_and_expectations(self):
+        doc = build_markdown(fake_results())
+        assert "### Table I: demo table" in doc
+        assert PAPER_EXPECTATIONS["Table I"] in doc
+        assert PAPER_EXPECTATIONS["Fig. 6"] in doc
+
+    def test_contains_deviations(self):
+        doc = build_markdown(fake_results())
+        assert "Known deviations" in doc
+        assert "simulator" in doc
+
+    def test_markdown_table_syntax(self):
+        doc = build_markdown(fake_results())
+        assert "| threads | pct |" in doc
+        assert "|---:|---:|" in doc
+
+
+class TestDeviations:
+    def test_lists_all_six(self):
+        text = deviations_section()
+        for k in range(1, 7):
+            assert f"{k}. **" in text
+
+
+class TestRunnerMain:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        """Run main() against a stubbed suite to keep the test fast."""
+        import repro.analysis.runner as runner
+
+        class FakeSuite:
+            def __init__(self, scale):
+                assert scale == "full"
+
+            def run_all(self):
+                return fake_results()
+
+            def run_supplementary(self):
+                return []
+
+        monkeypatch.setattr(runner, "ExperimentSuite", FakeSuite)
+        out = tmp_path / "EXP.md"
+        assert runner.main([str(out)]) == 0
+        assert "Table I" in out.read_text()

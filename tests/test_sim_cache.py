@@ -1,0 +1,98 @@
+"""Unit tests for the simulator's set-associative MESI caches."""
+
+import pytest
+
+from repro.sim import E, M, PrivateCache, S
+
+
+class TestGeometry:
+    def test_fully_associative(self):
+        c = PrivateCache(16, 0)
+        assert c.num_sets == 1 and c.ways == 16
+
+    def test_set_associative(self):
+        c = PrivateCache(16, 4)
+        assert c.num_sets == 4 and c.ways == 4
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValueError):
+            PrivateCache(10, 4)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            PrivateCache(12, 4)  # 3 sets
+
+
+class TestMESIStates:
+    def test_touch_and_state(self):
+        c = PrivateCache(8, 0)
+        c.touch(100, E)
+        assert c.state(100) == E
+
+    def test_set_state(self):
+        c = PrivateCache(8, 0)
+        c.touch(100, E)
+        c.set_state(100, M)
+        assert c.state(100) == M
+
+    def test_set_state_requires_presence(self):
+        c = PrivateCache(8, 0)
+        with pytest.raises(KeyError):
+            c.set_state(1, M)
+
+    def test_invalidate(self):
+        c = PrivateCache(8, 0)
+        c.touch(100, M)
+        assert c.invalidate(100)
+        assert c.state(100) is None
+        assert not c.invalidate(100)
+
+    def test_downgrade_m_and_e(self):
+        c = PrivateCache(8, 0)
+        c.touch(1, M)
+        c.touch(2, E)
+        c.touch(3, S)
+        assert c.downgrade(1) and c.state(1) == S
+        assert c.downgrade(2) and c.state(2) == S
+        assert not c.downgrade(3)
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        c = PrivateCache(4, 2)  # 2 sets of 2 ways
+        # Lines 0,2,4 all map to set 0.
+        assert c.touch(0, E) is None
+        assert c.touch(2, E) is None
+        assert c.touch(4, E) == 0  # evicts LRU of set 0
+
+    def test_touch_refreshes(self):
+        c = PrivateCache(4, 2)
+        c.touch(0, E)
+        c.touch(2, E)
+        c.touch(0, E)  # 0 becomes MRU in its set
+        assert c.touch(4, E) == 2
+
+    def test_sets_are_independent(self):
+        c = PrivateCache(4, 2)
+        c.touch(0, E)  # set 0
+        c.touch(1, E)  # set 1
+        c.touch(2, E)  # set 0
+        c.touch(3, E)  # set 1
+        assert c.occupancy() == 4  # no evictions
+
+    def test_conflict_misses_in_set_assoc_only(self):
+        """Same working set: set-associative conflicts, fully-assoc fits."""
+        sa = PrivateCache(8, 2)  # 4 sets of 2
+        fa = PrivateCache(8, 0)
+        # Three lines in one set (stride = num_sets).
+        lines = [0, 4, 8]
+        evicted_sa = [sa.touch(l, E) for l in lines]
+        evicted_fa = [fa.touch(l, E) for l in lines]
+        assert any(e is not None for e in evicted_sa)
+        assert all(e is None for e in evicted_fa)
+
+    def test_lines_listing(self):
+        c = PrivateCache(8, 0)
+        c.touch(1, M)
+        c.touch(2, S)
+        assert sorted(c.lines()) == [(1, M), (2, S)]

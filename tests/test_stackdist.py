@@ -1,0 +1,148 @@
+"""Unit + property tests for the LRU stack and stack-distance analyzer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.stackdist import (
+    DistanceHistogram,
+    LRUStack,
+    MODIFIED,
+    SHARED,
+    StackDistanceAnalyzer,
+)
+
+
+def brute_force_distance(trace: list[int]) -> list:
+    """Reference implementation: distinct lines since previous access."""
+    out = []
+    for idx, line in enumerate(trace):
+        prev = None
+        for k in range(idx - 1, -1, -1):
+            if trace[k] == line:
+                prev = k
+                break
+        if prev is None:
+            out.append(None)
+        else:
+            out.append(len(set(trace[prev + 1 : idx])))
+    return out
+
+
+class TestLRUStack:
+    def test_hit_and_miss(self):
+        s = LRUStack(4)
+        hit, ev = s.access(1, False)
+        assert not hit and ev is None
+        hit, _ = s.access(1, False)
+        assert hit
+
+    def test_eviction_order(self):
+        s = LRUStack(2)
+        s.access(1, False)
+        s.access(2, False)
+        _, evicted = s.access(3, False)
+        assert evicted == 1
+
+    def test_touch_refreshes_lru(self):
+        s = LRUStack(2)
+        s.access(1, False)
+        s.access(2, False)
+        s.access(1, False)  # 1 becomes MRU
+        _, evicted = s.access(3, False)
+        assert evicted == 2
+
+    def test_write_marks_modified(self):
+        s = LRUStack(4)
+        s.access(5, True)
+        assert s.state(5) == MODIFIED
+
+    def test_read_preserves_dirty(self):
+        s = LRUStack(4)
+        s.access(5, True)
+        s.access(5, False)
+        assert s.state(5) == MODIFIED
+
+    def test_read_inserts_shared(self):
+        s = LRUStack(4)
+        s.access(5, False)
+        assert s.state(5) == SHARED
+
+    def test_invalidate(self):
+        s = LRUStack(4)
+        s.access(5, True)
+        assert s.invalidate(5)
+        assert 5 not in s
+        assert not s.invalidate(5)
+
+    def test_downgrade(self):
+        s = LRUStack(4)
+        s.access(5, True)
+        assert s.downgrade(5)
+        assert s.state(5) == SHARED
+        assert not s.downgrade(5)
+
+    def test_stack_order_mru_first(self):
+        s = LRUStack(4)
+        for line in (1, 2, 3):
+            s.access(line, False)
+        assert [line for line, _ in s.stack()] == [3, 2, 1]
+
+    def test_capacity_one(self):
+        s = LRUStack(1)
+        s.access(1, False)
+        _, ev = s.access(2, False)
+        assert ev == 1 and len(s) == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUStack(0)
+
+
+class TestStackDistanceAnalyzer:
+    def test_known_sequence(self):
+        d = StackDistanceAnalyzer().distances([1, 2, 1, 2, 3, 1])
+        assert d == [None, None, 1, 1, None, 2]
+
+    def test_repeat_distance_zero(self):
+        d = StackDistanceAnalyzer().distances([7, 7, 7])
+        assert d == [None, 0, 0]
+
+    def test_tree_growth(self):
+        # Exceed the initial hint to exercise _grow().
+        trace = list(range(50)) + list(range(50))
+        analyzer = StackDistanceAnalyzer(trace_length_hint=16)
+        d = analyzer.distances(trace)
+        assert d[:50] == [None] * 50
+        assert d[50:] == [49] * 50
+
+    @given(st.lists(st.integers(0, 12), min_size=0, max_size=120))
+    @settings(max_examples=80)
+    def test_matches_brute_force(self, trace):
+        assert StackDistanceAnalyzer().distances(trace) == brute_force_distance(trace)
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=80),
+           st.integers(1, 10))
+    @settings(max_examples=60)
+    def test_lru_hit_iff_distance_below_capacity(self, trace, capacity):
+        """The classic identity: LRU(C) hits exactly when distance < C."""
+        stack = LRUStack(capacity)
+        analyzer = StackDistanceAnalyzer()
+        for line in trace:
+            dist = analyzer.access(line)
+            hit, _ = stack.access(line, False)
+            expected = dist is not None and dist < capacity
+            assert hit == expected
+
+
+class TestDistanceHistogram:
+    def test_histogram_counts(self):
+        hist = StackDistanceAnalyzer().histogram([1, 2, 1, 2, 3, 1])
+        assert hist.cold == 3
+        assert hist.counts == {1: 2, 2: 1}
+        assert hist.accesses == 6
+
+    def test_misses_by_capacity(self):
+        hist = DistanceHistogram(counts={0: 5, 3: 2}, cold=4)
+        assert hist.misses(1) == 4 + 2
+        assert hist.misses(4) == 4
+        assert hist.hits(4) == 7

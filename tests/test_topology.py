@@ -1,0 +1,51 @@
+"""Unit tests for thread-to-socket placement policies."""
+
+import pytest
+
+from repro.machine import pair_penalty_factory, socket_map, socket_of
+
+
+class TestSocketOf:
+    def test_contiguous_fills_sockets(self):
+        assert socket_map(8, 4, "contiguous") == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_scatter_round_robins(self):
+        assert socket_map(8, 4, "scatter") == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_single_socket_machine(self):
+        assert socket_map(4, 12, "contiguous") == [0, 0, 0, 0]
+        assert socket_map(4, 12, "scatter") == [0, 0, 0, 0]
+
+    def test_paper_machine_topology(self):
+        sockets = socket_map(48, 12, "contiguous")
+        assert sockets[0] == 0 and sockets[11] == 0
+        assert sockets[12] == 1 and sockets[47] == 3
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            socket_of(0, 8, 4, "diagonal")
+
+    def test_bad_cores_per_socket(self):
+        with pytest.raises(ValueError):
+            socket_of(0, 8, 0, "contiguous")
+
+
+class TestPairPenalty:
+    def test_intra_socket_is_one(self):
+        p = pair_penalty_factory(8, 4, "contiguous", 2.0)
+        assert p(0, 3) == 1.0
+        assert p(4, 7) == 1.0
+
+    def test_cross_socket_scaled(self):
+        p = pair_penalty_factory(8, 4, "contiguous", 2.0)
+        assert p(3, 4) == 2.0
+        assert p(0, 7) == 2.0
+
+    def test_scatter_adjacent_cross(self):
+        p = pair_penalty_factory(8, 4, "scatter", 3.0)
+        assert p(0, 1) == 3.0
+        assert p(0, 2) == 1.0
+
+    def test_neutral_factor(self):
+        p = pair_penalty_factory(8, 4, "scatter", 1.0)
+        assert all(p(a, b) == 1.0 for a in range(8) for b in range(8))

@@ -1,0 +1,65 @@
+"""Unit tests for the processor-model-driven unroll advisor."""
+
+import pytest
+
+from repro.kernels import build_heat_nest, build_linreg_nest
+from repro.machine import paper_machine
+from repro.transform import UnrollAdvisor
+from tests.conftest import make_copy_nest
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return UnrollAdvisor(paper_machine())
+
+
+class TestScoring:
+    def test_loop_overhead_amortizes(self, advisor):
+        nest = make_copy_nest(n=64)
+        s1 = advisor.score(nest, 1)
+        s4 = advisor.score(nest, 4)
+        assert s4.loop_overhead == pytest.approx(s1.loop_overhead / 4)
+
+    def test_latency_bound_shrinks_without_recurrence(self, advisor):
+        nest = build_heat_nest(6, 66)  # stencil: no loop-carried recurrence
+        s1 = advisor.score(nest, 1)
+        s4 = advisor.score(nest, 4)
+        assert s4.latency_bound <= s1.latency_bound
+
+    def test_recurrence_floor_immune_to_unrolling(self, advisor):
+        nest = build_linreg_nest(8, 8)  # memory accumulators
+        s1 = advisor.score(nest, 1)
+        s8 = advisor.score(nest, 8)
+        assert s1.latency_bound == s8.latency_bound  # the serial floor
+
+    def test_register_pressure_flagged(self, advisor):
+        nest = build_linreg_nest(8, 8)  # 13 loads per iteration
+        assert advisor.score(nest, 4).register_limited
+
+    def test_rejects_bad_factor(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.score(make_copy_nest(), 0)
+
+
+class TestRecommendation:
+    def test_stencil_benefits_from_unrolling(self, advisor):
+        rec = advisor.recommend(build_heat_nest(6, 130))
+        assert rec.best_factor > 1
+        assert rec.speedup_percent() > 0
+
+    def test_prefers_smallest_equivalent_factor(self, advisor):
+        """Resource-bound loops gain only loop-overhead amortization;
+        the advisor must not inflate code size for the last 1%."""
+        rec = advisor.recommend(build_linreg_nest(8, 64))
+        best = rec.best
+        larger = [s for s in rec.scores if s.factor > best.factor]
+        for s in larger:
+            assert s.cycles_per_iter >= best.cycles_per_iter * 0.99
+
+    def test_candidates_pruned_to_trip(self, advisor):
+        rec = advisor.recommend(make_copy_nest(n=4))
+        assert all(s.factor <= 4 for s in rec.scores)
+
+    def test_table_contains_factor_one(self, advisor):
+        rec = advisor.recommend(make_copy_nest(n=64))
+        assert any(s.factor == 1 for s in rec.scores)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.util helpers."""
+
+import logging
+
+import pytest
+
+from repro.util import Timer, ceil_div, get_logger, is_power_of_two, popcount
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 3)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(0xFF) == 8
+
+    def test_sparse(self):
+        assert popcount((1 << 47) | 1) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("x", [1, 2, 4, 64, 4096, 1 << 30])
+    def test_powers(self, x):
+        assert is_power_of_two(x)
+
+    @pytest.mark.parametrize("x", [0, 3, 6, 63, 65, -4])
+    def test_non_powers(self, x):
+        assert not is_power_of_two(x)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first >= 0.0
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            sum(range(100))
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestLogger:
+    def test_namespaced(self):
+        lg = get_logger("model.fsmodel")
+        assert lg.name == "repro.model.fsmodel"
+
+    def test_already_prefixed(self):
+        lg = get_logger("repro.sim")
+        assert lg.name == "repro.sim"
+
+    def test_is_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)

@@ -1,0 +1,100 @@
+"""Unit tests for nest validation diagnostics."""
+
+import pytest
+
+from repro.ir import (
+    AffineExpr,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Const,
+    DOUBLE,
+    Loop,
+    NestValidationError,
+    ParallelLoopNest,
+    check_nest,
+    validate_nest,
+)
+from tests.conftest import make_copy_nest, make_nested_nest
+
+I = AffineExpr.var("i")
+
+
+def stmt(arr_name="z", idx=I):
+    arr = ArrayDecl.create(arr_name, DOUBLE, (64,))
+    return Assign(ArrayRef(arr, (idx,), is_write=True), Const(0.0, DOUBLE))
+
+
+class TestValidNests:
+    def test_copy_nest_valid(self):
+        report = validate_nest(make_copy_nest())
+        assert report.ok and not report.warnings
+
+    def test_nested_nest_valid(self):
+        assert validate_nest(make_nested_nest()).ok
+
+
+class TestInvalidNests:
+    def test_duplicate_induction_vars(self):
+        inner = Loop.create("i", 0, 4, [stmt()])
+        outer = Loop.create("i", 0, 4, [inner])
+        nest = ParallelLoopNest("dup", outer, "i")
+        report = check_nest(nest)
+        assert any("duplicate" in e for e in report.errors)
+
+    def test_imperfect_nest_two_subloops(self):
+        l1 = Loop.create("j", 0, 4, [stmt(idx=AffineExpr.var("j"))])
+        l2 = Loop.create("k", 0, 4, [stmt("z2", AffineExpr.var("k"))])
+        outer = Loop.create("i", 0, 4, [l1, l2])
+        nest = ParallelLoopNest("imperfect", outer, "i")
+        report = check_nest(nest)
+        assert not report.ok
+
+    def test_statements_outside_innermost_warn(self):
+        inner = Loop.create("j", 0, 4, [stmt(idx=AffineExpr.var("j"))])
+        outer = Loop.create("i", 0, 4, [stmt("pre"), inner])
+        nest = ParallelLoopNest("warned", outer, "j")
+        report = check_nest(nest)
+        assert report.ok
+        assert any("ignored" in w for w in report.warnings)
+
+    def test_unknown_subscript_variable(self):
+        nest = ParallelLoopNest(
+            "bad-subscript",
+            Loop.create("i", 0, 4, [stmt(idx=AffineExpr.var("q"))]),
+            "i",
+        )
+        report = check_nest(nest)
+        assert any("unknown" in e for e in report.errors)
+
+    def test_symbolic_bounds_require_binding(self):
+        lp = Loop("i", AffineExpr.const_expr(0), AffineExpr.var("N"), (stmt(),))
+        nest = ParallelLoopNest("symbolic", lp, "i", params=("N",))
+        report = check_nest(nest, require_concrete=True)
+        assert not report.ok
+        # ...but passes structural checks when concreteness is not required.
+        assert check_nest(nest, require_concrete=False).ok
+
+    def test_validate_raises_with_details(self):
+        nest = ParallelLoopNest(
+            "boom", Loop.create("i", 0, 4, [stmt(idx=AffineExpr.var("q"))]), "i"
+        )
+        with pytest.raises(NestValidationError, match="boom"):
+            validate_nest(nest)
+
+    def test_empty_trip_warns(self):
+        nest = ParallelLoopNest(
+            "empty", Loop.create("i", 4, 4, [stmt()]), "i"
+        )
+        report = check_nest(nest)
+        assert report.ok
+        assert any("empty" in w for w in report.warnings)
+
+    def test_no_array_accesses_warns(self):
+        nest = ParallelLoopNest(
+            "scalar-only",
+            Loop.create("i", 0, 4, [Assign("t", Const(0.0, DOUBLE))]),
+            "i",
+        )
+        report = check_nest(nest)
+        assert any("no array accesses" in w for w in report.warnings)
