@@ -1,0 +1,42 @@
+# Developer shortcuts.  Everything assumes a source checkout
+# (PYTHONPATH=src); `pip install -e .` users can drop the prefix.
+
+PY      := python
+PP      := PYTHONPATH=src
+BENCHD  := .bench
+
+.PHONY: test test-fast lint bench-smoke bench-overhead clean
+
+test:
+	$(PP) $(PY) -m pytest -q
+
+test-fast:
+	$(PP) $(PY) -m pytest -q -m "not slow"
+
+lint:
+	ruff check src tests
+
+# One profiled benchmark run: keeps the Chrome-trace and metrics
+# exporters exercised end-to-end (CI runs this on every push).
+bench-smoke:
+	mkdir -p $(BENCHD)
+	$(PP) $(PY) -c "from repro.kernels import heat_source; \
+	  open('$(BENCHD)/heat.c', 'w').write(heat_source(6, 258))"
+	$(PP) $(PY) -m repro profile $(BENCHD)/heat.c -t 4 -c 1 \
+	  --profile $(BENCHD)/trace.json --metrics-out $(BENCHD)/metrics.json
+	$(PP) $(PY) -c "import json; \
+	  doc = json.load(open('$(BENCHD)/trace.json')); \
+	  names = {e['name'] for e in doc['traceEvents'] if e['ph'] == 'X'}; \
+	  assert len(names) >= 6, names; \
+	  m = json.load(open('$(BENCHD)/metrics.json')); \
+	  assert any(k.startswith('fs_cases{') for k in m['counters']), m; \
+	  print('bench-smoke OK:', len(names), 'span names')"
+
+# Guard the <5% disabled-overhead budget on the model's hot path.
+bench-overhead:
+	$(PP) $(PY) -m pytest benchmarks/bench_model_throughput.py -q \
+	  -k "detector or end_to_end" --benchmark-min-rounds=3
+
+clean:
+	rm -rf $(BENCHD) .pytest_cache .ruff_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -18,6 +18,14 @@ Subcommands
 ``experiments``
     Regenerate the paper's tables and figures (``--scale tiny`` for a
     quick look, ``full`` for the EXPERIMENTS.md numbers).
+``profile``
+    Run the full analysis with span tracing forced on; write a Chrome
+    trace (Perfetto / ``chrome://tracing``) and a metrics dump, and
+    print a per-stage timing summary.
+
+Every analysis subcommand also accepts ``--profile TRACE.json`` /
+``--metrics-out METRICS.json`` (or the ``REPRO_TRACE`` /
+``REPRO_METRICS`` environment variables) — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -47,6 +55,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("-D", "--define", action="append", default=[],
                    metavar="NAME=VALUE",
                    help="predefine an integer macro (repeatable)")
+    p.add_argument("--profile", metavar="TRACE.json", default=None,
+                   help="record spans and write a Chrome trace-event "
+                        "JSON (open in Perfetto / chrome://tracing)")
+    p.add_argument("--metrics-out", metavar="METRICS.json", default=None,
+                   help="write the metrics registry to a JSON (or .csv) "
+                        "dump at exit")
 
 
 def _macros(defines: list[str]) -> dict[str, int]:
@@ -189,6 +203,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import get_registry, get_tracer, span_summary
+
+    rc = cmd_analyze(args)
+    rows = span_summary(get_tracer().events())
+    print()
+    print(f"{'span':<28} {'count':>7} {'total ms':>10} {'mean us':>10}")
+    for row in rows:
+        print(f"{row.name:<28} {row.count:>7} {row.total_us / 1000:>10.2f} "
+              f"{row.mean_us:>10.1f}")
+    snap = get_registry().snapshot()
+    interesting = ("fs_cases", "misses", "invalidations", "accesses")
+    printed = [
+        (key, value)
+        for key, value in sorted(snap["counters"].items())
+        if key.split("{", 1)[0] in interesting
+    ]
+    if printed:
+        print()
+        for key, value in printed:
+            print(f"{key} = {value:,.0f}")
+    print(f"\ntrace   -> {args.profile}")
+    print(f"metrics -> {args.metrics_out}")
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fs",
@@ -240,12 +280,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunks-list", default="1,2,4,8,16",
                    help="comma-separated chunk sizes (default 1,2,4,8,16)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the analysis under the tracer; write trace + metrics",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_profile, _force_profile=True)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import ObsConfig, session
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if getattr(args, "_force_profile", False):
+        args.profile = args.profile or "trace.json"
+        args.metrics_out = args.metrics_out or "metrics.json"
+    config = ObsConfig.from_env().with_cli(
+        trace_path=getattr(args, "profile", None),
+        metrics_path=getattr(args, "metrics_out", None),
+    )
+    with session(config, reset_metrics=config.any_enabled):
+        return args.func(args)
 
 
 if __name__ == "__main__":

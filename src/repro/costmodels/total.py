@@ -20,6 +20,7 @@ from repro.costmodels.processor import ProcessorModel
 from repro.ir.loops import ParallelLoopNest
 from repro.ir.refs import AddressSpace
 from repro.machine import MachineConfig
+from repro.obs import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -105,18 +106,26 @@ class TotalCostModel:
             the nest's full iteration space (the normalization used for
             Eq. (5) percentages — see DESIGN.md).
         """
-        iters = nest.total_iterations() if iterations is None else iterations
-        per_iter_machine = self.processor.cycles_per_iter(nest)
-        cache_est = self.cache.estimate(nest, per_thread_iters=iters)
-        par_est = self.parallel.estimate(nest, num_threads)
-        return CostBreakdown(
-            false_sharing=fs_cases * self.machine.fs_penalty_cycles,
-            machine=per_iter_machine * iters,
-            cache=cache_est.cache_cycles_per_iter * iters,
-            tlb=cache_est.tlb_cycles_per_iter * iters,
-            parallel_overhead=par_est.parallel_overhead_total,
-            loop_overhead=par_est.loop_overhead_per_iter * iters,
-        )
+        with span(
+            "costmodels.total", kernel=nest.name, threads=num_threads
+        ) as sp:
+            iters = nest.total_iterations() if iterations is None else iterations
+            per_iter_machine = self.processor.cycles_per_iter(nest)
+            cache_est = self.cache.estimate(nest, per_thread_iters=iters)
+            par_est = self.parallel.estimate(nest, num_threads)
+            breakdown = CostBreakdown(
+                false_sharing=fs_cases * self.machine.fs_penalty_cycles,
+                machine=per_iter_machine * iters,
+                cache=cache_est.cache_cycles_per_iter * iters,
+                tlb=cache_est.tlb_cycles_per_iter * iters,
+                parallel_overhead=par_est.parallel_overhead_total,
+                loop_overhead=par_est.loop_overhead_per_iter * iters,
+            )
+            sp.set(total_cycles=breakdown.total)
+        get_registry().gauge(
+            "total_cost_cycles", "Eq. (1) total cycles of the last breakdown"
+        ).labels(kernel=nest.name, threads=num_threads).set(breakdown.total)
+        return breakdown
 
     def total_cycles(
         self,

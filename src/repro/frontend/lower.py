@@ -57,6 +57,7 @@ from repro.ir.layout import (
 )
 from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
 from repro.ir.refs import ArrayDecl, ArrayRef
+from repro.obs import get_registry, span
 from repro.util import get_logger
 
 logger = get_logger(__name__)
@@ -109,13 +110,22 @@ def parse_c_source(
     -------
     list of :class:`LoweredKernel`, in source order.
     """
-    pp = preprocess(source, extra_macros)
+    with span("frontend.preprocess", bytes=len(source)):
+        pp = preprocess(source, extra_macros)
     parser = c_parser.CParser()
-    try:
-        ast = parser.parse(pp.source, filename="<kernel>")
-    except Exception as exc:
-        raise FrontendError(f"C parse error: {exc}") from exc
-    return _Lowerer(pp).lower_file(ast)
+    with span("frontend.parse"):
+        try:
+            ast = parser.parse(pp.source, filename="<kernel>")
+        except Exception as exc:
+            raise FrontendError(f"C parse error: {exc}") from exc
+    with span("frontend.lower") as sp:
+        kernels = _Lowerer(pp).lower_file(ast)
+        sp.set(kernels=len(kernels))
+    get_registry().counter(
+        "frontend_kernels_lowered",
+        "OpenMP parallel-for nests lowered to the loop IR",
+    ).inc(len(kernels))
+    return kernels
 
 
 class _Lowerer:

@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.model.stackdist import MODIFIED, SHARED
+from repro.obs import get_registry, span
 
 
 @dataclass
@@ -70,6 +71,26 @@ class FSStats:
         self.fs_by_thread.update(other.fs_by_thread)
         self.fs_by_line.update(other.fs_by_line)
         self.fs_by_pair.update(other.fs_by_pair)
+
+    #: scalar counters published to the metrics registry, in order
+    _SCALARS = (
+        "fs_cases", "fs_read_cases", "fs_write_cases", "accesses",
+        "misses", "invalidations", "downgrades", "evictions", "steps",
+    )
+
+    def publish(self, **labels) -> None:
+        """Push the scalar counters into the process metrics registry.
+
+        Each counter lands under its own metric name with the given
+        labels, e.g. ``fs_cases{kernel="heat",threads="4"}`` — the
+        bridge between the detector's per-run accumulation and the obs
+        layer's cross-run registry (see docs/OBSERVABILITY.md).
+        """
+        registry = get_registry()
+        for name in self._SCALARS:
+            registry.counter(
+                name, f"FS detector counter {name!r}"
+            ).labels(**labels).inc(getattr(self, name))
 
 
 class FSDetector:
@@ -138,6 +159,20 @@ class FSDetector:
         ``thread_order`` overrides it (used by the interleaving-order
         ablation); each thread performs its references in program order.
         """
+        with span("detector.process_block") as sp:
+            before = self.stats.fs_cases
+            self._process_block(thread_lines, write_mask, thread_order)
+            sp.set(
+                steps=self.stats.steps,
+                fs_cases_delta=self.stats.fs_cases - before,
+            )
+
+    def _process_block(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        thread_order: Sequence[int] | None = None,
+    ) -> None:
         writes: tuple[bool, ...] = tuple(bool(w) for w in write_mask)
         rows = [mat.tolist() for mat in thread_lines]
         lengths = [len(r) for r in rows]

@@ -31,6 +31,7 @@ from repro.machine import MachineConfig
 from repro.model.detector import FSDetector, FSStats
 from repro.model.ownership import OwnershipListGenerator
 from repro.model.schedule import IterationSpace
+from repro.obs import get_registry, span
 from repro.util import get_logger
 
 logger = get_logger(__name__)
@@ -233,6 +234,24 @@ class FalseSharingModel:
             nest = nest.with_chunk(chunk)
         validate_nest(nest)
 
+        with span(
+            "model.analyze", kernel=nest.name, threads=num_threads,
+            mode=self.mode,
+        ) as sp:
+            result = self._analyze(
+                nest, num_threads, max_chunk_runs, record_series, space
+            )
+            sp.set(chunk=result.chunk, fs_cases=result.fs_cases)
+        return result
+
+    def _analyze(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        max_chunk_runs: int | None,
+        record_series: bool,
+        space: AddressSpace | None,
+    ) -> FSModelResult:
         t0 = time.perf_counter()
         gen = OwnershipListGenerator(
             nest,
@@ -273,6 +292,21 @@ class FalseSharingModel:
         runs_evaluated = (
             stats.steps // steps_per_run if steps_per_run else 0
         )
+        # Bridge the detector's per-run counters into the obs registry
+        # and record model-side throughput (accesses/sec) + duration.
+        stats.publish(
+            kernel=nest.name, threads=num_threads, chunk=ispace.chunk,
+            mode=self.mode,
+        )
+        registry = get_registry()
+        registry.histogram(
+            "model_analyze_seconds", "wall time of FalseSharingModel.analyze"
+        ).labels(kernel=nest.name).observe(elapsed)
+        if elapsed > 0:
+            registry.gauge(
+                "model_accesses_per_sec",
+                "modeled accesses processed per second by the last analysis",
+            ).labels(kernel=nest.name).set(stats.accesses / elapsed)
         result = FSModelResult(
             nest_name=nest.name,
             num_threads=num_threads,

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.ir.loops import ParallelLoopNest
 from repro.model.fsmodel import FalseSharingModel, FSModelResult
+from repro.obs import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -143,24 +144,37 @@ class FalseSharingPredictor:
         chunk: int | None = None,
     ) -> FSPrediction:
         """Sample ``n_runs`` chunk runs and extrapolate to the whole loop."""
-        prefix = self.model.analyze(
-            nest,
-            num_threads,
-            chunk=chunk,
-            max_chunk_runs=self.n_runs,
-            record_series=True,
-        )
-        series = prefix.per_chunk_run
-        if series is None or len(series) == 0:
-            raise ValueError(
-                f"no chunk runs were evaluated for {nest.name!r}; "
-                "is the loop empty?"
+        with span(
+            "model.predict", kernel=nest.name, threads=num_threads,
+            n_runs=self.n_runs,
+        ):
+            prefix = self.model.analyze(
+                nest,
+                num_threads,
+                chunk=chunk,
+                max_chunk_runs=self.n_runs,
+                record_series=True,
             )
-        x = np.arange(1, len(series) + 1, dtype=np.float64)
-        y = series.astype(np.float64)
-        fit = _FITTERS[self.method](x, y)
-        total_runs = prefix.total_chunk_runs
-        predicted = max(fit.predict(float(total_runs)), 0.0)
+            series = prefix.per_chunk_run
+            if series is None or len(series) == 0:
+                raise ValueError(
+                    f"no chunk runs were evaluated for {nest.name!r}; "
+                    "is the loop empty?"
+                )
+            x = np.arange(1, len(series) + 1, dtype=np.float64)
+            y = series.astype(np.float64)
+            with span("regression.fit", method=self.method) as fit_sp:
+                fit = _FITTERS[self.method](x, y)
+                fit_sp.set(r2=fit.r2, points=len(series))
+            total_runs = prefix.total_chunk_runs
+            predicted = max(fit.predict(float(total_runs)), 0.0)
+        registry = get_registry()
+        registry.counter(
+            "fs_predictions", "linear-regression FS predictions made"
+        ).labels(kernel=nest.name, method=self.method).inc()
+        registry.gauge(
+            "fs_prediction_r2", "goodness of fit of the last FS prediction"
+        ).labels(kernel=nest.name, method=self.method).set(fit.r2)
         return FSPrediction(
             nest_name=prefix.nest_name,
             num_threads=num_threads,

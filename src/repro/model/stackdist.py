@@ -27,6 +27,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs import traced
+
 #: Line states inside a thread's cache state.
 MODIFIED = "M"
 SHARED = "S"
@@ -194,6 +196,7 @@ class StackDistanceAnalyzer:
         self._time += 1
         return distance
 
+    @traced(name="stackdist.distances")
     def distances(self, trace: Iterable[int]) -> list[int | None]:
         """Stack distance of every access in ``trace``.
 
@@ -202,6 +205,7 @@ class StackDistanceAnalyzer:
         """
         return [self.access(line) for line in trace]
 
+    @traced(name="stackdist.histogram")
     def histogram(self, trace: Iterable[int]) -> DistanceHistogram:
         """Full distance histogram of a trace."""
         hist = DistanceHistogram()

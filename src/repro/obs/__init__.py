@@ -1,0 +1,68 @@
+"""Observability for the FS-model pipeline: spans, metrics, exporters.
+
+The obs layer is the measurement substrate under every performance PR:
+
+* :mod:`repro.obs.tracer` — zero-dependency span tracing
+  (``with span("model.analyze"): ...`` / ``@traced``) with thread-safe
+  accumulation and near-zero overhead when disabled;
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms with Prometheus-style labeled children
+  (``fs_cases{kernel="heat",threads="4"}``) plus snapshot/reset/merge;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and JSON/CSV metrics dumps;
+* :mod:`repro.obs.config` — :class:`ObsConfig` (env vars
+  ``REPRO_TRACE`` / ``REPRO_METRICS``, CLI flags, programmatic) and the
+  :func:`session` lifecycle wrapper.
+
+See ``docs/OBSERVABILITY.md`` for the span naming conventions and the
+metric catalog.
+"""
+
+from repro.obs.config import ObsConfig, session
+from repro.obs.export import (
+    chrome_trace_events,
+    load_chrome_trace,
+    metrics_snapshot,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    format_labels,
+    get_registry,
+)
+from repro.obs.tracer import (
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    span,
+    span_summary,
+    traced,
+)
+
+__all__ = [
+    "ObsConfig",
+    "session",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "span_summary",
+    "traced",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "format_labels",
+    "get_registry",
+    "chrome_trace_events",
+    "load_chrome_trace",
+    "metrics_snapshot",
+    "write_chrome_trace",
+    "write_metrics",
+]

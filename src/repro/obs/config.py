@@ -1,0 +1,135 @@
+"""Observability configuration: env vars, CLI flags, session scoping.
+
+:class:`ObsConfig` is the single switchboard for the obs layer.  It can
+be built three ways:
+
+* **environment** — ``REPRO_TRACE=trace.json`` and/or
+  ``REPRO_METRICS=metrics.json`` (set either to ``1``/``on`` to enable
+  collection without writing a file);
+* **CLI flags** — ``--profile TRACE.json`` / ``--metrics-out M.json``
+  on the ``repro-fs`` subcommands (they override the environment);
+* **programmatic** — ``ObsConfig(trace_path="t.json")`` plus
+  :func:`session`.
+
+:func:`session` is the lifecycle: it enables the tracer, runs the
+body, then writes the configured outputs and restores the previous
+state — exception-safe, so a crashed run still flushes its trace.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+from repro.obs.export import write_chrome_trace, write_metrics
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.util import get_logger
+
+logger = get_logger(__name__)
+
+__all__ = ["ObsConfig", "session"]
+
+#: Env values meaning "collect but do not write a file".
+_TRUTHY = {"1", "true", "on", "yes"}
+_FALSY = {"", "0", "false", "off", "no"}
+
+
+def _parse_env(value: str | None) -> tuple[bool, str | None]:
+    """``(enabled, path)`` from one env var's raw value."""
+    if value is None:
+        return False, None
+    v = value.strip()
+    if v.lower() in _FALSY:
+        return False, None
+    if v.lower() in _TRUTHY:
+        return True, None
+    return True, v
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to collect and where to write it.
+
+    Attributes
+    ----------
+    trace_enabled / trace_path:
+        Record spans; write Chrome trace JSON to ``trace_path`` at
+        session end when a path is set.
+    metrics_enabled / metrics_path:
+        Metrics are always *collected* (the registry is cheap and
+        publication happens at stage boundaries); ``metrics_path``
+        requests a JSON/CSV dump at session end.
+    """
+
+    trace_enabled: bool = False
+    trace_path: str | None = None
+    metrics_enabled: bool = False
+    metrics_path: str | None = None
+
+    @classmethod
+    def from_env(cls, environ=None) -> "ObsConfig":
+        """Build from ``REPRO_TRACE`` / ``REPRO_METRICS``."""
+        env = os.environ if environ is None else environ
+        t_on, t_path = _parse_env(env.get("REPRO_TRACE"))
+        m_on, m_path = _parse_env(env.get("REPRO_METRICS"))
+        return cls(
+            trace_enabled=t_on,
+            trace_path=t_path,
+            metrics_enabled=m_on,
+            metrics_path=m_path,
+        )
+
+    def with_cli(
+        self, trace_path: str | None = None, metrics_path: str | None = None
+    ) -> "ObsConfig":
+        """Overlay CLI flag values (``None`` keeps the env settings)."""
+        cfg = self
+        if trace_path:
+            cfg = replace(cfg, trace_enabled=True, trace_path=trace_path)
+        if metrics_path:
+            cfg = replace(cfg, metrics_enabled=True, metrics_path=metrics_path)
+        return cfg
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when the session will collect or write anything."""
+        return self.trace_enabled or self.metrics_enabled
+
+
+@contextmanager
+def session(config: ObsConfig | None = None, reset_metrics: bool = False):
+    """Scope one observed run: enable, run, flush, restore.
+
+    Parameters
+    ----------
+    config:
+        ``None`` reads the environment (:meth:`ObsConfig.from_env`).
+    reset_metrics:
+        Clear the metrics registry on entry so the dump reflects only
+        this session (the CLI does this; library callers usually keep
+        accumulating).
+
+    Yields the active :class:`ObsConfig`.  On exit the configured
+    outputs are written even when the body raised.
+    """
+    cfg = config if config is not None else ObsConfig.from_env()
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    if cfg.trace_enabled:
+        tracer.reset()
+        tracer.enable()
+    if reset_metrics:
+        get_registry().reset()
+    try:
+        yield cfg
+    finally:
+        if cfg.trace_enabled:
+            tracer.enabled = was_enabled
+            if cfg.trace_path:
+                n = write_chrome_trace(cfg.trace_path)
+                logger.info("wrote %d spans to %s", n, cfg.trace_path)
+        if cfg.metrics_path:
+            write_metrics(cfg.metrics_path)
+            logger.info("wrote metrics to %s", cfg.metrics_path)

@@ -1,0 +1,156 @@
+"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+Two output families:
+
+* :func:`write_chrome_trace` — the tracer's spans as Chrome trace-event
+  JSON (the ``{"traceEvents": [...]}`` object form).  Open the file in
+  `Perfetto <https://ui.perfetto.dev>`_ or ``chrome://tracing`` to see
+  the pipeline flame graph.
+* :func:`write_metrics` — a registry snapshot as pretty-printed JSON,
+  or as ``kind,name,value`` CSV when the path ends in ``.csv``.
+
+Both are plain-stdlib and loss-free: :func:`load_chrome_trace` and
+``json.load`` round-trip them for tests and downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry, get_registry, iter_flat
+from repro.obs.tracer import SpanEvent, Tracer, get_tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "write_metrics",
+    "metrics_snapshot",
+]
+
+#: ``pid`` used for every event — the model is a single process.
+_PID = 1
+
+
+def chrome_trace_events(
+    events: Iterable[SpanEvent], process_name: str = "repro-fs"
+) -> list[dict[str, Any]]:
+    """Convert spans to Chrome trace-event dicts.
+
+    Each span becomes one complete ("X") event; metadata ("M") events
+    name the process and the threads so the viewer shows readable
+    lanes.
+    """
+    out: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    seen_tids: set[int] = set()
+    for ev in events:
+        if ev.tid not in seen_tids:
+            seen_tids.add(ev.tid)
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": ev.tid,
+                    "args": {"name": f"thread-{ev.tid}"},
+                }
+            )
+        entry: dict[str, Any] = {
+            "name": ev.name,
+            "cat": ev.category,
+            "ph": "X",
+            "ts": round(ev.start_us, 3),
+            "dur": round(ev.dur_us, 3),
+            "pid": _PID,
+            "tid": ev.tid,
+        }
+        if ev.args:
+            entry["args"] = {k: _jsonable(v) for k, v in ev.args.items()}
+        out.append(entry)
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    process_name: str = "repro-fs",
+) -> int:
+    """Write the tracer's spans as Chrome trace JSON; returns span count.
+
+    The output is the object form ``{"traceEvents": [...],
+    "displayTimeUnit": "ms"}`` which both Perfetto and chrome://tracing
+    accept.
+    """
+    tracer = tracer or get_tracer()
+    events = tracer.events()
+    doc = {
+        "traceEvents": chrome_trace_events(events, process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "spans": len(events),
+            "dropped": tracer.dropped,
+        },
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return len(events)
+
+
+def load_chrome_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a Chrome trace file; returns the non-metadata ("X") events.
+
+    Accepts both the object form written by :func:`write_chrome_trace`
+    and the bare-array form some tools emit.
+    """
+    with Path(path).open(encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def metrics_snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """Snapshot of the (default) registry — convenience re-export."""
+    return (registry or get_registry()).snapshot()
+
+
+def write_metrics(
+    path: str | Path, registry: MetricsRegistry | None = None
+) -> dict:
+    """Dump a registry snapshot to ``path``; returns the snapshot.
+
+    ``*.csv`` paths get ``kind,name,value`` rows (histograms flattened
+    to count/sum/mean); anything else gets pretty-printed JSON.
+    """
+    snap = metrics_snapshot(registry)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    if p.suffix.lower() == ".csv":
+        with p.open("w", encoding="utf-8", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["kind", "name", "value"])
+            for row in iter_flat(snap):
+                writer.writerow(row)
+    else:
+        with p.open("w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=1, sort_keys=True)
+    return snap

@@ -1,0 +1,362 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The registry follows the Prometheus naming model without the server:
+a *metric* is created once per name (``registry.counter("fs_cases")``)
+and has *labeled children* (``.labels(kernel="heat", threads=4)``) that
+hold the actual values.  A metric used without labels transparently
+uses its "default" (empty-label) child.
+
+Values flow out through :meth:`MetricsRegistry.snapshot`, a plain
+``dict`` that :mod:`repro.obs.export` serializes to JSON or CSV, and
+back in through :meth:`MetricsRegistry.merge` (union of two runs —
+counters/histograms add, gauges keep the other side's latest sample).
+
+Everything is thread-safe (one registry-wide lock; increments are a
+single dict update) and dependency-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "format_labels",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured log scale,
+#: but histograms are unit-agnostic).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, float("inf")
+)
+
+
+def format_labels(labels: Mapping[str, Any]) -> str:
+    """Render a label dict Prometheus-style: ``{a="1",b="x"}``.
+
+    >>> format_labels({"kernel": "heat", "threads": 4})
+    '{kernel="heat",threads="4"}'
+    >>> format_labels({})
+    ''
+    """
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Child:
+    """Base class for one labeled time series of a metric."""
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: Mapping[str, str]) -> None:
+        self.labels = dict(labels)
+
+
+class CounterChild(_Child):
+    """A monotonically increasing count for one label set."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, labels: Mapping[str, str]) -> None:
+        super().__init__(labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class GaugeChild(_Child):
+    """A point-in-time sample for one label set."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, labels: Mapping[str, str]) -> None:
+        super().__init__(labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class HistogramChild(_Child):
+    """Bucketed observations (+ count/sum/min/max) for one label set."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, labels: Mapping[str, str], bounds: tuple[float, ...]
+    ) -> None:
+        super().__init__(labels)
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_CHILD_FACTORY = {
+    "counter": CounterChild,
+    "gauge": GaugeChild,
+}
+
+
+class Metric:
+    """A named metric family holding labeled children.
+
+    Obtained from a :class:`MetricsRegistry`; calling :meth:`labels`
+    returns (creating on first use) the child for that label set, and
+    value operations on the metric itself proxy to the empty-label
+    child, so unlabeled use stays one-liner simple.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self._children: dict[tuple, _Child] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: Any):
+        """The child series for this label set (created on first use)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    str_labels = {str(k): str(v) for k, v in labels.items()}
+                    if self.kind == "histogram":
+                        child = HistogramChild(str_labels, self.buckets)
+                    else:
+                        child = _CHILD_FACTORY[self.kind](str_labels)
+                    self._children[key] = child
+        return child
+
+    # -- unlabeled conveniences (proxy to the empty-label child) -----------
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the empty-label child."""
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        """Set the empty-label child (gauges only)."""
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        """Observe into the empty-label child (histograms only)."""
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        """Value of the empty-label child (counter/gauge)."""
+        return self.labels().value
+
+    def children(self) -> list[_Child]:
+        """All labeled children, creation order."""
+        with self._lock:
+            return list(self._children.values())
+
+
+class MetricsRegistry:
+    """A process-wide collection of named metrics.
+
+    ``counter``/``gauge``/``histogram`` memoize by name, so every call
+    site can say ``get_registry().counter("fs_cases")`` without passing
+    handles around.  Redeclaring a name as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: str, help: str,
+             buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = Metric(name, kind, help, buckets)
+                    self._metrics[name] = metric
+        if metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {kind}"
+            )
+        if help and not metric.help:
+            metric.help = help
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Metric:
+        """The counter metric ``name`` (created on first use)."""
+        return self._get(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> Metric:
+        """The gauge metric ``name`` (created on first use)."""
+        return self._get(name, "gauge", help)
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Metric:
+        """The histogram metric ``name`` (created on first use)."""
+        return self._get(name, "histogram", help, buckets)
+
+    def metrics(self) -> list[Metric]:
+        """All registered metrics, creation order."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    # -- snapshot / reset / merge -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every metric and child.
+
+        Shape::
+
+            {"counters":   {'fs_cases{kernel="heat"}': 12.0, ...},
+             "gauges":     {...},
+             "histograms": {'h{...}': {"count": n, "sum": s, "min": ...,
+                                       "max": ..., "mean": ...,
+                                       "buckets": {"0.001": 3, ...}}, ...},
+             "help":       {"fs_cases": "...", ...}}
+        """
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}, "help": {}}
+        for metric in self.metrics():
+            if metric.help:
+                out["help"][metric.name] = metric.help
+            for child in metric.children():
+                key = metric.name + format_labels(child.labels)
+                if metric.kind == "counter":
+                    out["counters"][key] = child.value
+                elif metric.kind == "gauge":
+                    out["gauges"][key] = child.value
+                else:
+                    assert isinstance(child, HistogramChild)
+                    out["histograms"][key] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "min": child.min if child.count else None,
+                        "max": child.max if child.count else None,
+                        "mean": child.mean,
+                        "buckets": {
+                            str(b): c
+                            for b, c in zip(child.bounds, child.bucket_counts)
+                        },
+                    }
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (names and children)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters and histogram buckets add; gauges take the other
+        registry's sample (latest-wins).  Used to combine per-worker
+        registries after parallel runs.
+        """
+        for om in other.metrics():
+            mine = self._get(om.name, om.kind, om.help, om.buckets)
+            for child in om.children():
+                target = mine.labels(**child.labels)
+                if om.kind == "counter":
+                    target.inc(child.value)
+                elif om.kind == "gauge":
+                    target.set(child.value)
+                else:
+                    assert isinstance(child, HistogramChild)
+                    assert isinstance(target, HistogramChild)
+                    target.count += child.count
+                    target.sum += child.sum
+                    target.min = min(target.min, child.min)
+                    target.max = max(target.max, child.max)
+                    for i, c in enumerate(child.bucket_counts):
+                        target.bucket_counts[i] += c
+
+
+# Aliases matching the familiar Prometheus class names; the registry
+# hands out `Metric` objects, these exist for isinstance-free reading
+# of call sites and the docs.
+Counter = Metric
+Gauge = Metric
+Histogram = Metric
+
+
+#: The process-wide registry every instrumented module shares.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` singleton."""
+    return _REGISTRY
+
+
+def iter_flat(snapshot: Mapping[str, Any]) -> Iterable[tuple[str, str, float]]:
+    """Yield ``(kind, name, value)`` rows from a snapshot (CSV export).
+
+    Histograms flatten to their ``count``/``sum``/``mean`` aggregates.
+    """
+    for key, value in snapshot.get("counters", {}).items():
+        yield ("counter", key, value)
+    for key, value in snapshot.get("gauges", {}).items():
+        yield ("gauge", key, value)
+    for key, h in snapshot.get("histograms", {}).items():
+        yield ("histogram", f"{key}:count", float(h["count"]))
+        yield ("histogram", f"{key}:sum", float(h["sum"]))
+        yield ("histogram", f"{key}:mean", float(h["mean"]))

@@ -1,0 +1,286 @@
+"""Zero-dependency span tracing for the FS-model pipeline.
+
+The tracer records *spans* — named, timed intervals with optional
+key/value attributes — into an in-process buffer that
+:mod:`repro.obs.export` turns into Chrome trace-event JSON (loadable in
+Perfetto or ``chrome://tracing``).
+
+Design goals (see docs/OBSERVABILITY.md):
+
+* **near-zero overhead when disabled** — :func:`span` performs one
+  attribute read and returns a shared no-op context manager; the hot
+  loops of the model never pay for instrumentation they do not use;
+* **thread-safe accumulation** — spans may be recorded from any thread;
+  the buffer append happens under a lock and each span carries the
+  recording thread's id;
+* **zero dependencies** — only the standard library, so the obs layer
+  can be imported from every other package without cycles.
+
+Usage::
+
+    from repro.obs import span, traced
+
+    with span("detector.process_block", step=i):
+        ...work...
+
+    @traced
+    def histogram(self, trace):
+        ...
+
+Spans nest naturally: Chrome's trace viewer reconstructs the flame
+graph from the (start, duration, thread) triples.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "traced",
+    "span_summary",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span: a named interval on one thread.
+
+    ``start_us``/``dur_us`` are microseconds relative to the tracer's
+    epoch (its creation or last :meth:`Tracer.reset`), matching the
+    Chrome trace-event ``ts``/``dur`` convention.
+    """
+
+    name: str
+    start_us: float
+    dur_us: float
+    tid: int
+    args: dict[str, Any] = field(default_factory=dict)
+    category: str = "model"
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Ignore attributes (disabled-path no-op)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An active span; records itself into the tracer on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, category: str, args: dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._record(
+            self.name, self.category, self._start, time.perf_counter(), self.args
+        )
+        return False
+
+    def set(self, **attrs: Any) -> "_LiveSpan":
+        """Attach attributes discovered mid-span (e.g. result counts)."""
+        self.args.update(attrs)
+        return self
+
+
+class Tracer:
+    """Thread-safe span collector.
+
+    A process normally uses the module-level singleton via
+    :func:`get_tracer`; independent instances exist for tests.  All
+    public methods are safe to call from any thread.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._events: list[SpanEvent] = []
+        self._epoch = time.perf_counter()
+        #: os thread ident -> small stable display id (0, 1, 2, ...)
+        self._tids: dict[int, int] = {}
+        self._dropped = 0
+        self.max_events = 1_000_000
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans (idempotent)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans; buffered events are kept."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all buffered events and restart the time epoch."""
+        with self._lock:
+            self._events.clear()
+            self._tids.clear()
+            self._dropped = 0
+            self._epoch = time.perf_counter()
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, category: str = "model", **attrs: Any):
+        """A context manager timing the ``with`` body as span ``name``.
+
+        When the tracer is disabled this returns a shared no-op object,
+        so the call costs one attribute check on the hot path.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, category, attrs)
+
+    def _record(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        args: dict[str, Any],
+    ) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self._dropped += 1
+                return
+            tid = self._tids.setdefault(ident, len(self._tids))
+            self._events.append(
+                SpanEvent(
+                    name=name,
+                    start_us=(start - self._epoch) * 1e6,
+                    dur_us=(end - start) * 1e6,
+                    tid=tid,
+                    args=args,
+                    category=category,
+                )
+            )
+
+    # -- inspection ----------------------------------------------------------
+
+    def events(self) -> list[SpanEvent]:
+        """A snapshot copy of the recorded spans (chronological)."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Spans dropped after the buffer hit ``max_events``."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: The process-wide tracer every instrumented module shares.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer` singleton."""
+    return _TRACER
+
+
+def span(name: str, category: str = "model", **attrs: Any):
+    """Module-level shortcut for ``get_tracer().span(...)``.
+
+    >>> with span("doctest.noop"):
+    ...     pass
+    """
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(_TRACER, name, category, attrs)
+
+
+def traced(func: Callable | None = None, *, name: str | None = None,
+           category: str = "model"):
+    """Decorator tracing every call of ``func`` as one span.
+
+    Usable bare (``@traced``) or with arguments
+    (``@traced(name="stackdist.histogram")``).  The default span name is
+    ``module.qualname`` with the ``repro.`` prefix stripped.  When the
+    tracer is disabled the wrapper adds a single boolean check per call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        mod = fn.__module__ or ""
+        if mod.startswith("repro."):
+            mod = mod[len("repro."):]
+        label = name or f"{mod}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _TRACER.enabled:
+                return fn(*args, **kwargs)
+            with _LiveSpan(_TRACER, label, category, {}):
+                return fn(*args, **kwargs)
+
+        wrapper.__traced_name__ = label  # type: ignore[attr-defined]
+        return wrapper
+
+    if func is not None:
+        return decorate(func)
+    return decorate
+
+
+@dataclass(frozen=True)
+class SpanSummaryRow:
+    """Aggregated statistics for one span name."""
+
+    name: str
+    count: int
+    total_us: float
+    mean_us: float
+    max_us: float
+
+
+def span_summary(events: Iterable[SpanEvent]) -> list[SpanSummaryRow]:
+    """Aggregate events by span name, sorted by total time descending."""
+    totals: dict[str, list[float]] = {}
+    for ev in events:
+        totals.setdefault(ev.name, []).append(ev.dur_us)
+    rows = [
+        SpanSummaryRow(
+            name=name,
+            count=len(durs),
+            total_us=sum(durs),
+            mean_us=sum(durs) / len(durs),
+            max_us=max(durs),
+        )
+        for name, durs in totals.items()
+    ]
+    rows.sort(key=lambda r: r.total_us, reverse=True)
+    return rows

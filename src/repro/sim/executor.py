@@ -34,6 +34,7 @@ from repro.ir.refs import AddressSpace
 from repro.ir.validate import validate_nest
 from repro.machine import MachineConfig
 from repro.model.ownership import OwnershipListGenerator
+from repro.obs import get_registry, span
 from repro.sim.cache import E, M, PrivateCache, S
 from repro.sim.timing import AccessCosts
 from repro.util import get_logger
@@ -153,6 +154,22 @@ class MulticoreSimulator:
             nest = nest.with_chunk(chunk)
         validate_nest(nest)
 
+        with span("sim.run", kernel=nest.name, threads=num_threads) as sp:
+            result = self._run(nest, num_threads, space, max_steps)
+            sp.set(
+                chunk=result.chunk,
+                accesses=result.counters.accesses,
+                coherence_events=result.counters.coherence_events,
+            )
+        return result
+
+    def _run(
+        self,
+        nest: ParallelLoopNest,
+        num_threads: int,
+        space: AddressSpace | None,
+        max_steps: int | None,
+    ) -> SimResult:
         t0 = time.perf_counter()
         gen = OwnershipListGenerator(
             nest,
@@ -200,7 +217,14 @@ class MulticoreSimulator:
         pf_last = [[-1] * n_refs for _ in range(num_threads)]
         pf_delta = [[0] * n_refs for _ in range(num_threads)]
 
+        steps_per_run = max(gen.iteration_space.steps_per_chunk_run, 1)
+        progress = get_registry().gauge(
+            "sim_progress_chunk_runs",
+            "chunk runs completed by the in-flight simulation",
+        ).labels(kernel=nest.name, threads=num_threads)
         for block in gen.blocks(max_steps):
+            block_span = span("sim.block", start_step=block.start_step)
+            block_span.__enter__()
             rows = [mat.tolist() for mat in block.lines]
             lengths = [len(r) for r in rows]
             n_steps = max(lengths, default=0)
@@ -251,6 +275,13 @@ class MulticoreSimulator:
                         )
                     cycles[t] += cost
             # block ends; state persists across blocks
+            block_span.set(steps=n_steps)
+            block_span.__exit__(None, None, None)
+            progress.set(total_steps // steps_per_run)
+            logger.debug(
+                "sim %s: %d chunk runs done (%d steps)",
+                nest.name, total_steps // steps_per_run, total_steps,
+            )
 
         par_oh = self.machine.overheads
         trips = nest.trip_counts()
@@ -266,6 +297,23 @@ class MulticoreSimulator:
             + par_oh.barrier_cycles_per_thread * outer_runs
         )
         elapsed = time.perf_counter() - t0
+        registry = get_registry()
+        if elapsed > 0:
+            registry.gauge(
+                "sim_accesses_per_sec",
+                "simulated accesses processed per second by the last run",
+            ).labels(kernel=nest.name, threads=num_threads).set(
+                counters.accesses / elapsed
+            )
+        registry.counter(
+            "sim_coherence_events",
+            "accesses that found the line dirty in a remote cache",
+        ).labels(kernel=nest.name, threads=num_threads).inc(
+            counters.coherence_events
+        )
+        registry.histogram(
+            "sim_run_seconds", "wall time of MulticoreSimulator.run"
+        ).labels(kernel=nest.name).observe(elapsed)
         result = SimResult(
             nest_name=nest.name,
             num_threads=num_threads,

@@ -2,32 +2,102 @@
 
 Every module obtains its logger through :func:`get_logger` so the whole
 package shares one configuration point.  The default level is WARNING;
-``REPRO_LOG`` in the environment overrides it (e.g. ``REPRO_LOG=DEBUG``).
+``REPRO_LOG`` in the environment overrides it — either by name
+(``REPRO_LOG=DEBUG``) or numerically (``REPRO_LOG=10``).  An invalid
+value emits a :class:`RuntimeWarning` and falls back to WARNING instead
+of being silently ignored.
+
+:func:`set_level` adjusts verbosity at runtime (used by the obs layer
+and the test suite) without mutating the environment.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import warnings
 
 _CONFIGURED = False
+
+_LEVEL_NAMES = {
+    "CRITICAL": logging.CRITICAL,
+    "FATAL": logging.FATAL,
+    "ERROR": logging.ERROR,
+    "WARNING": logging.WARNING,
+    "WARN": logging.WARNING,
+    "INFO": logging.INFO,
+    "DEBUG": logging.DEBUG,
+    "NOTSET": logging.NOTSET,
+}
+
+
+def parse_level(value: int | str) -> int:
+    """Resolve a level given by name or number.
+
+    >>> parse_level("debug"), parse_level(30), parse_level("10")
+    (10, 30, 10)
+
+    Raises :class:`ValueError` for anything unrecognized.
+    """
+    if isinstance(value, int):
+        return value
+    text = str(value).strip()
+    if text.lstrip("-").isdigit():
+        return int(text)
+    name = text.upper()
+    if name in _LEVEL_NAMES:
+        return _LEVEL_NAMES[name]
+    raise ValueError(
+        f"invalid log level {value!r}; expected one of "
+        f"{sorted(_LEVEL_NAMES)} or an integer"
+    )
+
+
+def _level_from_env() -> int:
+    raw = os.environ.get("REPRO_LOG")
+    if raw is None or not raw.strip():
+        return logging.WARNING
+    try:
+        return parse_level(raw)
+    except ValueError:
+        warnings.warn(
+            f"REPRO_LOG={raw!r} is not a valid log level; "
+            "falling back to WARNING",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return logging.WARNING
 
 
 def _configure_root() -> None:
     global _CONFIGURED
     if _CONFIGURED:
         return
-    level_name = os.environ.get("REPRO_LOG", "WARNING").upper()
-    level = getattr(logging, level_name, logging.WARNING)
     handler = logging.StreamHandler()
     handler.setFormatter(
         logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
     )
     root = logging.getLogger("repro")
-    root.setLevel(level)
+    root.setLevel(_level_from_env())
     if not root.handlers:
         root.addHandler(handler)
     _CONFIGURED = True
+
+
+def set_level(level: int | str) -> int:
+    """Set the ``repro`` logger hierarchy's level; returns the old one.
+
+    Accepts names (``"DEBUG"``), numbers (``10``) or numeric strings
+    (``"10"``); raises :class:`ValueError` on anything else.  This is
+    the programmatic alternative to the ``REPRO_LOG`` environment
+    variable — tests and the obs layer use it to adjust verbosity
+    without env mutation.
+    """
+    _configure_root()
+    root = logging.getLogger("repro")
+    old = root.level
+    root.setLevel(parse_level(level))
+    return old
 
 
 def get_logger(name: str) -> logging.Logger:

@@ -22,6 +22,7 @@ PACKAGES = (
     "repro.transform",
     "repro.analysis",
     "repro.util",
+    "repro.obs",
 )
 
 

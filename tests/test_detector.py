@@ -194,3 +194,139 @@ class TestStatsMerge:
         before = (a.stats.fs_cases, a.stats.accesses)
         a.stats.merge(FSStats())
         assert (a.stats.fs_cases, a.stats.accesses) == before
+
+    def test_merge_disjoint_counters_unions_keys(self):
+        """Counters with non-overlapping keys merge to their union."""
+        from collections import Counter
+
+        from repro.model.detector import FSStats
+
+        a = FSStats(
+            fs_cases=3, misses=2,
+            fs_by_line=Counter({10: 3}),
+            fs_by_pair=Counter({(0, 1): 3}),
+        )
+        b = FSStats(
+            fs_cases=5, invalidations=4,
+            fs_by_line=Counter({20: 5}),
+            fs_by_pair=Counter({(1, 0): 5}),
+        )
+        a.merge(b)
+        assert a.fs_cases == 8
+        assert a.misses == 2 and a.invalidations == 4
+        assert a.fs_by_line == {10: 3, 20: 5}
+        assert a.fs_by_pair == {(0, 1): 3, (1, 0): 5}
+
+    def test_merge_overlapping_counters_add(self):
+        """Shared line/pair/thread keys accumulate, never overwrite."""
+        from collections import Counter
+
+        from repro.model.detector import FSStats
+
+        a = FSStats(
+            fs_cases=2,
+            fs_by_thread=Counter({1: 2}),
+            fs_by_line=Counter({10: 2}),
+            fs_by_pair=Counter({(0, 1): 2}),
+        )
+        b = FSStats(
+            fs_cases=7,
+            fs_by_thread=Counter({1: 4, 0: 3}),
+            fs_by_line=Counter({10: 7}),
+            fs_by_pair=Counter({(0, 1): 4, (1, 0): 3}),
+        )
+        a.merge(b)
+        assert a.fs_by_thread == {1: 6, 0: 3}
+        assert a.fs_by_line == {10: 9}
+        assert a.fs_by_pair == {(0, 1): 6, (1, 0): 3}
+        # conflict matrix total always equals the case total
+        assert sum(a.fs_by_pair.values()) == a.fs_cases == 9
+
+    def test_merge_preserves_read_write_split(self):
+        """Read-FS and write-FS cases merge independently and the two
+        directions always sum to the total."""
+        a = det(threads=2)
+        a.access(0, 1, True)
+        a.access(1, 1, False)  # read-FS on thread 1
+        b = det(threads=2)
+        b.access(1, 2, True)
+        b.access(0, 2, True)  # write-FS on thread 0
+
+        a.stats.merge(b.stats)
+        assert a.stats.fs_read_cases == 1
+        assert a.stats.fs_write_cases == 1
+        assert a.stats.fs_cases == a.stats.fs_read_cases + a.stats.fs_write_cases
+
+
+class TestPairMatrix:
+    def test_pair_keys_are_writer_then_accessor(self):
+        """fs_by_pair keys are (writer, accessor) — direction matters."""
+        d = det(threads=3)
+        d.access(0, 5, True)   # t0 writes line 5
+        d.access(1, 5, True)   # t1 hits t0's dirty copy -> (0, 1)
+        d.access(2, 5, False)  # t2 reads t1's dirty copy -> (1, 2)
+        assert d.stats.fs_by_pair[(0, 1)] == 1
+        assert d.stats.fs_by_pair[(1, 2)] == 1
+        assert (1, 0) not in d.stats.fs_by_pair
+        assert (2, 1) not in d.stats.fs_by_pair
+        assert sum(d.stats.fs_by_pair.values()) == d.stats.fs_cases == 2
+
+    def test_multiple_writers_each_get_a_row(self):
+        """In literal mode several remote Modified states can each
+        contribute a case for one access; each writer gets its row."""
+        d = det(threads=3, mode="literal")
+        d.access(0, 7, True)
+        d.access(1, 7, True)   # insert sees t0        -> (0, 1)
+        d.access(2, 7, False)  # insert sees t0 and t1 -> (0, 2), (1, 2)
+        assert d.stats.fs_by_pair[(0, 1)] == 1
+        assert d.stats.fs_by_pair[(0, 2)] == 1
+        assert d.stats.fs_by_pair[(1, 2)] == 1
+        assert sum(d.stats.fs_by_pair.values()) == d.stats.fs_cases == 3
+
+    def test_read_vs_write_split_in_pair_accounting(self):
+        """The split classifies by the *accessor's* direction."""
+        d = det(threads=2)
+        d.access(0, 9, True)
+        d.access(1, 9, False)  # read case (0, 1)
+        assert d.stats.fs_read_cases == 1
+        assert d.stats.fs_write_cases == 0
+        d.access(1, 9, True)   # upgrade: the downgrade left no writer -> no FS
+        assert d.stats.fs_cases == 1
+        d.access(0, 9, True)   # t1 became the writer -> write case (1, 0)
+        assert d.stats.fs_write_cases == 1
+        assert d.stats.fs_by_pair[(1, 0)] == 1
+        assert sum(d.stats.fs_by_pair.values()) == d.stats.fs_cases == 2
+
+
+class TestStatsPublish:
+    def test_publish_pushes_scalars_into_registry(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        registry.reset()
+        d = det(threads=2)
+        d.access(0, 1, True)
+        d.access(1, 1, False)
+        d.stats.publish(kernel="unit", threads=2)
+        snap = registry.snapshot()
+        assert snap["counters"][
+            'fs_cases{kernel="unit",threads="2"}'
+        ] == d.stats.fs_cases
+        assert snap["counters"][
+            'misses{kernel="unit",threads="2"}'
+        ] == d.stats.misses
+        registry.reset()
+
+    def test_publish_accumulates_across_runs(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        registry.reset()
+        for _ in range(3):
+            d = det(threads=2)
+            d.access(0, 1, True)
+            d.access(1, 1, True)
+            d.stats.publish(kernel="unit")
+        snap = registry.snapshot()
+        assert snap["counters"]['fs_cases{kernel="unit"}'] == 3.0
+        registry.reset()

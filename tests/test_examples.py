@@ -5,6 +5,7 @@ faster ones run in every test session, the heavier ones are marked slow
 so ``pytest -m "not slow"`` stays quick.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 FAST = [
     "quickstart.py",
@@ -28,12 +30,20 @@ SLOW = [
 
 
 def run_example(name: str, cwd: Path) -> subprocess.CompletedProcess:
+    # The subprocess does not inherit this test run's import path (the
+    # repo installs from src/), so propagate it explicitly: otherwise
+    # `import repro` fails for users running from a source checkout.
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=cwd,
+        env=env,
     )
 
 

@@ -1,0 +1,369 @@
+"""Tests for the observability layer: tracer, metrics, exporters, config.
+
+Covers the round-trips the acceptance criteria name: spans -> Chrome
+trace JSON -> ``json.load``; registry -> snapshot -> JSON/CSV; and the
+end-to-end wiring (an instrumented analysis produces pipeline-stage
+spans and registry counters that match the run's ``FSStats``).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ObsConfig,
+    Tracer,
+    chrome_trace_events,
+    format_labels,
+    get_registry,
+    get_tracer,
+    load_chrome_trace,
+    session,
+    span,
+    span_summary,
+    traced,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+@pytest.fixture
+def tracer():
+    t = get_tracer()
+    t.reset()
+    t.enable()
+    yield t
+    t.disable()
+    t.reset()
+
+
+@pytest.fixture
+def registry():
+    r = get_registry()
+    r.reset()
+    yield r
+    r.reset()
+
+
+class TestTracer:
+    def test_disabled_span_records_nothing(self):
+        t = get_tracer()
+        t.reset()
+        assert not t.enabled
+        with span("never.seen"):
+            pass
+        assert len(t.events()) == 0
+
+    def test_span_records_name_args_duration(self, tracer):
+        with span("unit.work", step=3):
+            pass
+        (ev,) = tracer.events()
+        assert ev.name == "unit.work"
+        assert ev.args == {"step": 3}
+        assert ev.dur_us >= 0
+
+    def test_nested_spans_all_recorded(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+        names = [e.name for e in tracer.events()]
+        assert names == ["inner", "outer"]  # inner closes first
+
+    def test_set_attaches_mid_span_attrs(self, tracer):
+        with span("unit.result") as sp:
+            sp.set(found=7)
+        (ev,) = tracer.events()
+        assert ev.args["found"] == 7
+
+    def test_span_survives_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with span("unit.crash"):
+                raise RuntimeError("boom")
+        assert [e.name for e in tracer.events()] == ["unit.crash"]
+
+    def test_traced_decorator_bare_and_named(self, tracer):
+        @traced
+        def alpha():
+            return 1
+
+        @traced(name="custom.beta")
+        def beta():
+            return 2
+
+        assert alpha() == 1 and beta() == 2
+        names = {e.name for e in tracer.events()}
+        assert "custom.beta" in names
+        assert any(n.endswith("alpha") for n in names)
+
+    def test_traced_is_free_when_disabled(self):
+        t = get_tracer()
+        t.reset()
+
+        @traced
+        def gamma():
+            return 3
+
+        assert gamma() == 3
+        assert len(t.events()) == 0
+
+    def test_thread_safety_and_tid_mapping(self, tracer):
+        barrier = threading.Barrier(4)
+
+        def work():
+            barrier.wait()  # ensure all four threads are alive at once
+            for _ in range(50):
+                with span("mt.work"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        events = tracer.events()
+        assert len(events) == 200
+        assert {e.tid for e in events} == {0, 1, 2, 3}
+
+    def test_buffer_cap_drops_not_grows(self, tracer):
+        tracer.max_events = 10
+        for _ in range(20):
+            with span("capped"):
+                pass
+        assert len(tracer.events()) == 10
+        assert tracer.dropped == 10
+
+    def test_summary_aggregates_by_name(self, tracer):
+        for _ in range(3):
+            with span("agg.a"):
+                pass
+        with span("agg.b"):
+            pass
+        rows = {r.name: r for r in span_summary(tracer.events())}
+        assert rows["agg.a"].count == 3
+        assert rows["agg.b"].count == 1
+        assert rows["agg.a"].total_us >= rows["agg.a"].mean_us
+
+
+class TestMetrics:
+    def test_counter_labels_and_value(self, registry):
+        c = registry.counter("fs_cases", "cases")
+        c.labels(kernel="heat", threads=4).inc(10)
+        c.labels(kernel="heat", threads=4).inc(2)
+        c.labels(kernel="dft", threads=4).inc(1)
+        snap = registry.snapshot()
+        assert snap["counters"]['fs_cases{kernel="heat",threads="4"}'] == 12
+        assert snap["counters"]['fs_cases{kernel="dft",threads="4"}'] == 1
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_gauge_set_and_inc(self, registry):
+        g = registry.gauge("throughput")
+        g.set(100.0)
+        g.inc(-25.0)
+        assert g.value == 75.0
+
+    def test_histogram_aggregates(self, registry):
+        h = registry.histogram("lat")
+        for v in (0.005, 0.02, 0.02, 2.0):
+            h.observe(v)
+        snap = registry.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 4
+        assert snap["min"] == 0.005 and snap["max"] == 2.0
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("gone").inc()
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+
+    def test_merge_counters_add_gauges_latest(self, registry):
+        registry.counter("c").labels(k="1").inc(3)
+        registry.gauge("g").set(1.0)
+        other = MetricsRegistry()
+        other.counter("c").labels(k="1").inc(4)
+        other.counter("c").labels(k="2").inc(5)
+        other.gauge("g").set(9.0)
+        other.histogram("h").observe(1.0)
+        registry.merge(other)
+        snap = registry.snapshot()
+        assert snap["counters"]['c{k="1"}'] == 7
+        assert snap["counters"]['c{k="2"}'] == 5
+        assert snap["gauges"]["g"] == 9.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_format_labels_sorted_and_quoted(self):
+        assert format_labels({"b": 2, "a": "x"}) == '{a="x",b="2"}'
+
+
+class TestExport:
+    def test_chrome_trace_round_trip(self, tracer, tmp_path):
+        with span("rt.stage", items=5):
+            pass
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(path)
+        assert n == 1
+        doc = json.load(path.open())  # must be plain-JSON loadable
+        assert "traceEvents" in doc
+        events = load_chrome_trace(path)
+        assert events[0]["name"] == "rt.stage"
+        assert events[0]["args"]["items"] == 5
+        assert events[0]["ph"] == "X"
+
+    def test_chrome_trace_has_metadata_lanes(self, tracer):
+        with span("meta.check"):
+            pass
+        events = chrome_trace_events(tracer.events())
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        meta_names = {e["name"] for e in events if e["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= meta_names
+
+    def test_metrics_json_round_trip(self, registry, tmp_path):
+        registry.counter("fs_cases").labels(kernel="heat").inc(42)
+        path = tmp_path / "m.json"
+        write_metrics(path)
+        loaded = json.load(path.open())
+        assert loaded["counters"]['fs_cases{kernel="heat"}'] == 42
+
+    def test_metrics_csv_round_trip(self, registry, tmp_path):
+        registry.counter("fs_cases").inc(7)
+        registry.histogram("h").observe(0.5)
+        path = tmp_path / "m.csv"
+        write_metrics(path)
+        text = path.read_text()
+        assert text.splitlines()[0] == "kind,name,value"
+        assert "fs_cases" in text and "h:count" in text
+
+
+class TestConfig:
+    def test_from_env_paths_and_switches(self):
+        cfg = ObsConfig.from_env(
+            {"REPRO_TRACE": "t.json", "REPRO_METRICS": "on"}
+        )
+        assert cfg.trace_enabled and cfg.trace_path == "t.json"
+        assert cfg.metrics_enabled and cfg.metrics_path is None
+
+    def test_from_env_disabled_values(self):
+        for value in ("", "0", "off", "false"):
+            cfg = ObsConfig.from_env({"REPRO_TRACE": value})
+            assert not cfg.trace_enabled
+
+    def test_cli_overrides_env(self):
+        cfg = ObsConfig.from_env({"REPRO_TRACE": "env.json"})
+        cfg = cfg.with_cli(trace_path="cli.json", metrics_path="m.csv")
+        assert cfg.trace_path == "cli.json"
+        assert cfg.metrics_path == "m.csv"
+
+    def test_session_writes_outputs_and_restores(self, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        cfg = ObsConfig(
+            trace_enabled=True, trace_path=str(trace),
+            metrics_enabled=True, metrics_path=str(metrics),
+        )
+        with session(cfg, reset_metrics=True):
+            with span("sess.body"):
+                pass
+            get_registry().counter("sess_counter").inc()
+        assert not get_tracer().enabled
+        assert load_chrome_trace(trace)[0]["name"] == "sess.body"
+        assert json.load(metrics.open())["counters"]["sess_counter"] == 1
+        get_registry().reset()
+
+    def test_session_flushes_on_exception(self, tmp_path):
+        trace = tmp_path / "t.json"
+        cfg = ObsConfig(trace_enabled=True, trace_path=str(trace))
+        with pytest.raises(RuntimeError):
+            with session(cfg):
+                with span("sess.crash"):
+                    pass
+                raise RuntimeError("boom")
+        assert load_chrome_trace(trace)[0]["name"] == "sess.crash"
+
+
+class TestPipelineIntegration:
+    """End-to-end: the instrumented model emits spans + matching metrics."""
+
+    @pytest.fixture
+    def analysis(self, tracer, registry):
+        from repro.kernels import heat_diffusion
+        from repro.machine import paper_machine
+        from repro.model import FalseSharingModel
+
+        k = heat_diffusion(rows=4, cols=258)
+        model = FalseSharingModel(paper_machine())
+        result = model.analyze(k.nest, 4, chunk=1)
+        return result, tracer, registry
+
+    def test_pipeline_stage_spans_present(self, analysis):
+        _, tracer, _ = analysis
+        names = {e.name for e in tracer.events()}
+        assert {"model.analyze", "ownership.block",
+                "detector.process_block"} <= names
+
+    def test_registry_counters_match_fsstats(self, analysis):
+        result, _, registry = analysis
+        snap = registry.snapshot()["counters"]
+        labels = (
+            f'{{chunk="{result.chunk}",kernel="{result.nest_name}",'
+            f'mode="invalidate",threads="{result.num_threads}"}}'
+        )
+        assert snap["fs_cases" + labels] == result.stats.fs_cases
+        assert snap["misses" + labels] == result.stats.misses
+        assert snap["invalidations" + labels] == result.stats.invalidations
+
+    def test_cli_profile_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.kernels import heat_source
+
+        src = tmp_path / "heat.c"
+        src.write_text(heat_source(6, 130))
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "analyze", str(src), "-t", "4", "-c", "1",
+            "--profile", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        names = {e["name"] for e in load_chrome_trace(trace)}
+        assert len(names) >= 6  # distinct pipeline-stage span names
+        assert "model.analyze" in names and "frontend.parse" in names
+        m = json.load(metrics.open())
+        fs_keys = [k for k in m["counters"] if k.startswith("fs_cases{")]
+        assert fs_keys, "metrics dump must carry fs_cases counters"
+        get_registry().reset()
+        get_tracer().reset()
+
+    def test_model_overhead_when_disabled_is_small(self):
+        """Tracing off: instrumented analyze within noise of itself.
+
+        A smoke guard (the real bound lives in
+        benchmarks/bench_model_throughput.py): the disabled-path span()
+        calls must not add pathological per-block cost.
+        """
+        import time
+
+        from repro.kernels import heat_diffusion
+        from repro.machine import paper_machine
+        from repro.model import FalseSharingModel
+
+        t = get_tracer()
+        assert not t.enabled
+        k = heat_diffusion(rows=4, cols=258)
+        model = FalseSharingModel(paper_machine())
+        model.analyze(k.nest, 4, chunk=1)  # warm-up
+        t0 = time.perf_counter()
+        model.analyze(k.nest, 4, chunk=1)
+        cold = time.perf_counter() - t0
+        assert len(t.events()) == 0
+        assert cold < 5.0  # absolute sanity bound, not a micro-benchmark

@@ -83,3 +83,57 @@ class TestLogger:
 
     def test_is_logger(self):
         assert isinstance(get_logger("x"), logging.Logger)
+
+
+class TestLogLevels:
+    def test_parse_level_names_and_numbers(self):
+        from repro.util import parse_level
+
+        assert parse_level("DEBUG") == logging.DEBUG
+        assert parse_level("warning") == logging.WARNING
+        assert parse_level(15) == 15
+        assert parse_level("10") == 10
+
+    def test_parse_level_rejects_garbage(self):
+        from repro.util import parse_level
+
+        with pytest.raises(ValueError):
+            parse_level("LOUD")
+
+    def test_set_level_returns_previous(self):
+        from repro.util import set_level
+
+        old = set_level("DEBUG")
+        try:
+            assert logging.getLogger("repro").level == logging.DEBUG
+            assert set_level(old) == logging.DEBUG
+        finally:
+            logging.getLogger("repro").setLevel(old)
+
+    def test_set_level_accepts_numeric_string(self):
+        from repro.util import set_level
+
+        old = set_level("10")
+        try:
+            assert logging.getLogger("repro").level == 10
+        finally:
+            logging.getLogger("repro").setLevel(old)
+
+    def test_invalid_env_value_warns_not_silent(self, monkeypatch):
+        from repro.util.logging import _level_from_env
+
+        monkeypatch.setenv("REPRO_LOG", "VERYLOUD")
+        with pytest.warns(RuntimeWarning, match="REPRO_LOG"):
+            assert _level_from_env() == logging.WARNING
+
+    def test_numeric_env_value_accepted(self, monkeypatch):
+        from repro.util.logging import _level_from_env
+
+        monkeypatch.setenv("REPRO_LOG", "10")
+        assert _level_from_env() == logging.DEBUG
+
+    def test_unset_env_defaults_to_warning(self, monkeypatch):
+        from repro.util.logging import _level_from_env
+
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert _level_from_env() == logging.WARNING
