@@ -5,7 +5,7 @@ PY      := python
 PP      := PYTHONPATH=src
 BENCHD  := .bench
 
-.PHONY: test test-fast lint bench-smoke bench-overhead clean
+.PHONY: test test-fast lint bench-smoke bench-overhead bench-sweep clean
 
 test:
 	$(PP) $(PY) -m pytest -q
@@ -31,6 +31,17 @@ bench-smoke:
 	  m = json.load(open('$(BENCHD)/metrics.json')); \
 	  assert any(k.startswith('fs_cases{') for k in m['counters']), m; \
 	  print('bench-smoke OK:', len(names), 'span names')"
+
+# Cold-vs-warm engine sweep: same grid twice through a fresh result
+# store; records wall times + cache counters to BENCH_engine.json and
+# asserts the warm run is served from cache.
+bench-sweep:
+	mkdir -p $(BENCHD)
+	$(PP) REPRO_CACHE_DIR=$(BENCHD)/cache $(PY) benchmarks/bench_engine_sweep.py \
+	  --jobs 4 --out $(BENCHD)/BENCH_engine.json
+	$(PP) $(PY) -c "import json; \
+	  doc = json.load(open('$(BENCHD)/BENCH_engine.json')); \
+	  print('bench-sweep OK:', json.dumps(doc['summary']))"
 
 # Guard the <5% disabled-overhead budget on the model's hot path.
 bench-overhead:

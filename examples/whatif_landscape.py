@@ -3,16 +3,23 @@
 The paper's closing pitch: the model should help pick "the optimal
 chunk size for OpenMP loops and the optimal number of threads to
 execute the loop."  This example sweeps both knobs at once with the
-fast LR predictor, prints the landscape, exports it as CSV, and
-cross-checks the best cell on the simulator.
+fast LR predictor — fanned out across a :mod:`repro.engine` worker
+pool, with every grid point memoized in the on-disk result store, so a
+re-run of the same landscape is served from cache — prints the
+landscape, exports it as CSV, and cross-checks the best cell on the
+simulator.
 
 Run:  python examples/whatif_landscape.py
+(set REPRO_CACHE_DIR to relocate the result cache; pass --jobs N to
+change the worker count)
 """
 
+import sys
 from pathlib import Path
 
 from repro import MulticoreSimulator, paper_machine
 from repro.analysis import ExperimentResult, result_to_csv
+from repro.engine import Engine, default_jobs
 from repro.kernels import linear_regression
 from repro.model import WhatIfSweep
 
@@ -24,8 +31,23 @@ def main() -> None:
     machine = paper_machine()
     kernel = linear_regression(8, tasks=240, total_points=480)
 
+    jobs = default_jobs()
+    if "--jobs" in sys.argv:
+        jobs = int(sys.argv[sys.argv.index("--jobs") + 1])
+    engine = Engine(jobs=jobs)
+
     sweep = WhatIfSweep(machine, predictor_runs=6)
-    result = sweep.sweep(kernel.nest, threads=THREADS, chunks=CHUNKS)
+    result = sweep.sweep(
+        kernel.nest, threads=THREADS, chunks=CHUNKS, engine=engine
+    )
+
+    from repro.obs import get_registry
+
+    snap = get_registry().snapshot()["counters"]
+    print(f"engine: jobs={jobs}, "
+          f"cache hits={snap.get('engine_cache_hits_total', 0):.0f}, "
+          f"misses={snap.get('engine_cache_misses_total', 0):.0f} "
+          f"(store: {engine.store.root})")
 
     table = ExperimentResult(
         "What-if", f"{result.nest_name}: FS landscape",

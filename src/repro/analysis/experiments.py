@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.model import (
 )
 from repro.sim import MulticoreSimulator
 from repro.util import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine, Job
 
 logger = get_logger(__name__)
 
@@ -365,24 +368,86 @@ class ExperimentSuite(SupplementaryMixin):
 
     # -- whole-suite --------------------------------------------------------------
 
-    def run_all(self) -> list[ExperimentResult]:
-        """Regenerate every table and figure, in paper order."""
-        drivers: Sequence[Callable[[], ExperimentResult]] = (
-            self.run_fig2,
-            self.run_fig6,
-            self.run_table1,
-            self.run_table2,
-            self.run_table3,
-            self.run_table4,
-            self.run_table5,
-            self.run_table6,
-            self.run_fig8,
-            self.run_fig9,
-        )
+    def run_driver(self, name: str) -> ExperimentResult:
+        """Run one named driver (e.g. ``"run_table1"``)."""
+        if name not in DRIVER_ORDER and name not in SUPPLEMENTARY_DRIVERS:
+            raise ValueError(f"unknown experiment driver {name!r}")
+        return getattr(self, name)()
+
+    def experiment_jobs(
+        self, drivers: Sequence[str] | None = None
+    ) -> "list[Job]":
+        """One engine job per driver, each reconstructing the suite in
+        its worker from (machine, scale)."""
+        from repro.engine import Job
+
+        machine_key = self.machine.to_key_dict()
+        payload = {"machine": self.machine}
+        jobs = []
+        for name in drivers if drivers is not None else DRIVER_ORDER:
+            spec = {
+                "driver": name,
+                "scale": self.scale.name,
+                "machine": machine_key,
+            }
+            jobs.append(
+                Job(
+                    kind="experiment.driver",
+                    spec=spec,
+                    payload=payload,
+                    label=f"experiment:{name}:{self.scale.name}",
+                )
+            )
+        return jobs
+
+    def run_all(self, engine: "Engine | None" = None) -> list[ExperimentResult]:
+        """Regenerate every table and figure, in paper order.
+
+        With an ``engine``, the drivers fan out across its worker pool
+        (each driver is one job — the tables are independent) and
+        results memoize in the engine's store.  A driver failure raises
+        with that job's error.
+        """
+        if engine is not None:
+            docs = engine.run_strict(self.experiment_jobs())
+            return [ExperimentResult.from_dict(doc) for doc in docs]
         out: list[ExperimentResult] = []
-        for drive in drivers:
-            logger.info("running %s", drive.__name__)
-            res = drive()
+        for name in DRIVER_ORDER:
+            logger.info("running %s", name)
+            res = self.run_driver(name)
             logger.info("%s done in %.1fs", res.experiment, res.elapsed_seconds)
             out.append(res)
         return out
+
+
+#: Paper-order driver methods of :class:`ExperimentSuite`.
+DRIVER_ORDER: tuple[str, ...] = (
+    "run_fig2",
+    "run_fig6",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_fig8",
+    "run_fig9",
+)
+
+#: Beyond-the-paper drivers from :class:`SupplementaryMixin`.
+SUPPLEMENTARY_DRIVERS: tuple[str, ...] = (
+    "run_supp_victims",
+    "run_supp_baseline",
+    "run_supp_mitigation",
+)
+
+
+def run_experiment_job(job) -> dict:
+    """Engine runner for ``experiment.driver`` jobs (executes in a worker).
+
+    Rebuilds the suite from the payload machine and the spec's scale,
+    runs one driver, and returns the result's JSON form.
+    """
+    machine: MachineConfig = job.payload["machine"]
+    suite = ExperimentSuite(machine=machine, scale=str(job.spec["scale"]))
+    return suite.run_driver(str(job.spec["driver"])).to_dict()

@@ -12,6 +12,23 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 
+def _json_cell(value: object) -> object:
+    """Coerce one table cell to a JSON-native value.
+
+    Handles numpy scalars via their ``item()`` method without importing
+    numpy here; anything non-numeric falls back to ``str``.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _json_cell(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
 def format_cell(value: object) -> str:
     """Human formatting: thousands separators, trimmed floats.
 
@@ -57,6 +74,35 @@ class ExperimentResult:
         """All values of one column."""
         idx = self.columns.index(name)
         return [row[idx] for row in self.rows]
+
+    # -- JSON round-trip (engine job results) --------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form, used as the engine's cached job payload.
+
+        Numpy scalars are coerced to native Python numbers so the dict
+        serializes with the stdlib ``json`` module.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[_json_cell(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return ExperimentResult(
+            experiment=doc["experiment"],
+            title=doc["title"],
+            columns=tuple(doc["columns"]),
+            rows=[tuple(row) for row in doc["rows"]],
+            notes=list(doc.get("notes", [])),
+            elapsed_seconds=float(doc.get("elapsed_seconds", 0.0)),
+        )
 
     def to_text(self) -> str:
         """Render as a monospace table with caption and notes."""

@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.costmodels import TotalCostModel
 from repro.kernels.base import KernelInstance
 from repro.machine import MachineConfig
 from repro.model import FalseSharingModel, fs_overhead_percent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine, Job
 
 
 @dataclass(frozen=True)
@@ -92,6 +95,40 @@ def modeled_percent(
     ).percent
 
 
+def output_job(
+    machine: MachineConfig, kernel: KernelInstance, threads: int, label: str = ""
+) -> "Job":
+    """An engine job evaluating :func:`modeled_percent` for one machine.
+
+    Perturbations are expressed by passing an already-perturbed
+    ``machine`` — its canonical key dict carries the changed constant,
+    so each perturbation memoizes under its own cache key.
+    """
+    from repro.engine import Job, nest_digest
+
+    return Job(
+        kind="sensitivity.output",
+        spec={
+            "kernel_sha256": nest_digest(kernel.nest),
+            "reference_sha256": nest_digest(kernel.reference_nest),
+            "fs_chunk": kernel.fs_chunk,
+            "nfs_chunk": kernel.nfs_chunk,
+            "machine": machine.to_key_dict(),
+            "threads": threads,
+        },
+        payload={"machine": machine, "kernel": kernel},
+        label=label or f"sensitivity:{kernel.name}:t{threads}",
+    )
+
+
+def run_output_job(job) -> dict:
+    """Engine runner for ``sensitivity.output`` jobs."""
+    percent = modeled_percent(
+        job.payload["machine"], job.payload["kernel"], int(job.spec["threads"])
+    )
+    return {"percent": float(percent)}
+
+
 def sensitivity(
     machine: MachineConfig,
     kernel: KernelInstance,
@@ -99,6 +136,7 @@ def sensitivity(
     constants: tuple[str, ...] = DEFAULT_CONSTANTS,
     perturbation: float = 0.25,
     output_fn: Callable[[MachineConfig, KernelInstance, int], float] | None = None,
+    engine: "Engine | None" = None,
 ) -> list[SensitivityEntry]:
     """Elasticity of the modeled FS% to each constant.
 
@@ -108,12 +146,19 @@ def sensitivity(
         Relative bump applied to each constant (default +25%).
     output_fn:
         Override the measured output (default: Eq. (5) modeled percent).
+        Custom output functions cannot cross a process boundary, so they
+        force the serial path even when an ``engine`` is given.
+    engine:
+        Evaluate the base and every perturbed machine as independent
+        engine jobs — the evaluations share no state, so they
+        parallelize perfectly and memoize per perturbed config.
     """
     if not 0 < perturbation < 1:
         raise ValueError("perturbation must be in (0, 1)")
     out_fn = output_fn or modeled_percent
-    base_output = out_fn(machine, kernel, threads)
-    entries = []
+
+    # Plan the perturbations once, shared by both execution paths.
+    plan: list[tuple[str, float, float, MachineConfig]] = []
     for name in constants:
         base_value = _constant_value(machine, name)
         if name == "prefetch_coverage":
@@ -123,7 +168,27 @@ def sensitivity(
         else:
             new_value = base_value * (1 + perturbation)
             rel_in = perturbation
-        perturbed = out_fn(_with_constant(machine, name, new_value), kernel, threads)
+        plan.append(
+            (name, base_value, rel_in, _with_constant(machine, name, new_value))
+        )
+
+    if engine is not None and output_fn is None:
+        jobs = [output_job(machine, kernel, threads, f"sensitivity:{kernel.name}:base")]
+        jobs += [
+            output_job(m, kernel, threads, f"sensitivity:{kernel.name}:{name}")
+            for name, _, _, m in plan
+        ]
+        docs = engine.run_strict(jobs)
+        base_output = docs[0]["percent"]
+        perturbed_outputs = [doc["percent"] for doc in docs[1:]]
+    else:
+        base_output = out_fn(machine, kernel, threads)
+        perturbed_outputs = [
+            out_fn(m, kernel, threads) for _, _, _, m in plan
+        ]
+
+    entries = []
+    for (name, base_value, rel_in, _), perturbed in zip(plan, perturbed_outputs):
         rel_out = (
             (perturbed - base_output) / base_output if base_output else 0.0
         )

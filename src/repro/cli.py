@@ -22,10 +22,17 @@ Subcommands
     Run the full analysis with span tracing forced on; write a Chrome
     trace (Perfetto / ``chrome://tracing``) and a metrics dump, and
     print a per-stage timing summary.
+``cache``
+    Inspect (``stats``) or empty (``clear``) the batch engine's
+    content-addressed result store.
 
 Every analysis subcommand also accepts ``--profile TRACE.json`` /
 ``--metrics-out METRICS.json`` (or the ``REPRO_TRACE`` /
-``REPRO_METRICS`` environment variables) — see docs/OBSERVABILITY.md.
+``REPRO_METRICS`` environment variables) — see docs/OBSERVABILITY.md —
+plus the batch-engine flags ``--jobs N`` (worker processes; sweep and
+experiments fan out, and ``--jobs N`` output is byte-identical to
+``--jobs 1``) and ``--no-cache`` (skip the result store) — see
+docs/ENGINE.md.
 """
 
 from __future__ import annotations
@@ -61,6 +68,26 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics-out", metavar="METRICS.json", default=None,
                    help="write the metrics registry to a JSON (or .csv) "
                         "dump at exit")
+    _add_engine_flags(p)
+
+
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes for batch evaluation (default 1 "
+                        "= serial; results are identical either way)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache ($REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+
+
+def _engine_from(args: argparse.Namespace):
+    """Build an :class:`repro.engine.Engine` from the common CLI flags."""
+    from repro.engine import Engine
+
+    return Engine(
+        jobs=getattr(args, "jobs", 1),
+        use_cache=not getattr(args, "no_cache", False),
+    )
 
 
 def _macros(defines: list[str]) -> dict[str, int]:
@@ -150,7 +177,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis import ExperimentSuite
 
     suite = ExperimentSuite(scale=args.scale)
-    for res in suite.run_all():
+    for res in suite.run_all(engine=_engine_from(args)):
         print(res.to_text())
         print()
     return 0
@@ -190,8 +217,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep = WhatIfSweep(machine, predictor_runs=args.runs)
     threads = tuple(int(t) for t in args.threads_list.split(","))
     chunks = tuple(int(c) for c in args.chunks_list.split(","))
+    engine = _engine_from(args)
     for k in _load_kernels(args):
-        result = sweep.sweep(k.nest, threads=threads, chunks=chunks)
+        result = sweep.sweep(k.nest, threads=threads, chunks=chunks,
+                             engine=engine)
         print(f"kernel {k.name}: {len(result.points)} configurations")
         print(f"{'threads':>8} | {'chunk':>6} | {'FS cases':>10} | "
               f"{'FS share':>8} | {'est. cycles':>12}")
@@ -229,6 +258,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return rc
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import ResultStore
+
+    store = ResultStore(args.dir) if args.dir else ResultStore()
+    if args.cache_op == "stats":
+        print(store.stats().to_text())
+    elif args.cache_op == "clear":
+        dropped = store.clear()
+        print(f"removed {dropped:,} cache entries from {store.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fs",
@@ -254,7 +295,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="regenerate the paper's experiments")
     p.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the engine's on-disk result store"
+    )
+    p.add_argument("cache_op", choices=("stats", "clear"),
+                   help="stats: entry counts/sizes; clear: drop every entry")
+    p.add_argument("--dir", default=None,
+                   help="cache root (default $REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "diagnose", help="full FS diagnosis: victims, hot lines, thread pairs"

@@ -1,0 +1,128 @@
+"""Canonical serialization and stable hashing for engine job specs.
+
+A cache key must satisfy two properties the default ``json``/``hash``
+machinery does not give you:
+
+* **order independence** — two dicts with the same items in different
+  insertion order must serialize identically;
+* **representation stability** — a float must hash the same on every
+  Python version and platform.  ``repr(float)`` is shortest-round-trip
+  since 3.1 and stable in practice, but the contract we actually want
+  is *bit* equality, so floats are encoded via ``float.hex()`` which is
+  an exact, injective image of the IEEE-754 bits.
+
+The canonical form is a JSON document with sorted keys, no whitespace,
+and every float replaced by a one-element marker object
+``{"~f": "<hex>"}``; :func:`stable_hash` is the SHA-256 of its UTF-8
+encoding.  ``int`` and ``bool`` pass through as themselves, so ``2``,
+``2.0`` and ``True`` all hash differently — a schedule chunk of int 2
+and float 2.0 are *different* jobs, by design.
+
+Anything with a ``to_key_dict()`` method (``MachineConfig``,
+``CacheLevel``, ``Schedule``, ...) is canonicalized through it, so new
+config types opt into hashing by implementing that one method.
+
+``KEY_SCHEMA_VERSION`` is folded into every job key by
+:meth:`repro.engine.job.Job.key`; bump it whenever the canonical form
+or any ``to_key_dict`` schema changes so stale cache entries miss
+instead of colliding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "canonical_key_value",
+    "canonical_json",
+    "stable_hash",
+    "nest_digest",
+]
+
+#: Version of the canonical key schema.  Part of every job key.
+KEY_SCHEMA_VERSION = 1
+
+#: Marker key for the float encoding.  A tilde is not a valid Python
+#: identifier character, so no ``to_key_dict`` field can collide.
+_FLOAT_MARKER = "~f"
+
+
+def canonical_key_value(obj: Any) -> Any:
+    """Recursively convert ``obj`` to its canonical JSON-able form.
+
+    Handles ``None``/``bool``/``int``/``str`` verbatim, floats via the
+    hex marker, mappings with stringified+sorted keys, sequences as
+    lists, and any object exposing ``to_key_dict()``.
+
+    >>> canonical_key_value({"b": 1, "a": (1, 2)}) == {"a": [1, 2], "b": 1}
+    True
+    >>> canonical_key_value(0.5)
+    {'~f': '0x1.0000000000000p-1'}
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            # NaN != NaN would make a job never hit its own cache entry.
+            return {_FLOAT_MARKER: "nan"}
+        if math.isinf(obj):
+            return {_FLOAT_MARKER: "inf" if obj > 0 else "-inf"}
+        return {_FLOAT_MARKER: obj.hex()}
+    key_dict = getattr(obj, "to_key_dict", None)
+    if callable(key_dict):
+        return canonical_key_value(key_dict())
+    if isinstance(obj, Mapping):
+        out = {}
+        for k in sorted(obj, key=str):
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"cache-key mapping keys must be str, got {type(k).__name__}"
+                )
+            out[k] = canonical_key_value(obj[k])
+        return out
+    if isinstance(obj, (list, tuple)) or (
+        isinstance(obj, Sequence) and not isinstance(obj, (bytes, bytearray))
+    ):
+        return [canonical_key_value(v) for v in obj]
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not cache-key serializable; "
+        "give it a to_key_dict() method or pass plain data"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of ``obj`` (sorted keys, no whitespace).
+
+    >>> canonical_json({"b": 2, "a": 1})
+    '{"a":1,"b":2}'
+    """
+    return json.dumps(
+        canonical_key_value(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def nest_digest(nest: Any) -> str:
+    """Content digest of a loop nest: SHA-256 of its emitted C source.
+
+    :func:`repro.ir.emit.emit_nest` is deterministic and captures
+    everything the models read — bounds, steps, schedule, the body's
+    reference pattern and array layouts — so two nests with the same
+    emission are the same workload for caching purposes.
+    """
+    from repro.ir.emit import emit_nest  # deferred: keys must stay light
+
+    text = emit_nest(nest)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,351 @@
+"""Process worker pool: crash isolation, per-job timeout, bounded retry.
+
+Why not a bare :class:`~concurrent.futures.ProcessPoolExecutor`?  Three
+failure modes it handles badly for batch analysis:
+
+* **worker death** (segfault in a C extension, ``os._exit``, OOM kill)
+  breaks the whole executor — every pending future raises
+  :class:`~concurrent.futures.process.BrokenProcessPool`.  The pool
+  here rebuilds the executor and resubmits the unfinished jobs, so one
+  bad configuration costs one job slot, not the run.
+* **hangs**: a future has no portable kill switch.  The pool bounds
+  submissions to a sliding window of ``workers`` in-flight jobs (so a
+  wait on the oldest future measures *run* time, not queue time), and a
+  deadline overrun abandons the executor — the hung worker process is
+  terminated with the pool instead of blocking a slot forever.
+* **transient faults** get ``retries`` additional attempts with linear
+  backoff; deterministic exceptions simply fail fast on the final
+  attempt and surface per job, never as a raised exception from
+  :meth:`WorkerPool.run`.
+
+``workers <= 1`` runs jobs inline in the calling process (no pickling,
+no subprocess spin-up) with identical outcome semantics — that is the
+``--jobs 1`` reference path the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.engine.job import Job, run_job
+from repro.util import get_logger
+
+__all__ = ["JobOutcome", "WorkerPool"]
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job: a result dict or an error string."""
+
+    job: Job
+    result: dict | None = None
+    error: str | None = None
+    attempts: int = 1
+    duration_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> dict:
+        """The result dict, raising if the job failed."""
+        if self.error is not None:
+            raise RuntimeError(
+                f"job {self.job.describe()} failed after "
+                f"{self.attempts} attempt(s): {self.error}"
+            )
+        assert self.result is not None
+        return self.result
+
+
+class _Timeout(Exception):
+    """Internal marker: the oldest in-flight job overran its deadline."""
+
+
+@dataclass
+class _Attempt:
+    job: Job
+    index: int  # position in the caller's job list
+    attempts: int = 0
+
+
+class WorkerPool:
+    """Run batches of jobs with bounded parallelism and failure budgets.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``<= 1`` executes inline (deterministic
+        reference path).
+    timeout_s:
+        Per-job wall-clock budget once running.  ``None`` disables the
+        watchdog.  A timed-out job is failed (and retried if attempts
+        remain); its worker process dies with the abandoned executor.
+    retries:
+        Extra attempts after the first, for crashes, timeouts and
+        exceptions alike.
+    backoff_s:
+        Linear backoff unit: attempt ``k`` sleeps ``k * backoff_s``
+        before resubmission.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        self.workers = max(1, int(workers))
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    # -- public -------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        on_outcome: Callable[[JobOutcome], None] | None = None,
+    ) -> list[JobOutcome]:
+        """Execute every job; outcomes come back in input order.
+
+        ``on_outcome`` fires as each job reaches a terminal state (in
+        completion order) — the scheduler uses it to write cache entries
+        and bump metrics while the batch is still running.
+        """
+        if not jobs:
+            return []
+        if self.workers <= 1:
+            return self._run_inline(jobs, on_outcome)
+        return self._run_pool(jobs, on_outcome)
+
+    # -- inline path --------------------------------------------------------
+
+    def _run_inline(
+        self,
+        jobs: Sequence[Job],
+        on_outcome: Callable[[JobOutcome], None] | None,
+    ) -> list[JobOutcome]:
+        outcomes: list[JobOutcome] = []
+        for job in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                t0 = time.perf_counter()
+                try:
+                    result = run_job(job)
+                    outcome = JobOutcome(
+                        job, result=result, attempts=attempts,
+                        duration_s=time.perf_counter() - t0,
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 - surfaced per job
+                    if attempts > self.retries:
+                        outcome = JobOutcome(
+                            job,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=attempts,
+                            duration_s=time.perf_counter() - t0,
+                        )
+                        break
+                    time.sleep(self.backoff_s * attempts)
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return outcomes
+
+    # -- process-pool path --------------------------------------------------
+
+    def _run_pool(
+        self,
+        jobs: Sequence[Job],
+        on_outcome: Callable[[JobOutcome], None] | None,
+    ) -> list[JobOutcome]:
+        pending: list[_Attempt] = [_Attempt(job, i) for i, job in enumerate(jobs)]
+        done: dict[int, JobOutcome] = {}
+
+        def finish(outcome_index: int, outcome: JobOutcome) -> None:
+            done[outcome_index] = outcome
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        while pending:
+            pending = self._pool_round(pending, finish)
+        return [done[i] for i in range(len(jobs))]
+
+    def _pool_round(
+        self,
+        pending: list[_Attempt],
+        finish: Callable[[int, JobOutcome], None],
+    ) -> list[_Attempt]:
+        """One executor lifetime.
+
+        Returns attempts that must be resubmitted on a fresh executor
+        (after a crash or timeout poisoned this one).  Jobs that exhaust
+        their attempt budget are finished as failures instead.
+        """
+        executor = ProcessPoolExecutor(max_workers=self.workers)
+        retry: list[_Attempt] = []
+        queue = list(pending)
+        inflight: dict[Future, tuple[_Attempt, float]] = {}
+        broken = False
+        try:
+            while queue or inflight:
+                while not broken and queue and len(inflight) < self.workers:
+                    att = queue.pop(0)
+                    att.attempts += 1
+                    if att.attempts > 1:
+                        time.sleep(self.backoff_s * (att.attempts - 1))
+                    try:
+                        fut = executor.submit(run_job, att.job)
+                    except BrokenProcessPool:
+                        broken = True
+                        att.attempts -= 1  # submission never happened
+                        queue.insert(0, att)
+                        break
+                    inflight[fut] = (att, time.perf_counter())
+                if not inflight:
+                    break
+                try:
+                    self._reap(inflight, finish, retry)
+                except _Timeout:
+                    # Deadline overrun: everything still in flight goes
+                    # back (or fails); the executor — and its possibly
+                    # hung workers — is abandoned.
+                    for fut, (att, t0) in inflight.items():
+                        fut.cancel()
+                        self._retry_or_fail(
+                            att, "timeout", time.perf_counter() - t0,
+                            finish, retry,
+                        )
+                    inflight.clear()
+                    retry.extend(queue)
+                    self._shutdown_now(executor)
+                    return retry
+                except BrokenProcessPool:
+                    broken = True
+                if broken and not inflight:
+                    retry.extend(queue)
+                    self._shutdown_now(executor)
+                    return retry
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return retry
+
+    def _reap(
+        self,
+        inflight: dict[Future, tuple[_Attempt, float]],
+        finish: Callable[[int, JobOutcome], None],
+        retry: list[_Attempt],
+    ) -> None:
+        """Wait for progress; resolve every completed future.
+
+        Raises :class:`_Timeout` when the oldest in-flight job has
+        overrun ``timeout_s`` without completing, and
+        :class:`BrokenProcessPool` when a worker died (after recording
+        the victims for retry).
+        """
+        wait_budget = None
+        if self.timeout_s is not None:
+            oldest_start = min(t0 for _, t0 in inflight.values())
+            wait_budget = self.timeout_s - (time.perf_counter() - oldest_start)
+            if wait_budget <= 0:
+                raise _Timeout
+        finished, _ = wait(
+            inflight, timeout=wait_budget, return_when=FIRST_COMPLETED
+        )
+        if not finished and self.timeout_s is not None:
+            raise _Timeout
+        saw_broken = False
+        for fut in finished:
+            att, t0 = inflight.pop(fut)
+            elapsed = time.perf_counter() - t0
+            try:
+                result = fut.result()
+            except BrokenProcessPool:
+                self._retry_or_fail(
+                    att, "worker process died (crash)", elapsed, finish, retry
+                )
+                saw_broken = True
+                continue
+            except Exception as exc:  # noqa: BLE001 - surfaced per job
+                self._retry_or_fail(
+                    att, f"{type(exc).__name__}: {exc}", elapsed, finish, retry
+                )
+                continue
+            finish(
+                att.index,
+                JobOutcome(
+                    att.job, result=result, attempts=att.attempts,
+                    duration_s=elapsed,
+                ),
+            )
+        if saw_broken:
+            # Drain the rest: once broken, every sibling future fails.
+            for fut, (att, t0) in list(inflight.items()):
+                inflight.pop(fut)
+                self._retry_or_fail(
+                    att,
+                    "worker pool broken by a sibling crash",
+                    time.perf_counter() - t0,
+                    finish,
+                    retry,
+                    count_attempt=False,
+                )
+            raise BrokenProcessPool("worker died")
+
+    def _retry_or_fail(
+        self,
+        att: _Attempt,
+        error: str,
+        elapsed: float,
+        finish: Callable[[int, JobOutcome], None],
+        retry: list[_Attempt],
+        count_attempt: bool = True,
+    ) -> None:
+        if not count_attempt:
+            # Collateral damage (sibling crash): the attempt did not run
+            # to a verdict, so it does not consume budget.
+            att.attempts -= 1
+            retry.append(att)
+            return
+        if att.attempts > self.retries:
+            logger.warning(
+                "job %s failed permanently after %d attempt(s): %s",
+                att.job.describe(), att.attempts, error,
+            )
+            finish(
+                att.index,
+                JobOutcome(
+                    att.job, error=error, attempts=att.attempts,
+                    duration_s=elapsed,
+                ),
+            )
+        else:
+            logger.debug(
+                "job %s attempt %d failed (%s); retrying",
+                att.job.describe(), att.attempts, error,
+            )
+            retry.append(att)
+
+    @staticmethod
+    def _shutdown_now(executor: ProcessPoolExecutor) -> None:
+        """Abandon an executor, terminating its workers where possible."""
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)

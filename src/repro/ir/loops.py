@@ -217,6 +217,10 @@ class Schedule:
     def with_chunk(self, chunk: int | None) -> "Schedule":
         return Schedule(self.kind, chunk)
 
+    def to_key_dict(self) -> dict:
+        """Canonical dict for cache-key hashing (engine job specs)."""
+        return {"kind": self.kind, "chunk": self.chunk}
+
     def __str__(self) -> str:
         return f"schedule({self.kind},{self.chunk})" if self.chunk else "schedule(static)"
 

@@ -66,6 +66,22 @@ class CacheLevel:
                 f"({self.num_lines} lines, {self.associativity} ways)"
             )
 
+    def to_key_dict(self) -> dict:
+        """Canonical, order-stable dict for cache-key hashing.
+
+        Field names are spelled explicitly (never via ``vars()``) so the
+        key schema is a deliberate contract: renaming an attribute
+        without updating this method is a schema change and must bump
+        :data:`repro.engine.keys.KEY_SCHEMA_VERSION`.
+        """
+        return {
+            "size_bytes": self.size_bytes,
+            "line_size": self.line_size,
+            "associativity": self.associativity,
+            "latency_cycles": self.latency_cycles,
+            "shared": self.shared,
+        }
+
     @property
     def num_lines(self) -> int:
         """Total number of cache lines in this level."""
@@ -106,6 +122,15 @@ class CoherenceCosts:
         if self.cross_socket_factor < 1.0:
             raise ValueError("cross_socket_factor must be >= 1.0")
 
+    def to_key_dict(self) -> dict:
+        """Canonical dict for cache-key hashing (see :class:`CacheLevel`)."""
+        return {
+            "remote_fetch_cycles": self.remote_fetch_cycles,
+            "invalidate_cycles": self.invalidate_cycles,
+            "upgrade_cycles": self.upgrade_cycles,
+            "cross_socket_factor": self.cross_socket_factor,
+        }
+
 
 @dataclass(frozen=True)
 class FunctionalUnits:
@@ -120,6 +145,15 @@ class FunctionalUnits:
         for name in ("issue_width", "int_units", "fp_units", "mem_units"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+
+    def to_key_dict(self) -> dict:
+        """Canonical dict for cache-key hashing."""
+        return {
+            "issue_width": self.issue_width,
+            "int_units": self.int_units,
+            "fp_units": self.fp_units,
+            "mem_units": self.mem_units,
+        }
 
 
 #: Default operation latencies (cycles) for the dependence-latency part of
@@ -166,6 +200,11 @@ class OpLatencies:
                 return self.table.get("call", 40)
             raise
 
+    def to_key_dict(self) -> dict:
+        """Canonical dict for cache-key hashing: op names sorted so two
+        tables built in different insertion orders hash identically."""
+        return {op: self.table[op] for op in sorted(self.table)}
+
 
 @dataclass(frozen=True)
 class RuntimeOverheads:
@@ -187,6 +226,15 @@ class RuntimeOverheads:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+
+    def to_key_dict(self) -> dict:
+        """Canonical dict for cache-key hashing."""
+        return {
+            "parallel_startup_cycles": self.parallel_startup_cycles,
+            "chunk_dispatch_cycles": self.chunk_dispatch_cycles,
+            "barrier_cycles_per_thread": self.barrier_cycles_per_thread,
+            "loop_overhead_per_iter_cycles": self.loop_overhead_per_iter_cycles,
+        }
 
 
 @dataclass(frozen=True)
@@ -307,6 +355,46 @@ class MachineConfig:
     def cycles_to_seconds(self, cycles: float) -> float:
         """Convert a cycle count to seconds at this machine's frequency."""
         return cycles / (self.freq_ghz * 1e9)
+
+    # -- canonical keys ------------------------------------------------------
+
+    def to_key_dict(self) -> dict:
+        """Canonical nested dict describing this machine for cache keys.
+
+        The dict is plain JSON-able data (ints, floats, bools, strs,
+        nested dicts) with deterministic member order independent of how
+        the config was constructed.  Floats are left as floats here; the
+        engine's canonical serializer (:func:`repro.engine.keys.
+        canonical_json`) encodes them via ``float.hex`` so the resulting
+        SHA-256 never depends on ``repr`` drift across Python versions.
+
+        Two configs compare equal iff their key dicts hash equal —
+        property-tested in ``tests/test_engine_keys.py``.
+        """
+        return {
+            "num_cores": self.num_cores,
+            "cores_per_socket": self.cores_per_socket,
+            "freq_ghz": self.freq_ghz,
+            "l1": self.l1.to_key_dict(),
+            "l2": self.l2.to_key_dict(),
+            "l3": self.l3.to_key_dict(),
+            "page_size": self.page_size,
+            "tlb_entries": self.tlb_entries,
+            "tlb_miss_cycles": self.tlb_miss_cycles,
+            "mem_latency_cycles": self.mem_latency_cycles,
+            "coherence": self.coherence.to_key_dict(),
+            "units": self.units.to_key_dict(),
+            "op_latencies": self.op_latencies.to_key_dict(),
+            "overheads": self.overheads.to_key_dict(),
+            "model_cache_lines": self.model_cache_lines,
+            "prefetch_coverage": self.prefetch_coverage,
+        }
+
+    def stable_key(self) -> str:
+        """SHA-256 hex digest of :meth:`to_key_dict` (canonical form)."""
+        from repro.engine.keys import stable_hash  # deferred: no cycle at import
+
+        return stable_hash(self.to_key_dict())
 
     def with_cores(self, num_cores: int) -> "MachineConfig":
         """Return a copy of this configuration with a different core count."""

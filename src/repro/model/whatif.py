@@ -8,13 +8,21 @@ share and estimated wall time per configuration — ready for a table,
 a CSV export or an ``argmin``.
 
 The sweep uses the linear-regression predictor by default, making a
-48-configuration landscape a sub-second operation.
+48-configuration landscape a sub-second operation.  Larger landscapes
+(full model, big grids) go through :mod:`repro.engine`: every grid
+point is an independent, content-addressed job, so
+``sweep(nest, engine=Engine(jobs=4))`` fans out across worker processes
+and a re-run of an already-computed landscape is served from the
+on-disk result store.  Parallel and serial paths produce *identical*
+:class:`SweepPoint` values — the point evaluation is deterministic and
+shared (:func:`evaluate_point`), and results survive the JSON cache
+round-trip exactly (floats round-trip losslessly through JSON).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.costmodels import TotalCostModel
 from repro.ir.loops import ParallelLoopNest
@@ -22,6 +30,9 @@ from repro.machine import MachineConfig
 from repro.model.fsmodel import FalseSharingModel
 from repro.model.regression import FalseSharingPredictor
 from repro.util import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import Engine, Job
 
 logger = get_logger(__name__)
 
@@ -40,6 +51,26 @@ class SweepPoint:
     def fs_share(self) -> float:
         """FS cycles as a fraction of the configuration's wall time."""
         return self.fs_cycles / self.wall_cycles if self.wall_cycles else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the engine's cached job result)."""
+        return {
+            "threads": self.threads,
+            "chunk": self.chunk,
+            "fs_cases": self.fs_cases,
+            "fs_cycles": self.fs_cycles,
+            "wall_cycles": self.wall_cycles,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "SweepPoint":
+        return SweepPoint(
+            threads=int(doc["threads"]),
+            chunk=int(doc["chunk"]),
+            fs_cases=float(doc["fs_cases"]),
+            fs_cycles=float(doc["fs_cycles"]),
+            wall_cycles=float(doc["wall_cycles"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +107,79 @@ class SweepResult:
         ]
 
 
+def evaluate_point(
+    machine: MachineConfig,
+    nest: ParallelLoopNest,
+    threads: int,
+    chunk: int,
+    use_predictor: bool = True,
+    predictor_runs: int = 8,
+    mode: str = "invalidate",
+) -> SweepPoint:
+    """Evaluate one (threads, chunk) configuration.
+
+    This is the single source of truth for a sweep point — the serial
+    path, the engine worker (:func:`run_point_job`) and any external
+    caller all go through it, which is what makes ``--jobs N`` output
+    bit-identical to ``--jobs 1``.  The computation is deterministic:
+    the predictor samples a fixed prefix of chunk runs, not a random
+    subset.
+    """
+    model = FalseSharingModel(machine, mode=mode)
+    total_model = TotalCostModel(machine)
+    candidate = nest.with_chunk(chunk)
+    if use_predictor:
+        pred = FalseSharingPredictor(
+            model, n_runs=predictor_runs
+        ).predict(candidate, threads)
+        fs_cases = pred.predicted_fs_cases
+        prefix = pred.prefix_result
+        total = max(prefix.fs_cases, 1)
+        fs_cycles = fs_cases * (
+            (prefix.fs_read_cases / total)
+            * machine.fs_read_penalty_cycles
+            + (prefix.fs_write_cases / total)
+            * machine.fs_write_penalty_cycles
+        )
+    else:
+        result = model.analyze(candidate, threads)
+        fs_cases = float(result.fs_cases)
+        fs_cycles = result.fs_cycles(machine)
+    breakdown = total_model.breakdown(
+        candidate, num_threads=threads, fs_cases=0.0
+    )
+    work = (
+        breakdown.machine + breakdown.cache + breakdown.tlb
+        + breakdown.loop_overhead
+    ) / threads
+    wall = work + breakdown.parallel_overhead + fs_cycles
+    return SweepPoint(
+        threads=threads, chunk=chunk,
+        fs_cases=fs_cases, fs_cycles=fs_cycles, wall_cycles=wall,
+    )
+
+
+def run_point_job(job) -> dict:
+    """Engine runner for ``whatif.point`` jobs (executes in a worker).
+
+    The spec carries the hashed identity (kernel digest, machine key
+    dict, knobs); the payload carries the live ``MachineConfig`` and
+    ``ParallelLoopNest`` objects the evaluation needs.
+    """
+    machine: MachineConfig = job.payload["machine"]
+    nest: ParallelLoopNest = job.payload["nest"]
+    point = evaluate_point(
+        machine,
+        nest,
+        int(job.spec["threads"]),
+        int(job.spec["chunk"]),
+        use_predictor=bool(job.spec["use_predictor"]),
+        predictor_runs=int(job.spec["predictor_runs"]),
+        mode=str(job.spec["mode"]),
+    )
+    return point.to_dict()
+
+
 class WhatIfSweep:
     """Sweep (threads × chunks) with the compile-time model.
 
@@ -105,55 +209,92 @@ class WhatIfSweep:
     def _point(
         self, nest: ParallelLoopNest, threads: int, chunk: int
     ) -> SweepPoint:
-        candidate = nest.with_chunk(chunk)
-        if self.use_predictor:
-            pred = FalseSharingPredictor(
-                self.model, n_runs=self.predictor_runs
-            ).predict(candidate, threads)
-            fs_cases = pred.predicted_fs_cases
-            prefix = pred.prefix_result
-            total = max(prefix.fs_cases, 1)
-            fs_cycles = fs_cases * (
-                (prefix.fs_read_cases / total)
-                * self.machine.fs_read_penalty_cycles
-                + (prefix.fs_write_cases / total)
-                * self.machine.fs_write_penalty_cycles
+        return evaluate_point(
+            self.machine, nest, threads, chunk,
+            use_predictor=self.use_predictor,
+            predictor_runs=self.predictor_runs,
+            mode=self.model.mode,
+        )
+
+    def _feasible(
+        self,
+        nest: ParallelLoopNest,
+        threads: Sequence[int],
+        chunks: Sequence[int],
+    ) -> list[tuple[int, int]]:
+        """The feasible (threads, chunk) grid, serial evaluation order."""
+        trip = nest.trip_counts()[nest.parallel_depth()]
+        grid = [
+            (t, c) for t in threads for c in chunks if c * t <= trip
+        ]
+        if not grid:
+            raise ValueError(
+                f"no feasible (threads, chunk) points for trip count {trip}"
             )
-        else:
-            result = self.model.analyze(candidate, threads)
-            fs_cases = float(result.fs_cases)
-            fs_cycles = result.fs_cycles(self.machine)
-        breakdown = self.total_model.breakdown(
-            candidate, num_threads=threads, fs_cases=0.0
-        )
-        work = (
-            breakdown.machine + breakdown.cache + breakdown.tlb
-            + breakdown.loop_overhead
-        ) / threads
-        wall = work + breakdown.parallel_overhead + fs_cycles
-        return SweepPoint(
-            threads=threads, chunk=chunk,
-            fs_cases=fs_cases, fs_cycles=fs_cycles, wall_cycles=wall,
-        )
+        return grid
+
+    def point_jobs(
+        self,
+        nest: ParallelLoopNest,
+        threads: Sequence[int] = (2, 4, 8, 16, 24, 32, 48),
+        chunks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    ) -> "list[Job]":
+        """One engine job per feasible grid point, in sweep order."""
+        from repro.engine import Job, nest_digest
+
+        digest = nest_digest(nest)
+        machine_key = self.machine.to_key_dict()
+        payload = {"machine": self.machine, "nest": nest}
+        jobs = []
+        for t, c in self._feasible(nest, threads, chunks):
+            spec = {
+                "kernel_sha256": digest,
+                "machine": machine_key,
+                "threads": t,
+                "chunk": c,
+                "use_predictor": self.use_predictor,
+                "predictor_runs": self.predictor_runs,
+                "mode": self.model.mode,
+            }
+            jobs.append(
+                Job(
+                    kind="whatif.point",
+                    spec=spec,
+                    payload=payload,
+                    label=f"whatif:{nest.name}:t{t}c{c}",
+                )
+            )
+        return jobs
 
     def sweep(
         self,
         nest: ParallelLoopNest,
         threads: Sequence[int] = (2, 4, 8, 16, 24, 32, 48),
         chunks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+        engine: "Engine | None" = None,
     ) -> SweepResult:
         """Evaluate the landscape; infeasible (chunk·T > trip) points
-        are skipped."""
-        trip = nest.trip_counts()[nest.parallel_depth()]
-        points = []
-        for t in threads:
-            for c in chunks:
-                if c * t > trip:
-                    continue
-                points.append(self._point(nest, t, c))
-        if not points:
-            raise ValueError(
-                f"no feasible (threads, chunk) points for trip count {trip}"
+        are skipped.
+
+        With an ``engine``, every point becomes a content-addressed job:
+        points run across the engine's worker pool and repeat sweeps are
+        served from its result store.  Point values are identical to the
+        serial path; any point failure raises with the per-job error.
+        """
+        if engine is not None:
+            jobs = self.point_jobs(nest, threads, chunks)
+            results = engine.run_strict(jobs)
+            points = tuple(SweepPoint.from_dict(doc) for doc in results)
+            logger.debug(
+                "what-if sweep on %s: %d points via engine (jobs=%d)",
+                nest.name, len(points), engine.jobs,
             )
-        logger.debug("what-if sweep on %s: %d points", nest.name, len(points))
-        return SweepResult(nest_name=nest.name, points=tuple(points))
+            return SweepResult(nest_name=nest.name, points=points)
+        points_list = [
+            self._point(nest, t, c)
+            for t, c in self._feasible(nest, threads, chunks)
+        ]
+        logger.debug(
+            "what-if sweep on %s: %d points", nest.name, len(points_list)
+        )
+        return SweepResult(nest_name=nest.name, points=tuple(points_list))

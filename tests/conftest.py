@@ -20,6 +20,19 @@ from repro.ir import (
 from repro.machine import paper_machine, tiny_machine
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Point the engine's result store at a per-test tmp dir.
+
+    Keeps the suite from reading or polluting the developer's real
+    ``~/.cache/repro``, and makes every test start cache-cold unless it
+    builds its own :class:`repro.engine.ResultStore`.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro-cache"))
+    )
+
+
 @pytest.fixture
 def machine():
     """The paper's 48-core machine."""

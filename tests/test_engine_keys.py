@@ -1,0 +1,162 @@
+"""Property tests for the canonical key machinery (`repro.engine.keys`).
+
+The cache is only sound if the key function is (a) *stable* — the same
+value always hashes to the same digest, across insertion orders and
+float representations — and (b) *injective enough* — distinct specs
+hash to distinct digests with overwhelming probability.  Hypothesis
+drives both directions over the full JSON-able value space plus the
+``to_key_dict`` protocol objects (MachineConfig, Schedule).
+"""
+
+import dataclasses
+import json
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.keys import (
+    canonical_json,
+    canonical_key_value,
+    stable_hash,
+)
+from repro.ir.loops import Schedule
+from repro.machine import paper_machine
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+# Scalars the spec layer actually uses.  NaN is excluded from equality
+# based properties (NaN != NaN) but covered by a dedicated test below.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+
+# Recursive JSON-able values: scalars, lists/tuples, str-keyed dicts.
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def shuffled(d: dict, seed: int) -> dict:
+    """The same mapping with a different insertion order."""
+    items = list(d.items())
+    random.Random(seed).shuffle(items)
+    return dict(items)
+
+
+# ---------------------------------------------------------------------------
+# Stability
+# ---------------------------------------------------------------------------
+
+
+class TestStability:
+    @given(values)
+    def test_hash_is_deterministic(self, v):
+        assert stable_hash(v) == stable_hash(v)
+
+    @given(st.dictionaries(st.text(max_size=8), values, max_size=6),
+           st.integers())
+    def test_insertion_order_is_irrelevant(self, d, seed):
+        assert stable_hash(d) == stable_hash(shuffled(d, seed))
+
+    @given(values)
+    def test_canonical_json_round_trips_through_json(self, v):
+        """The canonical form survives a JSON round trip unchanged."""
+        text = canonical_json(v)
+        assert json.loads(text) == canonical_key_value(v)
+        # ... and re-canonicalizing the parsed form is a fixed point,
+        # so a spec can be stored as JSON and re-keyed losslessly.
+        assert canonical_json(json.loads(text)) == text
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_encoding_is_exact(self, x):
+        encoded = canonical_key_value(x)
+        assert float.fromhex(encoded["~f"]) == x
+        # -0.0 and 0.0 are distinct IEEE values and distinct keys.
+        if x == 0.0:
+            assert (encoded["~f"].startswith("-")) == (
+                math.copysign(1.0, x) < 0
+            )
+
+    @given(st.tuples(values))
+    def test_tuples_and_lists_are_interchangeable(self, t):
+        assert stable_hash(t) == stable_hash(list(t))
+
+    def test_nan_hashes_to_itself(self):
+        # NaN != NaN, but a NaN-bearing spec must still hit its own
+        # cache entry.
+        assert stable_hash(float("nan")) == stable_hash(float("nan"))
+        assert stable_hash(float("inf")) != stable_hash(float("-inf"))
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity (distinct values -> distinct keys)
+# ---------------------------------------------------------------------------
+
+
+class TestSensitivity:
+    @given(scalars, scalars)
+    def test_distinct_scalars_distinct_hashes(self, a, b):
+        if a is b or (type(a) is type(b) and a == b):
+            assert stable_hash(a) == stable_hash(b)
+        else:
+            assert stable_hash(a) != stable_hash(b)
+
+    def test_numeric_types_do_not_collide(self):
+        # 2, 2.0 and True are different jobs by design.
+        assert len({stable_hash(v) for v in (2, 2.0, True, "2")}) == 4
+
+
+# ---------------------------------------------------------------------------
+# to_key_dict protocol: MachineConfig and Schedule
+# ---------------------------------------------------------------------------
+
+
+class TestConfigKeys:
+    def test_machine_key_is_stable_across_instances(self):
+        assert paper_machine().stable_key() == paper_machine().stable_key()
+
+    def test_machine_key_round_trips_through_json(self):
+        d = paper_machine().to_key_dict()
+        assert stable_hash(json.loads(json.dumps(d))) == stable_hash(d)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=1024))
+    def test_machine_key_tracks_every_field(self, cores):
+        base = paper_machine()
+        varied = base.with_cores(cores)
+        same = base.num_cores == varied.num_cores
+        assert (base.stable_key() == varied.stable_key()) == same
+
+    def test_machine_key_changes_with_nested_fields(self):
+        base = paper_machine()
+        bumped = dataclasses.replace(
+            base,
+            coherence=dataclasses.replace(
+                base.coherence,
+                invalidate_cycles=base.coherence.invalidate_cycles + 1,
+            ),
+        )
+        assert base.stable_key() != bumped.stable_key()
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_schedule_key_dict(self, chunk):
+        a = Schedule(chunk=chunk)
+        b = Schedule(chunk=chunk)
+        assert stable_hash(a) == stable_hash(b)
+        assert stable_hash(a) != stable_hash(Schedule(chunk=chunk + 1))
+        # chunk=None (default blocking) is its own key, not an alias of 1.
+        assert stable_hash(Schedule(chunk=None)) != stable_hash(Schedule(chunk=1))

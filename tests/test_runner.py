@@ -40,21 +40,41 @@ class TestDeviations:
 
 
 class TestRunnerMain:
-    def test_writes_file(self, tmp_path, monkeypatch):
-        """Run main() against a stubbed suite to keep the test fast."""
+    @staticmethod
+    def _fake_suite(monkeypatch, fail_driver: str | None = None):
+        """Stub the suite with two named drivers to keep main() fast."""
         import repro.analysis.runner as runner
+
+        results = {"run_table1": fake_results()[0], "run_fig6": fake_results()[1]}
 
         class FakeSuite:
             def __init__(self, scale):
-                assert scale == "full"
+                assert scale in ("tiny", "full")
 
-            def run_all(self):
-                return fake_results()
-
-            def run_supplementary(self):
-                return []
+            def run_driver(self, name):
+                if name == fail_driver:
+                    raise RuntimeError("boom")
+                return results[name]
 
         monkeypatch.setattr(runner, "ExperimentSuite", FakeSuite)
+        monkeypatch.setattr(runner, "DRIVER_ORDER", ("run_table1", "run_fig6"))
+        monkeypatch.setattr(runner, "SUPPLEMENTARY_DRIVERS", ())
+        return runner
+
+    def test_writes_file(self, tmp_path, monkeypatch, capsys):
+        runner = self._fake_suite(monkeypatch)
         out = tmp_path / "EXP.md"
-        assert runner.main([str(out)]) == 0
+        assert runner.main([str(out), "--no-cache"]) == 0
         assert "Table I" in out.read_text()
+        # Per-experiment wall times are reported as the run goes.
+        assert "[runner] run_table1" in capsys.readouterr().out
+
+    def test_failing_driver_exits_nonzero_but_writes_rest(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        runner = self._fake_suite(monkeypatch, fail_driver="run_table1")
+        out = tmp_path / "EXP.md"
+        assert runner.main([str(out), "--no-cache"]) == 1
+        text = out.read_text()
+        assert "Fig. 6" in text  # the healthy driver still made the doc
+        assert "boom" in capsys.readouterr().err
