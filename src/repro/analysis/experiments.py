@@ -400,21 +400,61 @@ class ExperimentSuite(SupplementaryMixin):
             )
         return jobs
 
-    def run_all(self, engine: "Engine | None" = None) -> list[ExperimentResult]:
+    def run_all(
+        self,
+        engine: "Engine | None" = None,
+        policy=None,
+    ) -> list[ExperimentResult]:
         """Regenerate every table and figure, in paper order.
 
         With an ``engine``, the drivers fan out across its worker pool
         (each driver is one job — the tables are independent) and
-        results memoize in the engine's store.  A driver failure raises
-        with that job's error.
+        results memoize in the engine's store.
+
+        Failure semantics: without a ``policy`` a driver failure raises
+        (strict, historical behaviour).  With a keep-going
+        :class:`~repro.resilience.partial.FailurePolicy`, failed
+        drivers are isolated into ``policy.failures`` and the rest of
+        the suite completes.
         """
+        from repro.resilience.errors import ReproError
+        from repro.resilience.partial import FailureReport
+
         if engine is not None:
-            docs = engine.run_strict(self.experiment_jobs())
-            return [ExperimentResult.from_dict(doc) for doc in docs]
-        out: list[ExperimentResult] = []
+            jobs = self.experiment_jobs()
+            if policy is None:
+                docs = engine.run_strict(jobs)
+                return [ExperimentResult.from_dict(doc) for doc in docs]
+            out: list[ExperimentResult] = []
+            for outcome in engine.run(jobs):
+                if outcome.ok:
+                    out.append(ExperimentResult.from_dict(outcome.result))
+                    policy.record_success()
+                else:
+                    policy.record_failure(
+                        FailureReport.from_outcome(
+                            outcome, kind="experiment.driver"
+                        )
+                    )
+            return out
+        out = []
         for name in DRIVER_ORDER:
             logger.info("running %s", name)
-            res = self.run_driver(name)
+            if policy is None:
+                res = self.run_driver(name)
+            else:
+                try:
+                    res = self.run_driver(name)
+                    policy.record_success()
+                except ReproError as exc:
+                    policy.record_failure(
+                        FailureReport.from_exception(
+                            exc, label=f"experiment:{name}",
+                            kind="experiment.driver",
+                        ),
+                        cause=exc,
+                    )
+                    continue
             logger.info("%s done in %.1fs", res.experiment, res.elapsed_seconds)
             out.append(res)
         return out

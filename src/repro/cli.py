@@ -25,6 +25,10 @@ Subcommands
 ``cache``
     Inspect (``stats``) or empty (``clear``) the batch engine's
     content-addressed result store.
+``doctor``
+    Self-check the resilience machinery (error taxonomy, budget
+    guards, degradation ladder, fault injection, store corruption
+    tolerance); exit 0 iff every check passes.
 
 Every analysis subcommand also accepts ``--profile TRACE.json`` /
 ``--metrics-out METRICS.json`` (or the ``REPRO_TRACE`` /
@@ -33,11 +37,22 @@ plus the batch-engine flags ``--jobs N`` (worker processes; sweep and
 experiments fan out, and ``--jobs N`` output is byte-identical to
 ``--jobs 1``) and ``--no-cache`` (skip the result store) — see
 docs/ENGINE.md.
+
+Resilience flags (docs/RESILIENCE.md): ``--deadline SECONDS`` /
+``--max-iters N`` build a :class:`repro.resilience.Budget` for every
+analysis (sweeps degrade gracefully down the exact → regression →
+analytic ladder instead of dying); ``--keep-going`` (sweep default)
+isolates per-file and per-point failures into structured reports while
+``--fail-fast`` aborts on the first one.  Structured errors print as
+one-line diagnostics with stable exit codes (2 usage, 3 frontend,
+4 model/resource, 5 engine); set ``REPRO_LOG=debug`` for the raw
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.costmodels import TotalCostModel
@@ -45,11 +60,13 @@ from repro.frontend import parse_c_source
 from repro.ir import analyze_dependences
 from repro.machine import paper_machine
 from repro.model import FalseSharingModel, FalseSharingPredictor
+from repro.resilience import Budget, FailurePolicy, FailureReport, ReproError
 from repro.transform import ChunkSizeOptimizer
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("file", help="C source file with OpenMP parallel loops")
+    p.add_argument("file", nargs="+", metavar="FILE",
+                   help="C source file(s) with OpenMP parallel loops")
     p.add_argument("--threads", "-t", type=int, default=None,
                    help="thread count to analyze (default: the pragma's "
                         "num_threads clause, else 8)")
@@ -69,6 +86,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="write the metrics registry to a JSON (or .csv) "
                         "dump at exit")
     _add_engine_flags(p)
+    _add_resilience_flags(p)
 
 
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
@@ -78,6 +96,57 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk result cache ($REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget per analysis; over-deadline "
+                        "work degrades (sweep) or aborts with REPRO-R002")
+    p.add_argument("--max-iters", type=int, default=None, metavar="N",
+                   help="cap on lockstep iterations the exact detector may "
+                        "evaluate; sweeps degrade down the "
+                        "exact→regression→analytic ladder instead of dying")
+    g = p.add_mutually_exclusive_group()
+    g.add_argument("--keep-going", dest="keep_going", action="store_true",
+                   default=True,
+                   help="isolate per-file/per-point failures into "
+                        "structured reports and finish the batch (default "
+                        "for sweep/experiments)")
+    g.add_argument("--fail-fast", dest="keep_going", action="store_false",
+                   help="abort on the first failure with its structured "
+                        "error code")
+    p.add_argument("--max-failure-rate", type=float, default=1.0,
+                   metavar="FRACTION",
+                   help="circuit breaker: abort a keep-going batch once "
+                        "this fraction of points has failed (default 1.0 "
+                        "= disabled)")
+
+
+def _budget_from(args: argparse.Namespace) -> Budget | None:
+    deadline = getattr(args, "deadline", None)
+    max_iters = getattr(args, "max_iters", None)
+    if deadline is None and max_iters is None:
+        return None
+    return Budget(deadline_s=deadline, max_steps=max_iters)
+
+
+def _policy_from(args: argparse.Namespace) -> FailurePolicy:
+    return FailurePolicy(
+        keep_going=getattr(args, "keep_going", True),
+        max_failure_rate=getattr(args, "max_failure_rate", 1.0),
+    )
+
+
+def _print_failures(policy: FailurePolicy) -> None:
+    if not policy.failures:
+        return
+    print(
+        f"\n{len(policy.failures)} of {policy.evaluated} evaluations "
+        "failed (isolated):",
+        file=sys.stderr,
+    )
+    for failure in policy.failures:
+        print(f"  {failure.one_line()}", file=sys.stderr)
 
 
 def _engine_from(args: argparse.Namespace):
@@ -100,12 +169,41 @@ def _macros(defines: list[str]) -> dict[str, int]:
     return out
 
 
-def _load_kernels(args: argparse.Namespace):
-    with open(args.file, encoding="utf-8") as fh:
-        source = fh.read()
-    kernels = parse_c_source(source, extra_macros=_macros(args.define))
-    if not kernels:
-        raise SystemExit(f"{args.file}: no OpenMP parallel for loops found")
+def _load_kernels(
+    args: argparse.Namespace, policy: FailurePolicy | None = None
+):
+    """Parse every input file into kernels.
+
+    Without a ``policy`` any frontend failure propagates (strict, the
+    single-file commands).  With a keep-going policy, a file that fails
+    to parse becomes one isolated :class:`FailureReport` and the other
+    files still contribute their kernels — a sweep grid with one
+    unparsable kernel produces the rest of the landscape plus a
+    structured failure, not a dead run.
+    """
+    kernels = []
+    for path in args.file:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"{path}: {exc.strerror or exc}") from exc
+        try:
+            kernels.extend(
+                parse_c_source(source, extra_macros=_macros(args.define))
+            )
+        except ReproError as exc:
+            if policy is None:
+                raise
+            policy.record_failure(
+                FailureReport.from_exception(
+                    exc, label=path, kind="frontend", point={"file": path}
+                ),
+                cause=exc,
+            )
+    if not kernels and not (policy is not None and policy.failures):
+        names = ", ".join(args.file)
+        raise SystemExit(f"{names}: no OpenMP parallel for loops found")
     return kernels
 
 
@@ -122,6 +220,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     machine = paper_machine(num_cores=args.cores)
     model = FalseSharingModel(machine, mode=args.mode)
     total_model = TotalCostModel(machine)
+    budget = _budget_from(args)
     for k in _load_kernels(args):
         threads = _threads_for(args, k)
         deps = analyze_dependences(k.nest)
@@ -130,7 +229,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                   f"{k.nest.parallel_var!r} carries a data dependence:")
             for d in deps.carried_by(k.nest.parallel_var):
                 print(f"  {d}")
-        r = model.analyze(k.nest, threads, chunk=args.chunk)
+        r = model.analyze(k.nest, threads, chunk=args.chunk, budget=budget)
         fs_cycles = r.fs_cycles(machine)
         base = total_model.total_cycles(k.nest, threads, fs_cases=0.0)
         share = 100.0 * fs_cycles / (base + fs_cycles) if fs_cycles else 0.0
@@ -150,8 +249,10 @@ def cmd_predict(args: argparse.Namespace) -> int:
     machine = paper_machine(num_cores=args.cores)
     model = FalseSharingModel(machine, mode=args.mode)
     predictor = FalseSharingPredictor(model, n_runs=args.runs)
+    budget = _budget_from(args)
     for k in _load_kernels(args):
-        p = predictor.predict(k.nest, _threads_for(args, k), chunk=args.chunk)
+        p = predictor.predict(k.nest, _threads_for(args, k), chunk=args.chunk,
+                              budget=budget)
         print(f"kernel {k.name}: predicted {p.predicted_fs_cases:,.0f} FS cases "
               f"from {p.sampled_runs}/{p.total_runs} chunk runs "
               f"(fit R^2={p.fit.r2:.4f})")
@@ -177,10 +278,24 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis import ExperimentSuite
 
     suite = ExperimentSuite(scale=args.scale)
-    for res in suite.run_all(engine=_engine_from(args)):
+    policy = _policy_from(args)
+    results = list(suite.run_all(engine=_engine_from(args), policy=policy))
+    for res in results:
         print(res.to_text())
         print()
-    return 0
+    _print_failures(policy)
+    return 0 if results else 1
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.resilience.doctor import run_doctor
+
+    results = run_doctor()
+    for check in results:
+        print(check.one_line())
+    failed = [c for c in results if not c.ok]
+    print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")
+    return 1 if failed else 0
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
@@ -214,22 +329,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.model import WhatIfSweep
 
     machine = paper_machine(num_cores=args.cores)
-    sweep = WhatIfSweep(machine, predictor_runs=args.runs)
+    sweep = WhatIfSweep(machine, use_predictor=not args.exact,
+                        predictor_runs=args.runs, mode=args.mode)
     threads = tuple(int(t) for t in args.threads_list.split(","))
     chunks = tuple(int(c) for c in args.chunks_list.split(","))
     engine = _engine_from(args)
-    for k in _load_kernels(args):
+    budget = _budget_from(args)
+    policy = _policy_from(args)
+    produced = 0
+    for k in _load_kernels(args, policy=policy):
         result = sweep.sweep(k.nest, threads=threads, chunks=chunks,
-                             engine=engine)
+                             engine=engine, budget=budget, policy=policy)
+        produced += len(result.points)
         print(f"kernel {k.name}: {len(result.points)} configurations")
         print(f"{'threads':>8} | {'chunk':>6} | {'FS cases':>10} | "
               f"{'FS share':>8} | {'est. cycles':>12}")
         for t, c, cases, share, wall in result.to_rows():
             print(f"{t:>8} | {c:>6} | {cases:>10,} | {share:>7.1f}% | "
                   f"{wall:>12,.0f}")
-        best = result.best()
-        print(f"best: {best.threads} threads, schedule(static,{best.chunk})")
-    return 0
+        for p in result.degraded_points:
+            print(f"  degraded: t{p.threads} c{p.chunk} -> {p.fidelity} "
+                  f"({p.degradation})")
+        if result.points:
+            best = result.best()
+            print(f"best: {best.threads} threads, "
+                  f"schedule(static,{best.chunk})")
+    _print_failures(policy)
+    # Keep-going semantics: a partial landscape is a successful run.
+    # Only a sweep that produced *nothing* is a failure.
+    return 0 if produced else 1
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -296,7 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate the paper's experiments")
     p.add_argument("--scale", choices=("tiny", "full"), default="tiny")
     _add_engine_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "doctor",
+        help="self-check the resilience machinery (exit 0 iff all pass)",
+    )
+    p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the engine's on-disk result store"
@@ -331,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated thread counts (default 2,4,8)")
     p.add_argument("--chunks-list", default="1,2,4,8,16",
                    help="comma-separated chunk sizes (default 1,2,4,8,16)")
+    p.add_argument("--exact", action="store_true",
+                   help="request the full exact model per point instead of "
+                        "the regression predictor (degrades down the "
+                        "ladder under --max-iters/--deadline)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -353,8 +492,17 @@ def main(argv: list[str] | None = None) -> int:
         trace_path=getattr(args, "profile", None),
         metrics_path=getattr(args, "metrics_out", None),
     )
-    with session(config, reset_metrics=config.any_enabled):
-        return args.func(args)
+    try:
+        with session(config, reset_metrics=config.any_enabled):
+            return args.func(args)
+    except ReproError as exc:
+        # Structured errors become one-line diagnostics with a stable
+        # exit code (docs/RESILIENCE.md); the raw traceback is only for
+        # REPRO_LOG=debug sessions.
+        if os.environ.get("REPRO_LOG", "").strip().lower() == "debug":
+            raise
+        print(exc.one_line(), file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.costmodels.cache import CacheModel
 from repro.ir.loops import ParallelLoopNest
 from repro.machine import MachineConfig
+from repro.resilience.errors import CostModelError
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class SharedCacheModel:
 
     def __init__(self, machine: MachineConfig, cores_per_socket: int = 12) -> None:
         if cores_per_socket <= 0:
-            raise ValueError("cores_per_socket must be positive")
+            raise CostModelError("cores_per_socket must be positive")
         self.machine = machine
         self.cores_per_socket = cores_per_socket
         self._cache = CacheModel(machine)
@@ -85,7 +86,7 @@ class BusModel:
         self, machine: MachineConfig, bytes_per_cycle: float = 16.0
     ) -> None:
         if bytes_per_cycle <= 0:
-            raise ValueError("bytes_per_cycle must be positive")
+            raise CostModelError("bytes_per_cycle must be positive")
         self.machine = machine
         self.bytes_per_cycle = bytes_per_cycle
         self._cache = CacheModel(machine)

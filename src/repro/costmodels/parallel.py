@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.ir.loops import ParallelLoopNest
 from repro.machine import MachineConfig
+from repro.resilience.errors import CostModelError
 from repro.util import ceil_div
 
 
@@ -77,7 +78,7 @@ class ParallelModel:
     def estimate(self, nest: ParallelLoopNest, num_threads: int) -> ParallelEstimate:
         """Overhead estimate for ``num_threads`` executing the nest."""
         if num_threads <= 0:
-            raise ValueError(f"num_threads must be positive, got {num_threads}")
+            raise CostModelError(f"num_threads must be positive, got {num_threads}")
         oh = self.machine.overheads
         loop_per_iter = self.loop_overhead_per_iter(nest)
         depth = nest.parallel_depth()

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.engine.keys import KEY_SCHEMA_VERSION, stable_hash
+from repro.resilience.errors import EngineError
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "Job",
@@ -38,8 +40,15 @@ __all__ = [
 ]
 
 
-class JobError(RuntimeError):
-    """A job failed in a way retries will not fix (unknown kind, bad spec)."""
+class JobError(EngineError):
+    """A job failed in a way retries will not fix (unknown kind, bad spec).
+
+    An :class:`~repro.resilience.errors.EngineError` (stable code
+    ``REPRO-E101``, CLI exit 5); still a :class:`RuntimeError` through
+    the taxonomy's MRO, so pre-taxonomy handlers keep working.
+    """
+
+    code = "REPRO-E101"  # registered in repro.resilience.errors
 
 
 @dataclass(frozen=True)
@@ -122,7 +131,12 @@ def run_job(job: Job) -> dict:
     module-level (and importable as ``repro.engine.job.run_job``) so the
     :class:`~concurrent.futures.ProcessPoolExecutor` can pickle it by
     reference.
+
+    ``fault_point("engine.job")`` fires *inside* the worker process for
+    pooled runs — a ``crash`` action there exercises the pool's
+    crash-isolation path exactly like a real segfault would.
     """
+    fault_point("engine.job", label=job.describe())
     result = resolve_runner(job.kind)(job)
     if not isinstance(result, dict):
         raise JobError(

@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.engine.job import Job, run_job
+from repro.obs import get_registry
+from repro.resilience.errors import EngineError
 from repro.util import get_logger
 
 __all__ = ["JobOutcome", "WorkerPool"]
@@ -41,7 +43,16 @@ logger = get_logger(__name__)
 
 @dataclass
 class JobOutcome:
-    """Terminal state of one job: a result dict or an error string."""
+    """Terminal state of one job: a result dict or an error string.
+
+    ``error_code`` is the stable :mod:`repro.resilience.errors` code for
+    the failure (``REPRO-E102`` for crashes, ``REPRO-E103`` for
+    timeouts, the raised :class:`~repro.resilience.errors.ReproError`'s
+    own code, or ``REPRO-E100`` for anything else).  ``retry_history``
+    records the error string of every *non-final* attempt, so a report
+    can show "crashed twice, then timed out" rather than just the
+    terminal state.
+    """
 
     job: Job
     result: dict | None = None
@@ -49,20 +60,35 @@ class JobOutcome:
     attempts: int = 1
     duration_s: float = 0.0
     from_cache: bool = False
+    error_code: str | None = None
+    retry_history: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
     def unwrap(self) -> dict:
-        """The result dict, raising if the job failed."""
+        """The result dict, raising :class:`EngineError` if the job
+        failed (a :class:`RuntimeError` through the taxonomy MRO)."""
         if self.error is not None:
-            raise RuntimeError(
+            raise EngineError(
                 f"job {self.job.describe()} failed after "
-                f"{self.attempts} attempt(s): {self.error}"
+                f"{self.attempts} attempt(s): {self.error}",
+                code=self.error_code or EngineError.code,
+                context={
+                    "job": self.job.describe(),
+                    "attempts": self.attempts,
+                    "retry_history": list(self.retry_history),
+                },
             )
         assert self.result is not None
         return self.result
+
+
+def _classify(exc: BaseException) -> str:
+    """Stable error code for an exception raised by a runner."""
+    code = getattr(exc, "code", None)
+    return code if isinstance(code, str) else EngineError.code
 
 
 class _Timeout(Exception):
@@ -74,6 +100,11 @@ class _Attempt:
     job: Job
     index: int  # position in the caller's job list
     attempts: int = 0
+    history: list[str] = None  # errors of non-final attempts
+
+    def __post_init__(self) -> None:
+        if self.history is None:
+            self.history = []
 
 
 class WorkerPool:
@@ -111,6 +142,14 @@ class WorkerPool:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        reg = get_registry()
+        self._retries_total = reg.counter(
+            "engine_retries_total", "job attempts retried after a failure"
+        )
+        self._crashes_total = reg.counter(
+            "engine_worker_crashes_total",
+            "worker-process deaths observed by the pool",
+        )
 
     # -- public -------------------------------------------------------------
 
@@ -141,6 +180,7 @@ class WorkerPool:
         outcomes: list[JobOutcome] = []
         for job in jobs:
             attempts = 0
+            history: list[str] = []
             while True:
                 attempts += 1
                 t0 = time.perf_counter()
@@ -149,17 +189,23 @@ class WorkerPool:
                     outcome = JobOutcome(
                         job, result=result, attempts=attempts,
                         duration_s=time.perf_counter() - t0,
+                        retry_history=tuple(history),
                     )
                     break
                 except Exception as exc:  # noqa: BLE001 - surfaced per job
+                    rendered = f"{type(exc).__name__}: {exc}"
                     if attempts > self.retries:
                         outcome = JobOutcome(
                             job,
-                            error=f"{type(exc).__name__}: {exc}",
+                            error=rendered,
                             attempts=attempts,
                             duration_s=time.perf_counter() - t0,
+                            error_code=_classify(exc),
+                            retry_history=tuple(history),
                         )
                         break
+                    history.append(rendered)
+                    self._retries_total.inc()
                     time.sleep(self.backoff_s * attempts)
             outcomes.append(outcome)
             if on_outcome is not None:
@@ -228,7 +274,7 @@ class WorkerPool:
                         fut.cancel()
                         self._retry_or_fail(
                             att, "timeout", time.perf_counter() - t0,
-                            finish, retry,
+                            finish, retry, code="REPRO-E103",
                         )
                     inflight.clear()
                     retry.extend(queue)
@@ -275,21 +321,24 @@ class WorkerPool:
             try:
                 result = fut.result()
             except BrokenProcessPool:
+                self._crashes_total.inc()
                 self._retry_or_fail(
-                    att, "worker process died (crash)", elapsed, finish, retry
+                    att, "worker process died (crash)", elapsed, finish, retry,
+                    code="REPRO-E102",
                 )
                 saw_broken = True
                 continue
             except Exception as exc:  # noqa: BLE001 - surfaced per job
                 self._retry_or_fail(
-                    att, f"{type(exc).__name__}: {exc}", elapsed, finish, retry
+                    att, f"{type(exc).__name__}: {exc}", elapsed, finish,
+                    retry, code=_classify(exc),
                 )
                 continue
             finish(
                 att.index,
                 JobOutcome(
                     att.job, result=result, attempts=att.attempts,
-                    duration_s=elapsed,
+                    duration_s=elapsed, retry_history=tuple(att.history),
                 ),
             )
         if saw_broken:
@@ -314,6 +363,7 @@ class WorkerPool:
         finish: Callable[[int, JobOutcome], None],
         retry: list[_Attempt],
         count_attempt: bool = True,
+        code: str = EngineError.code,
     ) -> None:
         if not count_attempt:
             # Collateral damage (sibling crash): the attempt did not run
@@ -330,7 +380,8 @@ class WorkerPool:
                 att.index,
                 JobOutcome(
                     att.job, error=error, attempts=att.attempts,
-                    duration_s=elapsed,
+                    duration_s=elapsed, error_code=code,
+                    retry_history=tuple(att.history),
                 ),
             )
         else:
@@ -338,6 +389,8 @@ class WorkerPool:
                 "job %s attempt %d failed (%s); retrying",
                 att.job.describe(), att.attempts, error,
             )
+            att.history.append(error)
+            self._retries_total.inc()
             retry.append(att)
 
     @staticmethod

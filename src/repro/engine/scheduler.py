@@ -36,6 +36,7 @@ from repro.engine.job import Job
 from repro.engine.pool import JobOutcome, WorkerPool
 from repro.engine.store import ResultStore
 from repro.obs import get_registry, span
+from repro.resilience.errors import StoreError
 from repro.util import get_logger
 
 __all__ = ["Engine", "default_jobs"]
@@ -160,10 +161,18 @@ class Engine:
                         and self.use_cache
                         and self.store is not None
                     ):
-                        self.store.put(
-                            outcome.job.key(), outcome.result,
-                            kind=outcome.job.kind, label=outcome.job.label,
-                        )
+                        try:
+                            self.store.put(
+                                outcome.job.key(), outcome.result,
+                                kind=outcome.job.kind, label=outcome.job.label,
+                            )
+                        except StoreError as exc:
+                            # A failed cache write degrades re-run speed,
+                            # never the result already in hand.
+                            logger.warning(
+                                "cache write skipped for %s: %s",
+                                outcome.job.describe(), exc,
+                            )
                     if on_outcome is not None:
                         on_outcome(outcome)
 

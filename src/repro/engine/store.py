@@ -41,6 +41,8 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.obs import get_registry
+from repro.resilience.errors import StoreError, UsageError
+from repro.resilience.faults import fault_point, wants_corruption
 from repro.util import get_logger
 
 __all__ = ["STORE_SCHEMA_VERSION", "ResultStore", "StoreStats", "default_cache_dir"]
@@ -119,7 +121,7 @@ class ResultStore:
 
     def _path(self, key: str) -> Path:
         if len(key) != 64 or not set(key) <= _KEY_CHARS:
-            raise ValueError(f"not a sha256 hex key: {key!r}")
+            raise UsageError(f"not a sha256 hex key: {key!r}")
         return self.base / key[:2] / f"{key}.json"
 
     def _entries(self) -> Iterator[Path]:
@@ -139,10 +141,22 @@ class ResultStore:
         removes it so it cannot poison later runs.
         """
         path = self._path(key)
+        fault_point("store.get", label=key)
+        if wants_corruption("store.get", label=key) and path.is_file():
+            # Fault harness: garble the on-disk entry *before* reading it,
+            # proving the corruption-tolerance path below on demand.
+            try:
+                path.write_bytes(b"\x00garbage\xff not json")
+            except OSError:  # pragma: no cover - injection best effort
+                pass
         try:
             raw = path.read_text(encoding="utf-8")
         except FileNotFoundError:
             return None
+        except UnicodeDecodeError:
+            # Torn/garbled bytes that are not even text: same corruption
+            # path as unparsable JSON below.
+            raw = "\x00"
         except OSError as exc:  # pragma: no cover - exotic FS errors
             logger.warning("cache read failed for %s: %s", path, exc)
             return None
@@ -166,9 +180,18 @@ class ResultStore:
         return doc["result"]
 
     def put(self, key: str, result: dict, kind: str = "", label: str = "") -> None:
-        """Persist ``result`` under ``key`` atomically."""
+        """Persist ``result`` under ``key`` atomically.
+
+        Tolerates a concurrent writer racing the atomic rename (and a
+        concurrent ``clear()`` removing the shard directory between the
+        ``mkdir`` and the ``mkstemp``): the write is retried once with
+        the parent re-created; only a persistent I/O failure raises
+        :class:`~repro.resilience.errors.StoreError` (``REPRO-E301``).
+        Losing the race is fine — entries are content-addressed, so
+        whichever writer wins stored the same bytes.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        fault_point("store.put", label=key)
         doc = {
             "schema": STORE_SCHEMA_VERSION,
             "key": key,
@@ -177,19 +200,44 @@ class ResultStore:
             "created_at": time.time(),
             "result": result,
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, separators=(",", ":"), allow_nan=True)
-            os.replace(tmp, path)
-        except BaseException:
+        if wants_corruption("store.put", label=key):
+            # Fault harness: simulate a torn write — the entry lands on
+            # disk as garbage and must be demoted to a miss by get().
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"\x00torn write\xff")
+            return
+        last_error: OSError | None = None
+        for attempt in range(2):
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=path.parent, prefix=".tmp-", suffix=".json"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        json.dump(doc, fh, separators=(",", ":"), allow_nan=True)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+                last_error = None
+                break
+            except OSError as exc:
+                # Another writer (or a concurrent clear/prune) may have
+                # removed the shard directory out from under us.
+                last_error = exc
+                logger.debug(
+                    "cache write attempt %d for %s failed (%s); retrying",
+                    attempt + 1, path, exc,
+                )
+        if last_error is not None:
+            raise StoreError(
+                f"cannot persist cache entry {key[:12]}…: {last_error}",
+                context={"key": key, "path": str(path)},
+            ) from last_error
         if self.max_entries is not None:
             self.prune(self.max_entries)
 

@@ -1,0 +1,45 @@
+"""Frontend diagnostics: the structured :class:`FrontendError`.
+
+Lives in its own module (rather than :mod:`repro.frontend.lower`) so
+that :mod:`~repro.frontend.preprocess` and
+:mod:`~repro.frontend.pragmas` can subclass it without importing the
+lowering pass — :class:`PreprocessError` and :class:`PragmaError` are
+both frontend errors, and all three map onto CLI exit code 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.resilience.errors import ReproError, SourceSpan
+
+__all__ = ["FrontendError"]
+
+
+class FrontendError(ReproError, ValueError):
+    """The source uses constructs outside the supported dialect.
+
+    Accepts either a pycparser AST ``node`` (its coordinate becomes the
+    error's :class:`~repro.resilience.errors.SourceSpan`) or an explicit
+    ``span``.  Inherits :class:`ValueError` so pre-taxonomy call sites
+    (``except ValueError``) keep working.
+    """
+
+    code = "REPRO-F100"  # registered in repro.resilience.errors
+    category = "frontend"
+
+    def __init__(
+        self,
+        message: str,
+        node: Any | None = None,
+        *,
+        code: str | None = None,
+        span: SourceSpan | None = None,
+        hint: str | None = None,
+        context: dict | None = None,
+    ) -> None:
+        if span is None and node is not None:
+            span = SourceSpan.from_coord(getattr(node, "coord", None))
+        super().__init__(
+            message, code=code, span=span, hint=hint, context=context
+        )

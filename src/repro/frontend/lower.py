@@ -33,6 +33,13 @@ from dataclasses import dataclass, field
 
 from pycparser import c_ast, c_parser
 
+try:  # pycparser >= 2.x keeps ParseError in plyparser; newer releases
+    # re-home it next to the parser.  Fall back gracefully either way.
+    from pycparser.plyparser import ParseError as CParseError
+except ImportError:  # pragma: no cover - depends on pycparser version
+    from pycparser.c_parser import ParseError as CParseError
+
+from repro.frontend.diag import FrontendError
 from repro.frontend.pragmas import OmpPragma, parse_omp_pragma
 from repro.frontend.preprocess import PRAGMA_MARKER, PreprocessResult, preprocess
 from repro.ir.affine import AffineExpr
@@ -58,18 +65,13 @@ from repro.ir.layout import (
 from repro.ir.loops import Assign, Loop, ParallelLoopNest, Schedule
 from repro.ir.refs import ArrayDecl, ArrayRef
 from repro.obs import get_registry, span
+from repro.resilience.errors import SourceSpan
+from repro.resilience.faults import fault_point
 from repro.util import get_logger
 
 logger = get_logger(__name__)
 
-
-class FrontendError(ValueError):
-    """The source uses constructs outside the supported dialect."""
-
-    def __init__(self, message: str, node: c_ast.Node | None = None) -> None:
-        if node is not None and getattr(node, "coord", None):
-            message = f"{node.coord}: {message}"
-        super().__init__(message)
+__all__ = ["FrontendError", "LoweredKernel", "parse_c_source"]
 
 
 @dataclass(frozen=True)
@@ -94,7 +96,9 @@ class _Scope:
 
 
 def parse_c_source(
-    source: str, extra_macros: dict[str, int] | None = None
+    source: str,
+    extra_macros: dict[str, int] | None = None,
+    filename: str = "<kernel>",
 ) -> list[LoweredKernel]:
     """Parse C/OpenMP source and lower every ``parallel for`` nest.
 
@@ -105,21 +109,64 @@ def parse_c_source(
         handled by the built-in mini preprocessor.
     extra_macros:
         Integer macros injected before preprocessing (problem sizes).
+    filename:
+        Display name used in diagnostics and source spans.
 
     Returns
     -------
     list of :class:`LoweredKernel`, in source order.
     """
+    fault_point("frontend.parse", label=filename)
     with span("frontend.preprocess", bytes=len(source)):
-        pp = preprocess(source, extra_macros)
+        pp = preprocess(source, extra_macros, filename=filename)
     parser = c_parser.CParser()
     with span("frontend.parse"):
         try:
-            ast = parser.parse(pp.source, filename="<kernel>")
-        except Exception as exc:
-            raise FrontendError(f"C parse error: {exc}") from exc
+            ast = parser.parse(pp.source, filename=filename)
+        except CParseError as exc:
+            # pycparser renders location as a "file:line:col:" message
+            # prefix; lift it into a structured SourceSpan instead of
+            # flattening everything into one string.
+            loc, bare = SourceSpan.from_parse_message(str(exc))
+            raise FrontendError(
+                f"C parse error: {bare}".rstrip(),
+                code="REPRO-F001",
+                span=loc,
+                hint="the kernel dialect accepts preprocessed C99 "
+                     "with OpenMP parallel-for pragmas",
+            ) from exc
+        except (AssertionError, IndexError, AttributeError,
+                RecursionError) as exc:
+            # pycparser trips internal assertions on some malformed
+            # inputs (e.g. an unmatched "}" pops its scope stack) rather
+            # than raising ParseError; those must surface as structured
+            # diagnostics too, never as raw internal errors.
+            raise FrontendError(
+                f"C parse error: parser rejected the input "
+                f"({type(exc).__name__})",
+                code="REPRO-F001",
+                span=SourceSpan(file=filename),
+                hint="the kernel dialect accepts preprocessed C99 "
+                     "with OpenMP parallel-for pragmas",
+            ) from exc
     with span("frontend.lower") as sp:
-        kernels = _Lowerer(pp).lower_file(ast)
+        try:
+            kernels = _Lowerer(pp).lower_file(ast)
+        except FrontendError:
+            raise
+        except (
+            ValueError, TypeError, KeyError, IndexError, AttributeError,
+            AssertionError, OverflowError, RecursionError,
+        ) as exc:
+            # The lowering pass walks attacker-shaped ASTs; any internal
+            # slip must still surface as a frontend diagnostic, never a
+            # raw traceback out of a compiler pass.
+            raise FrontendError(
+                f"cannot lower translation unit: "
+                f"{type(exc).__name__}: {exc}",
+                code="REPRO-F100",
+                span=SourceSpan(file=filename),
+            ) from exc
         sp.set(kernels=len(kernels))
     get_registry().counter(
         "frontend_kernels_lowered",

@@ -13,11 +13,18 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.frontend.diag import FrontendError
 from repro.ir.loops import Schedule
 
 
-class PragmaError(ValueError):
-    """An OpenMP pragma is malformed or uses an unsupported schedule."""
+class PragmaError(FrontendError):
+    """An OpenMP pragma is malformed or uses an unsupported schedule.
+
+    A :class:`~repro.frontend.diag.FrontendError` subclass (stable code
+    ``REPRO-F300``, CLI exit 3).
+    """
+
+    code = "REPRO-F300"  # registered in repro.resilience.errors
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.frontend.diag import FrontendError
+from repro.resilience.errors import SourceSpan
+
 PRAGMA_MARKER = "__repro_pragma"
 
 _DEFINE_RE = re.compile(
@@ -56,8 +59,15 @@ class PreprocessResult:
     macros: dict[str, int] = field(default_factory=dict)
 
 
-class PreprocessError(ValueError):
-    """Raised for macro constructs outside the supported dialect."""
+class PreprocessError(FrontendError):
+    """Raised for macro constructs outside the supported dialect.
+
+    A :class:`~repro.frontend.diag.FrontendError` subclass (stable code
+    ``REPRO-F200``, CLI exit 3); carries the offending line number in
+    its :class:`~repro.resilience.errors.SourceSpan` when known.
+    """
+
+    code = "REPRO-F200"  # registered in repro.resilience.errors
 
 
 def _strip_comments(text: str) -> str:
@@ -70,25 +80,46 @@ def _strip_comments(text: str) -> str:
     return _LINE_COMMENT_RE.sub("", text)
 
 
-def _eval_macro_value(name: str, value: str, macros: dict[str, int]) -> int:
+def _eval_macro_value(
+    name: str,
+    value: str,
+    macros: dict[str, int],
+    span: SourceSpan | None = None,
+) -> int:
     """Evaluate a macro body: an integer literal or arithmetic over
     previously defined integer macros (e.g. ``#define HALF (N/2)``)."""
     expanded = _substitute_macros(value, macros)
     if _INT_RE.match(expanded.strip()):
-        return int(expanded)
+        try:
+            return int(expanded)
+        except ValueError as exc:  # pragma: no cover - regex guards this
+            raise PreprocessError(
+                f"cannot evaluate #define {name} {value!r}", span=span
+            ) from exc
     # Allow simple constant arithmetic: digits, parens, + - * / and spaces.
-    if re.fullmatch(r"[\d\s()+\-*/%]+", expanded):
+    # "**" is excluded (a fuzzed `#define X 9**9**9` must not hang the
+    # evaluator computing an astronomically large power), as are bodies
+    # long enough to make constant folding itself a resource hazard.
+    if (
+        len(expanded) <= 256
+        and "**" not in expanded
+        and re.fullmatch(r"[\d\s()+\-*/%]+", expanded)
+    ):
         try:
             result = eval(expanded, {"__builtins__": {}}, {})  # noqa: S307
-        except Exception as exc:  # pragma: no cover - defensive
-            raise PreprocessError(f"cannot evaluate #define {name} {value!r}") from exc
+        except Exception as exc:
+            raise PreprocessError(
+                f"cannot evaluate #define {name} {value!r}", span=span
+            ) from exc
         if isinstance(result, int):
             return result
         if isinstance(result, float) and result.is_integer():
             return int(result)
     raise PreprocessError(
         f"unsupported #define {name} {value!r}: only integer-constant macros "
-        "are handled by the kernel dialect"
+        "are handled by the kernel dialect",
+        span=span,
+        hint="pass the value with -D NAME=VALUE or inline the constant",
     )
 
 
@@ -101,7 +132,11 @@ def _substitute_macros(line: str, macros: dict[str, int]) -> str:
     return pattern.sub(lambda m: str(macros[m.group(1)]), line)
 
 
-def preprocess(source: str, extra_macros: dict[str, int] | None = None) -> PreprocessResult:
+def preprocess(
+    source: str,
+    extra_macros: dict[str, int] | None = None,
+    filename: str = "<kernel>",
+) -> PreprocessResult:
     """Run the mini preprocessor.
 
     Parameters
@@ -112,24 +147,30 @@ def preprocess(source: str, extra_macros: dict[str, int] | None = None) -> Prepr
     extra_macros:
         Predefined integer macros, e.g. problem sizes injected by an
         experiment driver; they take precedence over in-file defines.
+    filename:
+        Display name used in diagnostic spans.
     """
     macros: dict[str, int] = dict(extra_macros or {})
     pragmas: dict[int, str] = {}
     out_lines: list[str] = []
 
-    for raw_line in _strip_comments(source).splitlines():
+    for lineno, raw_line in enumerate(_strip_comments(source).splitlines(), start=1):
+        span = SourceSpan(file=filename, line=lineno)
         if _FUNC_DEFINE_RE.match(raw_line):
             # Silently dropping a function-like macro would leave its
             # uses to fail later with a confusing parse error.
             raise PreprocessError(
                 f"unsupported function-like macro: {raw_line.strip()!r} "
-                "(the kernel dialect handles integer-constant macros only)"
+                "(the kernel dialect handles integer-constant macros only)",
+                span=span,
             )
         define = _DEFINE_RE.match(raw_line)
         if define:
             name = define.group("name")
             if name not in macros:  # extra_macros win
-                macros[name] = _eval_macro_value(name, define.group("value"), macros)
+                macros[name] = _eval_macro_value(
+                    name, define.group("value"), macros, span=span
+                )
             out_lines.append("")
             continue
 

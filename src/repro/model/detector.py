@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.model.stackdist import MODIFIED, SHARED
 from repro.obs import get_registry, span
+from repro.resilience.errors import ModelError
 
 
 @dataclass
@@ -110,11 +111,11 @@ class FSDetector:
         self, num_threads: int, stack_lines: int, mode: str = "invalidate"
     ) -> None:
         if num_threads <= 0:
-            raise ValueError("num_threads must be positive")
+            raise ModelError("num_threads must be positive")
         if stack_lines <= 0:
-            raise ValueError("stack_lines must be positive")
+            raise ModelError("stack_lines must be positive")
         if mode not in ("invalidate", "literal"):
-            raise ValueError(f"unknown detector mode {mode!r}")
+            raise ModelError(f"unknown detector mode {mode!r}")
         self.num_threads = num_threads
         self.stack_lines = stack_lines
         self.mode = mode
@@ -186,7 +187,7 @@ class FSDetector:
             range(self.num_threads)
         )
         if sorted(order) != list(range(self.num_threads)):
-            raise ValueError("thread_order must be a permutation of thread ids")
+            raise ModelError("thread_order must be a permutation of thread ids")
         for s in range(n_steps):
             for t in order:
                 if s >= lengths[t]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -32,6 +32,8 @@ from repro.model.detector import FSDetector, FSStats
 from repro.model.ownership import OwnershipListGenerator
 from repro.model.schedule import IterationSpace
 from repro.obs import get_registry, span
+from repro.resilience.budget import Budget, estimate_cost
+from repro.resilience.errors import ModelError
 from repro.util import get_logger
 
 logger = get_logger(__name__)
@@ -67,7 +69,7 @@ class FSCycleRate:
     def extrapolate(self, total_cycles: int) -> float:
         """Projected FS cases for a loop of ``total_cycles`` chunk runs."""
         if total_cycles < 0:
-            raise ValueError("total_cycles must be non-negative")
+            raise ModelError("total_cycles must be non-negative")
         return self.fs_cases_per_cycle * total_cycles
 
 
@@ -201,6 +203,7 @@ class FalseSharingModel:
         max_chunk_runs: int | None = None,
         record_series: bool = False,
         space: AddressSpace | None = None,
+        budget: Budget | None = None,
     ) -> FSModelResult:
         """Run the full FS analysis.
 
@@ -222,6 +225,14 @@ class FalseSharingModel:
         space:
             Optional pre-populated address space (shared with other
             models for placement-consistent analyses).
+        budget:
+            Optional :class:`~repro.resilience.budget.Budget`.  The
+            steps/state guards are enforced *before* the walk starts
+            (pre-run estimate, ``REPRO-R001``/``REPRO-R003``); the
+            deadline is checked between detector blocks while it runs
+            (``REPRO-R002``).  A budgeted caller that wants graceful
+            degradation instead of an exception should go through
+            :func:`repro.resilience.ladder.analyze_with_ladder`.
 
         Notes
         -----
@@ -229,17 +240,26 @@ class FalseSharingModel:
         ``N_nfs_model`` depending on the chunk configuration analyzed.
         """
         if num_threads <= 0:
-            raise ValueError(f"num_threads must be positive, got {num_threads}")
+            raise ModelError(f"num_threads must be positive, got {num_threads}")
         if chunk is not None:
             nest = nest.with_chunk(chunk)
         validate_nest(nest)
+        if budget is not None and not budget.unlimited:
+            estimate = estimate_cost(nest, num_threads, self.machine)
+            if max_chunk_runs is not None:
+                # Only the prefix will run; guard what will actually
+                # be evaluated, not the whole loop.
+                prefix_steps = estimate.steps_for_runs(max_chunk_runs)
+                estimate = replace(estimate, steps=prefix_steps)
+            budget.check_estimate(estimate, where=nest.name)
 
         with span(
             "model.analyze", kernel=nest.name, threads=num_threads,
             mode=self.mode,
         ) as sp:
             result = self._analyze(
-                nest, num_threads, max_chunk_runs, record_series, space
+                nest, num_threads, max_chunk_runs, record_series, space,
+                budget,
             )
             sp.set(chunk=result.chunk, fs_cases=result.fs_cases)
         return result
@@ -251,6 +271,7 @@ class FalseSharingModel:
         max_chunk_runs: int | None,
         record_series: bool,
         space: AddressSpace | None,
+        budget: Budget | None = None,
     ) -> FSModelResult:
         t0 = time.perf_counter()
         gen = OwnershipListGenerator(
@@ -278,11 +299,15 @@ class FalseSharingModel:
             gen.enum.block_steps = runs_per_block * steps_per_run
             series = []
             for block in gen.blocks(max_steps):
+                if budget is not None:
+                    budget.check_deadline(f"analysis of {nest.name}")
                 self._process_block_with_series(
                     detector, block, gen.write_mask, steps_per_run, series
                 )
         else:
             for block in gen.blocks(max_steps):
+                if budget is not None:
+                    budget.check_deadline(f"analysis of {nest.name}")
                 detector.process_block(
                     block.lines, gen.write_mask, thread_order=self.thread_order
                 )
@@ -355,30 +380,34 @@ class FalseSharingModel:
         counts and array extents must still be known, as in the paper.
         """
         if chunk <= 0:
-            raise ValueError("chunk must be positive for cycle-rate analysis")
+            raise ModelError("chunk must be positive for cycle-rate analysis")
         if measured_cycles <= 0 or warmup_cycles < 0:
-            raise ValueError("need measured_cycles > 0 and warmup_cycles >= 0")
+            raise ModelError("need measured_cycles > 0 and warmup_cycles >= 0")
         nest = nest.with_chunk(chunk)
         parallel = nest.parallel_loop()
         free = set(parallel.upper.variables())
         total_cycles = warmup_cycles + measured_cycles
         if free:
             if len(free) > 1:
-                raise ValueError(
+                raise ModelError(
                     f"parallel bound {parallel.upper} uses several unknowns "
-                    f"{sorted(free)}; only one symbolic boundary is supported"
+                    f"{sorted(free)}; only one symbolic boundary is supported",
+                    code="REPRO-M102",
                 )
             (param,) = free
             if parallel.upper.coeff(param) != 1:
-                raise ValueError(
+                raise ModelError(
                     f"symbolic parallel bound must be linear in {param!r} "
-                    "with coefficient 1"
+                    "with coefficient 1",
+                    code="REPRO-M102",
                 )
             # Bind the unknown so the loop runs exactly total_cycles runs.
             needed_trip = num_threads * chunk * total_cycles
             lower = parallel.lower
             if not lower.is_constant:
-                raise ValueError("parallel lower bound must be constant")
+                raise ModelError(
+                    "parallel lower bound must be constant", code="REPRO-M102"
+                )
             value = (
                 lower.as_int()
                 + needed_trip * parallel.step

@@ -24,6 +24,7 @@ import numpy as np
 from repro.ir.loops import ParallelLoopNest
 from repro.model.fsmodel import FalseSharingModel, FSModelResult
 from repro.obs import get_registry, span
+from repro.resilience.errors import ModelError
 
 
 @dataclass(frozen=True)
@@ -130,9 +131,9 @@ class FalseSharingPredictor:
         self, model: FalseSharingModel, n_runs: int = 20, method: str = "paper"
     ) -> None:
         if n_runs <= 0:
-            raise ValueError("n_runs must be positive")
+            raise ModelError("n_runs must be positive")
         if method not in _FITTERS:
-            raise ValueError(f"unknown fit method {method!r}")
+            raise ModelError(f"unknown fit method {method!r}")
         self.model = model
         self.n_runs = n_runs
         self.method = method
@@ -142,8 +143,15 @@ class FalseSharingPredictor:
         nest: ParallelLoopNest,
         num_threads: int,
         chunk: int | None = None,
+        budget=None,
     ) -> FSPrediction:
-        """Sample ``n_runs`` chunk runs and extrapolate to the whole loop."""
+        """Sample ``n_runs`` chunk runs and extrapolate to the whole loop.
+
+        ``budget`` (a :class:`~repro.resilience.budget.Budget`) is
+        forwarded to the prefix analysis; its steps guard applies to the
+        *sampled prefix*, not the whole loop, so a prediction can fit a
+        budget that the exact analysis would blow.
+        """
         with span(
             "model.predict", kernel=nest.name, threads=num_threads,
             n_runs=self.n_runs,
@@ -154,12 +162,14 @@ class FalseSharingPredictor:
                 chunk=chunk,
                 max_chunk_runs=self.n_runs,
                 record_series=True,
+                budget=budget,
             )
             series = prefix.per_chunk_run
             if series is None or len(series) == 0:
-                raise ValueError(
+                raise ModelError(
                     f"no chunk runs were evaluated for {nest.name!r}; "
-                    "is the loop empty?"
+                    "is the loop empty?",
+                    code="REPRO-M103",
                 )
             x = np.arange(1, len(series) + 1, dtype=np.float64)
             y = series.astype(np.float64)

@@ -28,13 +28,40 @@ from repro.costmodels import TotalCostModel
 from repro.ir.loops import ParallelLoopNest
 from repro.machine import MachineConfig
 from repro.model.fsmodel import FalseSharingModel
-from repro.model.regression import FalseSharingPredictor
+from repro.resilience.budget import Budget
+from repro.resilience.errors import ModelError, ReproError
+from repro.resilience.ladder import analyze_with_ladder
+from repro.resilience.partial import FailurePolicy, FailureReport
+from repro.obs import get_registry
 from repro.util import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine import Engine, Job
 
 logger = get_logger(__name__)
+
+
+def _account_fallbacks(points: Sequence["SweepPoint"]) -> None:
+    """Mirror worker-side ladder fallbacks into this process' registry.
+
+    With an engine, the degradation ladder runs inside worker processes
+    whose metric registries never reach the parent; re-counting degraded
+    points here keeps ``resilience_fallbacks_total{level=...}`` visible
+    in the sweep's own metrics dump (cache-served degraded points count
+    too — the metric tracks degraded *results*, which is what a sweep
+    report cares about).
+    """
+    counter = None
+    for p in points:
+        if not p.degraded:
+            continue
+        if counter is None:
+            counter = get_registry().counter(
+                "resilience_fallbacks_total",
+                "analyses degraded to a cheaper fidelity level by a "
+                "budget guard",
+            )
+        counter.labels(level=p.fidelity).inc()
 
 
 @dataclass(frozen=True)
@@ -46,21 +73,34 @@ class SweepPoint:
     fs_cases: float
     fs_cycles: float
     wall_cycles: float
+    #: Fidelity level that produced this point ("exact", "regression"
+    #: or "analytic") and the degradation reason when a budget forced a
+    #: drop below the requested level (see repro.resilience.ladder).
+    fidelity: str = "regression"
+    degradation: str | None = None
 
     @property
     def fs_share(self) -> float:
         """FS cycles as a fraction of the configuration's wall time."""
         return self.fs_cycles / self.wall_cycles if self.wall_cycles else 0.0
 
+    @property
+    def degraded(self) -> bool:
+        return self.degradation is not None
+
     def to_dict(self) -> dict:
         """JSON-able form (the engine's cached job result)."""
-        return {
+        doc = {
             "threads": self.threads,
             "chunk": self.chunk,
             "fs_cases": self.fs_cases,
             "fs_cycles": self.fs_cycles,
             "wall_cycles": self.wall_cycles,
+            "fidelity": self.fidelity,
         }
+        if self.degradation is not None:
+            doc["degradation"] = self.degradation
+        return doc
 
     @staticmethod
     def from_dict(doc: dict) -> "SweepPoint":
@@ -70,15 +110,29 @@ class SweepPoint:
             fs_cases=float(doc["fs_cases"]),
             fs_cycles=float(doc["fs_cycles"]),
             wall_cycles=float(doc["wall_cycles"]),
+            fidelity=str(doc.get("fidelity", "regression")),
+            degradation=doc.get("degradation"),
         )
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """The full landscape plus convenience queries."""
+    """The full landscape plus convenience queries.
+
+    ``failures`` holds one
+    :class:`~repro.resilience.partial.FailureReport` per isolated
+    grid-point failure when the sweep ran under a keep-going
+    :class:`~repro.resilience.partial.FailurePolicy`; it is empty for
+    strict (legacy) sweeps, which raise instead.
+    """
 
     nest_name: str
     points: tuple[SweepPoint, ...]
+    failures: tuple[FailureReport, ...] = ()
+
+    @property
+    def degraded_points(self) -> tuple[SweepPoint, ...]:
+        return tuple(p for p in self.points if p.degraded)
 
     def best(self) -> SweepPoint:
         """The configuration with the smallest estimated wall time."""
@@ -87,7 +141,7 @@ class SweepResult:
     def best_chunk_for(self, threads: int) -> SweepPoint:
         candidates = [p for p in self.points if p.threads == threads]
         if not candidates:
-            raise ValueError(f"no sweep points for {threads} threads")
+            raise ModelError(f"no sweep points for {threads} threads")
         return min(candidates, key=lambda p: p.wall_cycles)
 
     def grid(self) -> dict[tuple[int, int], SweepPoint]:
@@ -115,6 +169,7 @@ def evaluate_point(
     use_predictor: bool = True,
     predictor_runs: int = 8,
     mode: str = "invalidate",
+    budget: Budget | None = None,
 ) -> SweepPoint:
     """Evaluate one (threads, chunk) configuration.
 
@@ -124,27 +179,30 @@ def evaluate_point(
     bit-identical to ``--jobs 1``.  The computation is deterministic:
     the predictor samples a fixed prefix of chunk runs, not a random
     subset.
+
+    With a ``budget``, the evaluation goes through the degradation
+    ladder (:func:`repro.resilience.ladder.analyze_with_ladder`): an
+    over-budget exact analysis falls back to the regression prediction,
+    and an over-budget prediction to the analytic upper bound.  The
+    achieved level and the reason are recorded on the returned
+    :class:`SweepPoint` (``fidelity`` / ``degradation``).
     """
     model = FalseSharingModel(machine, mode=mode)
     total_model = TotalCostModel(machine)
     candidate = nest.with_chunk(chunk)
-    if use_predictor:
-        pred = FalseSharingPredictor(
-            model, n_runs=predictor_runs
-        ).predict(candidate, threads)
-        fs_cases = pred.predicted_fs_cases
-        prefix = pred.prefix_result
-        total = max(prefix.fs_cases, 1)
-        fs_cycles = fs_cases * (
-            (prefix.fs_read_cases / total)
-            * machine.fs_read_penalty_cycles
-            + (prefix.fs_write_cases / total)
-            * machine.fs_write_penalty_cycles
-        )
-    else:
-        result = model.analyze(candidate, threads)
-        fs_cases = float(result.fs_cases)
-        fs_cycles = result.fs_cycles(machine)
+    prefer = "exact" if not use_predictor else "regression"
+    outcome = analyze_with_ladder(
+        machine,
+        candidate,
+        threads,
+        budget=budget,
+        prefer=prefer,
+        predictor_runs=predictor_runs,
+        mode=mode,
+        model=model,
+    )
+    fs_cases = outcome.fs_cases
+    fs_cycles = outcome.fs_cycles(machine)
     breakdown = total_model.breakdown(
         candidate, num_threads=threads, fs_cases=0.0
     )
@@ -156,6 +214,7 @@ def evaluate_point(
     return SweepPoint(
         threads=threads, chunk=chunk,
         fs_cases=fs_cases, fs_cycles=fs_cycles, wall_cycles=wall,
+        fidelity=outcome.fidelity, degradation=outcome.degradation,
     )
 
 
@@ -176,6 +235,7 @@ def run_point_job(job) -> dict:
         use_predictor=bool(job.spec["use_predictor"]),
         predictor_runs=int(job.spec["predictor_runs"]),
         mode=str(job.spec["mode"]),
+        budget=Budget.from_key_dict(job.spec.get("budget")),
     )
     return point.to_dict()
 
@@ -207,13 +267,18 @@ class WhatIfSweep:
         self.total_model = TotalCostModel(machine)
 
     def _point(
-        self, nest: ParallelLoopNest, threads: int, chunk: int
+        self,
+        nest: ParallelLoopNest,
+        threads: int,
+        chunk: int,
+        budget: Budget | None = None,
     ) -> SweepPoint:
         return evaluate_point(
             self.machine, nest, threads, chunk,
             use_predictor=self.use_predictor,
             predictor_runs=self.predictor_runs,
             mode=self.model.mode,
+            budget=budget,
         )
 
     def _feasible(
@@ -228,7 +293,7 @@ class WhatIfSweep:
             (t, c) for t in threads for c in chunks if c * t <= trip
         ]
         if not grid:
-            raise ValueError(
+            raise ModelError(
                 f"no feasible (threads, chunk) points for trip count {trip}"
             )
         return grid
@@ -238,13 +303,20 @@ class WhatIfSweep:
         nest: ParallelLoopNest,
         threads: Sequence[int] = (2, 4, 8, 16, 24, 32, 48),
         chunks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+        budget: Budget | None = None,
     ) -> "list[Job]":
-        """One engine job per feasible grid point, in sweep order."""
+        """One engine job per feasible grid point, in sweep order.
+
+        A non-empty budget joins the job spec (and therefore the cache
+        key): a budgeted, possibly degraded point must never alias the
+        cache entry of an unbudgeted exact one.
+        """
         from repro.engine import Job, nest_digest
 
         digest = nest_digest(nest)
         machine_key = self.machine.to_key_dict()
         payload = {"machine": self.machine, "nest": nest}
+        budget_key = budget.to_key_dict() if budget is not None else {}
         jobs = []
         for t, c in self._feasible(nest, threads, chunks):
             spec = {
@@ -256,6 +328,8 @@ class WhatIfSweep:
                 "predictor_runs": self.predictor_runs,
                 "mode": self.model.mode,
             }
+            if budget_key:
+                spec["budget"] = budget_key
             jobs.append(
                 Job(
                     kind="whatif.point",
@@ -272,6 +346,8 @@ class WhatIfSweep:
         threads: Sequence[int] = (2, 4, 8, 16, 24, 32, 48),
         chunks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
         engine: "Engine | None" = None,
+        budget: Budget | None = None,
+        policy: FailurePolicy | None = None,
     ) -> SweepResult:
         """Evaluate the landscape; infeasible (chunk·T > trip) points
         are skipped.
@@ -279,22 +355,75 @@ class WhatIfSweep:
         With an ``engine``, every point becomes a content-addressed job:
         points run across the engine's worker pool and repeat sweeps are
         served from its result store.  Point values are identical to the
-        serial path; any point failure raises with the per-job error.
+        serial path.
+
+        Failure semantics: without a ``policy`` any point failure raises
+        (strict, the historical behaviour).  With a keep-going
+        :class:`~repro.resilience.partial.FailurePolicy`, failed points
+        are isolated into ``SweepResult.failures`` while the rest of the
+        grid completes — unless the policy's failure-rate circuit
+        breaker trips first (``REPRO-E201``).  A ``budget`` flows into
+        every point evaluation (degradation ladder; see
+        :func:`evaluate_point`).
         """
         if engine is not None:
-            jobs = self.point_jobs(nest, threads, chunks)
-            results = engine.run_strict(jobs)
-            points = tuple(SweepPoint.from_dict(doc) for doc in results)
-            logger.debug(
-                "what-if sweep on %s: %d points via engine (jobs=%d)",
-                nest.name, len(points), engine.jobs,
+            jobs = self.point_jobs(nest, threads, chunks, budget=budget)
+            if policy is None:
+                results = engine.run_strict(jobs)
+                points = tuple(SweepPoint.from_dict(doc) for doc in results)
+                _account_fallbacks(points)
+                logger.debug(
+                    "what-if sweep on %s: %d points via engine (jobs=%d)",
+                    nest.name, len(points), engine.jobs,
+                )
+                return SweepResult(nest_name=nest.name, points=points)
+            points_list: list[SweepPoint] = []
+            for outcome in engine.run(jobs):
+                if outcome.ok:
+                    points_list.append(SweepPoint.from_dict(outcome.result))
+                    policy.record_success()
+                else:
+                    policy.record_failure(
+                        FailureReport.from_outcome(
+                            outcome,
+                            kind="sweep.point",
+                            point={
+                                "threads": outcome.job.spec.get("threads"),
+                                "chunk": outcome.job.spec.get("chunk"),
+                            },
+                        )
+                    )
+            _account_fallbacks(points_list)
+            return SweepResult(
+                nest_name=nest.name,
+                points=tuple(points_list),
+                failures=tuple(policy.failures),
             )
-            return SweepResult(nest_name=nest.name, points=points)
-        points_list = [
-            self._point(nest, t, c)
-            for t, c in self._feasible(nest, threads, chunks)
-        ]
+        points_list = []
+        failures: tuple[FailureReport, ...] = ()
+        for t, c in self._feasible(nest, threads, chunks):
+            if policy is None:
+                points_list.append(self._point(nest, t, c, budget=budget))
+                continue
+            try:
+                points_list.append(self._point(nest, t, c, budget=budget))
+                policy.record_success()
+            except ReproError as exc:
+                policy.record_failure(
+                    FailureReport.from_exception(
+                        exc,
+                        label=f"whatif:{nest.name}:t{t}c{c}",
+                        kind="sweep.point",
+                        point={"threads": t, "chunk": c},
+                    ),
+                    cause=exc,
+                )
+        if policy is not None:
+            failures = tuple(policy.failures)
         logger.debug(
-            "what-if sweep on %s: %d points", nest.name, len(points_list)
+            "what-if sweep on %s: %d points (%d failures)",
+            nest.name, len(points_list), len(failures),
         )
-        return SweepResult(nest_name=nest.name, points=tuple(points_list))
+        return SweepResult(
+            nest_name=nest.name, points=tuple(points_list), failures=failures
+        )

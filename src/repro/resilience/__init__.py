@@ -1,0 +1,88 @@
+"""Resilience layer: error taxonomy, resource guards, fault injection.
+
+This package is the robustness backbone of the pipeline (see
+``docs/RESILIENCE.md``):
+
+- :mod:`repro.resilience.errors` — structured :class:`ReproError`
+  taxonomy with stable codes, severities, source spans and CLI exit
+  codes;
+- :mod:`repro.resilience.budget` — resource budgets and pre-run cost
+  estimation for the false-sharing model;
+- :mod:`repro.resilience.ladder` — the graceful-degradation ladder
+  (exact detector → regression prediction → analytic bound);
+- :mod:`repro.resilience.partial` — partial-result semantics for
+  sweeps and experiment suites (failure reports, circuit breaker);
+- :mod:`repro.resilience.faults` — the fault-injection harness used by
+  the resilience test suite and ``repro-fs doctor``;
+- :mod:`repro.resilience.doctor` — the self-check behind the
+  ``repro-fs doctor`` subcommand.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.budget import Budget, CostEstimate, estimate_cost
+from repro.resilience.errors import (
+    ERROR_CODES,
+    EXIT_CODES,
+    BudgetExceededError,
+    CircuitOpenError,
+    CostModelError,
+    EngineError,
+    FaultInjectedError,
+    ModelError,
+    ReproError,
+    SourceSpan,
+    StoreError,
+    UsageError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    error_from_dict,
+    register_code,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_point,
+    install_plan,
+    wants_corruption,
+)
+from repro.resilience.ladder import (
+    FIDELITY_LEVELS,
+    LadderOutcome,
+    analyze_with_ladder,
+)
+from repro.resilience.partial import FailurePolicy, FailureReport
+
+__all__ = [
+    "ERROR_CODES",
+    "EXIT_CODES",
+    "FIDELITY_LEVELS",
+    "Budget",
+    "BudgetExceededError",
+    "CircuitOpenError",
+    "CostEstimate",
+    "CostModelError",
+    "EngineError",
+    "FailurePolicy",
+    "FailureReport",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultSpec",
+    "LadderOutcome",
+    "ModelError",
+    "ReproError",
+    "SourceSpan",
+    "StoreError",
+    "UsageError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "active_plan",
+    "analyze_with_ladder",
+    "error_from_dict",
+    "estimate_cost",
+    "fault_point",
+    "install_plan",
+    "register_code",
+    "wants_corruption",
+]

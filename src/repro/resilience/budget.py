@@ -1,0 +1,209 @@
+"""Resource budgets and pre-run cost estimation for the FS model.
+
+The exact detector walks every lockstep step of the loop
+(``All_num_iters / num_threads`` of them) and keeps a per-thread LRU
+cache state — both are easy to blow up with a large kernel inside a
+compiler pass that has a time budget.  A :class:`Budget` makes those
+limits explicit:
+
+* ``deadline_s``   — wall-clock budget for one analysis;
+* ``max_steps``    — cap on lockstep steps the detector may evaluate;
+* ``max_state_bytes`` — cap on the estimated detector/ownership working
+  set.
+
+Crucially, the *steps* and *state* guards are enforced **before** the
+analysis runs: :func:`estimate_cost` derives the step count and working
+set from the :class:`~repro.model.schedule.IterationSpace` alone (pure
+arithmetic on trip counts), so an over-budget configuration is rejected
+in microseconds instead of being killed after seconds.  The *deadline*
+guard is additionally checked between detector blocks while the
+analysis runs.
+
+A rejected or interrupted analysis raises
+:class:`~repro.resilience.errors.BudgetExceededError` whose ``context``
+names the guard — the degradation ladder
+(:mod:`repro.resilience.ladder`) catches it and falls back to a cheaper
+fidelity level.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.errors import BudgetExceededError, UsageError
+
+__all__ = ["Budget", "CostEstimate", "estimate_cost"]
+
+#: Estimated bookkeeping bytes per resident cache line in the detector's
+#: per-thread LRU state (OrderedDict node + key/value boxes), plus the
+#: amortized share of the per-line FS counters.
+_BYTES_PER_STATE_LINE = 160
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one analysis (all optional, all AND-ed).
+
+    >>> b = Budget(max_steps=1000)
+    >>> b.allows_steps(999), b.allows_steps(1001)
+    (True, False)
+    """
+
+    deadline_s: float | None = None
+    max_steps: int | None = None
+    max_state_bytes: int | None = None
+    #: Monotonic absolute deadline, pinned at construction so that a
+    #: budget shared across a sweep bounds the *whole* sweep.
+    deadline_at: float | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise UsageError("deadline must be positive (seconds)")
+        if self.max_steps is not None and self.max_steps <= 0:
+            raise UsageError("max_steps must be positive")
+        if self.max_state_bytes is not None and self.max_state_bytes <= 0:
+            raise UsageError("max_state_bytes must be positive")
+        if self.deadline_s is not None and self.deadline_at is None:
+            object.__setattr__(
+                self, "deadline_at", time.monotonic() + self.deadline_s
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.deadline_s is None
+            and self.max_steps is None
+            and self.max_state_bytes is None
+        )
+
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline (``None`` without one)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - time.monotonic()
+
+    def expired(self) -> bool:
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0
+
+    def allows_steps(self, steps: int) -> bool:
+        return self.max_steps is None or steps <= self.max_steps
+
+    def allows_state(self, state_bytes: int) -> bool:
+        return self.max_state_bytes is None or state_bytes <= self.max_state_bytes
+
+    # -- enforcement ---------------------------------------------------------
+
+    def check_deadline(self, where: str = "analysis") -> None:
+        """Raise ``REPRO-R002`` when the wall-clock budget is spent."""
+        if self.expired():
+            raise BudgetExceededError(
+                f"deadline of {self.deadline_s:g}s expired during {where}",
+                code="REPRO-R002",
+                context={
+                    "guard": "deadline",
+                    "limit": self.deadline_s,
+                    "where": where,
+                },
+            )
+
+    def check_estimate(self, estimate: "CostEstimate", where: str = "") -> None:
+        """Raise when a pre-run estimate already exceeds a hard guard."""
+        label = f" for {where}" if where else ""
+        if not self.allows_steps(estimate.steps):
+            raise BudgetExceededError(
+                f"estimated {estimate.steps:,} lockstep steps exceed the "
+                f"budget of {self.max_steps:,}{label}",
+                code="REPRO-R001",
+                context={
+                    "guard": "steps",
+                    "limit": self.max_steps,
+                    "estimate": estimate.steps,
+                },
+            )
+        if not self.allows_state(estimate.state_bytes):
+            raise BudgetExceededError(
+                f"estimated {estimate.state_bytes:,} bytes of cache-state "
+                f"memory exceed the budget of {self.max_state_bytes:,}{label}",
+                code="REPRO-R003",
+                context={
+                    "guard": "state_bytes",
+                    "limit": self.max_state_bytes,
+                    "estimate": estimate.state_bytes,
+                },
+            )
+        self.check_deadline(where or "pre-run estimation")
+
+    # -- serialization (engine job specs) ------------------------------------
+
+    def to_key_dict(self) -> dict:
+        """JSON-able *configured* limits (``deadline_at`` is excluded —
+        the absolute timestamp is run-local, the configuration is not).
+        Used inside engine job specs so budgeted and unbudgeted sweeps
+        occupy distinct cache entries."""
+        doc: dict = {}
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.max_steps is not None:
+            doc["max_steps"] = self.max_steps
+        if self.max_state_bytes is not None:
+            doc["max_state_bytes"] = self.max_state_bytes
+        return doc
+
+    @staticmethod
+    def from_key_dict(doc: dict | None) -> "Budget | None":
+        if not doc:
+            return None
+        return Budget(
+            deadline_s=doc.get("deadline_s"),
+            max_steps=doc.get("max_steps"),
+            max_state_bytes=doc.get("max_state_bytes"),
+        )
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of one exact FS analysis (pure arithmetic)."""
+
+    steps: int
+    steps_per_chunk_run: int
+    total_chunk_runs: int
+    accesses: int
+    state_bytes: int
+
+    def steps_for_runs(self, n_runs: int) -> int:
+        """Lockstep steps a ``n_runs``-chunk-run prefix would evaluate."""
+        return min(self.steps, n_runs * self.steps_per_chunk_run)
+
+
+def estimate_cost(nest, num_threads: int, machine, chunk: int | None = None):
+    """Estimate the exact analysis' cost *without running it*.
+
+    Derives lockstep steps and per-access counts from the
+    :class:`~repro.model.schedule.IterationSpace` (trip-count
+    arithmetic) and sizes the detector state from the machine's modeled
+    stack depth.  Mirrors the quantities
+    :meth:`repro.model.fsmodel.FalseSharingModel.analyze` would incur.
+    """
+    # Deferred import: repro.resilience must stay importable from the
+    # frontend without dragging the whole model stack in.
+    from repro.model.schedule import IterationSpace
+
+    if chunk is not None:
+        nest = nest.with_chunk(chunk)
+    ispace = IterationSpace.of(nest, num_threads)
+    steps = ispace.steps_per_thread
+    n_refs = len(nest.innermost_accesses())
+    state_bytes = (
+        num_threads * machine.model_stack_lines * _BYTES_PER_STATE_LINE
+    )
+    return CostEstimate(
+        steps=steps,
+        steps_per_chunk_run=ispace.steps_per_chunk_run,
+        total_chunk_runs=ispace.total_chunk_runs,
+        accesses=steps * num_threads * n_refs,
+        state_bytes=state_bytes,
+    )

@@ -1,0 +1,319 @@
+"""Fault injection for the resilience test harness.
+
+Every degradation path in docs/RESILIENCE.md is provable on demand:
+the pipeline is instrumented with cheap :func:`fault_point` probes, and
+a :class:`FaultPlan` — installed programmatically or via the
+``REPRO_FAULTS`` environment variable — decides whether a probe fires
+and what happens when it does.
+
+With no plan installed a probe is a single dict lookup plus an environ
+``get`` — well under a microsecond, on code paths that are called once
+per kernel/job, never per iteration.
+
+Plan syntax (``REPRO_FAULTS``)
+------------------------------
+Comma-separated fault specs; each spec is colon-separated
+``site:action[:key=value...]``::
+
+    REPRO_FAULTS="frontend.parse:raise:match=bad.c"
+    REPRO_FAULTS="engine.job:crash:match=t4c8"
+    REPRO_FAULTS="store.get:corrupt:times=1,engine.job:latency:delay=0.05"
+    REPRO_FAULTS="engine.job:flaky:times=2:dir=/tmp/flaky"
+
+Sites (instrumented probes)
+    ``frontend.parse``   start of :func:`repro.frontend.parse_c_source`
+    ``engine.job``       inside :func:`repro.engine.job.run_job`
+                         (executes in the worker process for pooled
+                         runs — a ``crash`` action kills the worker)
+    ``store.get``        before a result-store read (``corrupt``
+                         garbles the entry on disk first)
+    ``store.put``        before a result-store write
+
+Actions
+    ``raise``    raise a structured error for the site's layer
+                 (``REPRO-X901``)
+    ``crash``    ``os._exit(137)`` — indistinguishable from a segfault
+                 or OOM kill (``REPRO-X902``)
+    ``latency``  sleep ``delay`` seconds, then continue (``REPRO-X903``)
+    ``timeout``  sleep ``delay`` seconds (default 3600) — long enough to
+                 trip any per-job watchdog
+    ``flaky``    raise until ``times`` firings have happened, then
+                 succeed — firings are counted in marker files under
+                 ``dir`` so they survive worker-process crashes
+    ``corrupt``  (``store.get``/``store.put`` only) overwrite the entry
+                 with garbage bytes before the real operation runs
+
+Modifiers
+    ``match=S``  fire only when the probe's label contains ``S``
+    ``times=N``  fire at most N times (per process unless ``dir`` is
+                 given; with ``dir``, N times across all processes)
+    ``p=F``      fire with probability F (deterministic per label:
+                 hashed, not random — reruns behave identically)
+    ``delay=F``  seconds for ``latency``/``timeout``
+    ``dir=PATH`` marker directory for cross-process counting
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.resilience.errors import FaultInjectedError, UsageError
+from repro.util import get_logger
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "fault_point",
+    "install_plan",
+    "wants_corruption",
+]
+
+logger = get_logger(__name__)
+
+ENV_VAR = "REPRO_FAULTS"
+
+_ACTIONS = ("raise", "crash", "latency", "timeout", "flaky", "corrupt")
+
+
+@dataclass
+class FaultSpec:
+    """One parsed fault: where it fires, what it does, how often."""
+
+    site: str
+    action: str
+    match: str = ""
+    times: int | None = None
+    probability: float | None = None
+    delay_s: float = 0.05
+    state_dir: str | None = None
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise UsageError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {_ACTIONS}",
+                code="REPRO-U001",
+            )
+
+    # -- firing decision -----------------------------------------------------
+
+    def _count(self) -> int:
+        """Firings so far (cross-process via marker files when dir set)."""
+        if self.state_dir:
+            try:
+                return len(os.listdir(self.state_dir))
+            except FileNotFoundError:
+                return 0
+        return self.fired
+
+    def _record(self) -> None:
+        self.fired += 1
+        if self.state_dir:
+            os.makedirs(self.state_dir, exist_ok=True)
+            marker = os.path.join(self.state_dir, uuid.uuid4().hex)
+            with open(marker, "w", encoding="utf-8"):
+                pass
+
+    def should_fire(self, site: str, label: str) -> bool:
+        if site != self.site:
+            return False
+        if self.match and self.match not in label:
+            return False
+        if self.probability is not None:
+            # Deterministic "probability": hash the label so that the
+            # same point fires identically across retries and reruns.
+            h = hashlib.sha256(label.encode("utf-8", "replace")).digest()
+            if (h[0] / 255.0) >= self.probability:
+                return False
+        if self.times is not None and self._count() >= self.times:
+            return False
+        return True
+
+    # -- execution -----------------------------------------------------------
+
+    def fire(self, site: str, label: str) -> None:
+        """Perform the configured action (may raise or kill the process)."""
+        self._record()
+        where = f"{site}({label})" if label else site
+        if self.action == "raise":
+            raise FaultInjectedError(
+                f"injected failure at {where}",
+                code="REPRO-X901",
+                context={"site": site, "label": label},
+            )
+        if self.action == "crash":
+            logger.warning("fault plan: crashing process at %s", where)
+            os._exit(137)
+        if self.action in ("latency", "timeout"):
+            delay = self.delay_s if self.action == "latency" else max(
+                self.delay_s, 3600.0
+            )
+            time.sleep(delay)
+            return
+        if self.action == "flaky":
+            budget = self.times if self.times is not None else 1
+            if self._count() <= budget:
+                raise FaultInjectedError(
+                    f"injected flaky failure at {where} "
+                    f"({self._count()}/{budget})",
+                    code="REPRO-X901",
+                    context={"site": site, "label": label},
+                )
+            return
+        # "corrupt" is handled by the instrumented site itself via
+        # wants_corruption(); firing it here is a no-op.
+
+
+def _parse_spec(text: str) -> FaultSpec:
+    parts = [p for p in text.strip().split(":") if p != ""]
+    if len(parts) < 2:
+        raise UsageError(
+            f"malformed fault spec {text!r}; expected site:action[:k=v...]",
+            code="REPRO-U001",
+        )
+    site, action, *mods = parts
+    spec = FaultSpec(site=site.strip(), action=action.strip().lower())
+    for mod in mods:
+        key, sep, value = mod.partition("=")
+        if not sep:
+            raise UsageError(
+                f"malformed fault modifier {mod!r} in {text!r}",
+                code="REPRO-U001",
+            )
+        key = key.strip().lower()
+        try:
+            if key == "match":
+                spec.match = value
+            elif key == "times":
+                spec.times = int(value)
+            elif key == "p":
+                spec.probability = float(value)
+            elif key == "delay":
+                spec.delay_s = float(value)
+            elif key == "dir":
+                spec.state_dir = value
+            else:
+                raise UsageError(
+                    f"unknown fault modifier {key!r} in {text!r}",
+                    code="REPRO-U001",
+                )
+        except ValueError as exc:
+            raise UsageError(
+                f"bad value for fault modifier {key!r} in {text!r}: {exc}",
+                code="REPRO-U001",
+            ) from exc
+    # flaky without an explicit budget fails exactly once.
+    if spec.action == "flaky" and spec.times is None:
+        spec.times = 1
+    return spec
+
+
+@dataclass
+class FaultPlan:
+    """A set of :class:`FaultSpec` entries consulted by every probe."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    source: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` string (empty string → empty plan)."""
+        specs = [
+            _parse_spec(entry)
+            for entry in text.split(",")
+            if entry.strip()
+        ]
+        return cls(specs=specs, source=text)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=list(specs), source="<programmatic>")
+
+    def matching(self, site: str, label: str = "") -> Iterable[FaultSpec]:
+        return (s for s in self.specs if s.should_fire(site, label))
+
+    def fire(self, site: str, label: str = "") -> None:
+        for spec in list(self.matching(site, label)):
+            if spec.action != "corrupt":
+                spec.fire(site, label)
+
+    def wants_corruption(self, site: str, label: str = "") -> bool:
+        for spec in list(self.matching(site, label)):
+            if spec.action == "corrupt":
+                spec._record()
+                return True
+        return False
+
+
+# -- process-wide plan resolution --------------------------------------------
+
+#: Programmatic override (tests / doctor); wins over the environment.
+_OVERRIDE: FaultPlan | None = None
+#: Cache of the last parsed environment value.
+_ENV_CACHE: tuple[str, FaultPlan] | None = None
+
+
+class install_plan:
+    """Context manager installing a programmatic plan for this process.
+
+    >>> from repro.resilience.faults import FaultPlan, install_plan
+    >>> with install_plan(FaultPlan.parse("")):
+    ...     pass
+    """
+
+    def __init__(self, plan: FaultPlan | None) -> None:
+        self.plan = plan
+        self._saved: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan | None:
+        global _OVERRIDE
+        self._saved = _OVERRIDE
+        _OVERRIDE = self.plan
+        return self.plan
+
+    def __exit__(self, *exc_info) -> None:
+        global _OVERRIDE
+        _OVERRIDE = self._saved
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in force: programmatic override, else ``REPRO_FAULTS``.
+
+    The environment value is re-read on every call (tests monkeypatch
+    it) but re-parsed only when it changes.
+    """
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    global _ENV_CACHE
+    raw = os.environ.get(ENV_VAR, "")
+    if not raw.strip():
+        return None
+    if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.parse(raw))
+    return _ENV_CACHE[1]
+
+
+def fault_point(site: str, label: str = "") -> None:
+    """Probe: fire any matching fault for ``site``.
+
+    No-op (one environ lookup) unless a plan is installed.  Raising
+    probes raise :class:`FaultInjectedError` (or kill the process for
+    ``crash`` actions); ``latency`` probes sleep and return.
+    """
+    plan = active_plan()
+    if plan is not None:
+        plan.fire(site, label)
+
+
+def wants_corruption(site: str, label: str = "") -> bool:
+    """Probe for sites that implement corruption themselves
+    (:meth:`repro.engine.store.ResultStore.get`)."""
+    plan = active_plan()
+    return plan is not None and plan.wants_corruption(site, label)

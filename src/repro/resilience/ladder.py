@@ -1,0 +1,278 @@
+"""The graceful-degradation ladder: exact → regression → analytic.
+
+When a :class:`~repro.resilience.budget.Budget` rules out the requested
+analysis, the right answer inside a compiler pass is not "crash" and
+not "silently skip" — it is *the best answer the budget affords, tagged
+with how it was obtained*.  The ladder formalizes the three fidelity
+levels the paper's machinery supports:
+
+``exact``
+    the full lockstep detector over every iteration
+    (:meth:`~repro.model.fsmodel.FalseSharingModel.analyze`);
+``regression``
+    the Section III-E prediction — evaluate a short chunk-run prefix,
+    fit ``y = a·x + b``, extrapolate to ``x_max``
+    (:class:`~repro.model.regression.FalseSharingPredictor`), with the
+    prefix length shrunk to whatever the steps budget allows;
+``analytic``
+    a closed-form upper bound requiring *no* iteration walk: every
+    modeled access can collide with at most ``num_threads − 1`` other
+    threads' cached copies, so ``fs_cases ≤ accesses × (T − 1)``.
+    Wildly pessimistic, but computable from trip counts alone and
+    therefore always within budget.
+
+:func:`analyze_with_ladder` tries levels from the requested one down,
+returns a :class:`LadderOutcome` tagging the achieved ``fidelity`` and
+the ``degradation`` reason (the budget guard that forced the drop), and
+bumps ``resilience_fallbacks_total{level=...}`` so degraded sweeps are
+visible in the metrics dump, not just in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.obs import get_registry, span
+from repro.resilience.budget import Budget, CostEstimate, estimate_cost
+from repro.resilience.errors import BudgetExceededError
+from repro.util import get_logger
+
+__all__ = ["FIDELITY_LEVELS", "LadderOutcome", "analyze_with_ladder"]
+
+logger = get_logger(__name__)
+
+#: Fidelity levels in decreasing order of faithfulness.
+FIDELITY_LEVELS = ("exact", "regression", "analytic")
+
+
+@dataclass(frozen=True)
+class LadderOutcome:
+    """Result of one budgeted analysis, tagged with how it was obtained.
+
+    ``fs_cases`` is exact (``fidelity="exact"``), extrapolated
+    (``"regression"``) or an upper bound (``"analytic"``).
+    ``fs_read_fraction`` / ``fs_write_fraction`` carry the observed
+    read/write split (the analytic level assumes all-write: invalidation
+    cost is the conservative choice).  ``degradation`` is ``None`` when
+    the requested level ran, else a human-readable reason naming the
+    guard that forced the drop.
+    """
+
+    nest_name: str
+    num_threads: int
+    chunk: int
+    fidelity: str
+    requested: str
+    fs_cases: float
+    fs_read_fraction: float
+    fs_write_fraction: float
+    degradation: str | None = None
+    #: Level-specific detail object: FSModelResult for "exact",
+    #: FSPrediction for "regression", CostEstimate for "analytic".
+    detail: object | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation is not None
+
+    def fs_cycles(self, machine) -> float:
+        """``FalseSharing_c`` under this outcome's read/write split."""
+        return self.fs_cases * (
+            self.fs_read_fraction * machine.fs_read_penalty_cycles
+            + self.fs_write_fraction * machine.fs_write_penalty_cycles
+        )
+
+
+def _record_fallback(level: str, reason: str, kernel: str) -> None:
+    get_registry().counter(
+        "resilience_fallbacks_total",
+        "analyses degraded to a cheaper fidelity level by a budget guard",
+    ).labels(level=level).inc()
+    logger.info(
+        "falling back to %s for %s: %s", level, kernel, reason
+    )
+
+
+def _split(fs_cases: int, read_cases: int, write_cases: int) -> tuple[float, float]:
+    total = max(fs_cases, 1)
+    return read_cases / total, write_cases / total
+
+
+def _try_exact(model, nest, num_threads, chunk, budget) -> LadderOutcome:
+    result = model.analyze(nest, num_threads, chunk=chunk, budget=budget)
+    read_f, write_f = _split(
+        result.fs_cases, result.fs_read_cases, result.fs_write_cases
+    )
+    return LadderOutcome(
+        nest_name=result.nest_name,
+        num_threads=num_threads,
+        chunk=result.chunk,
+        fidelity="exact",
+        requested="exact",
+        fs_cases=float(result.fs_cases),
+        fs_read_fraction=read_f,
+        fs_write_fraction=write_f,
+        detail=result,
+    )
+
+
+def _fit_runs(estimate: CostEstimate, budget: Budget | None, requested: int) -> int:
+    """Largest prefix (in chunk runs) the steps budget allows, capped at
+    ``requested``; 0 when not even one run fits."""
+    runs = min(requested, max(estimate.total_chunk_runs, 1))
+    if budget is None or budget.max_steps is None:
+        return runs
+    per_run = max(estimate.steps_per_chunk_run, 1)
+    affordable = budget.max_steps // per_run
+    return min(runs, affordable)
+
+
+def _try_regression(
+    model, nest, num_threads, chunk, budget, predictor_runs, method
+) -> tuple[LadderOutcome | None, str | None]:
+    """Attempt the regression level; (outcome, None) on success,
+    (None, reason) when it cannot fit the budget."""
+    from repro.model.regression import FalseSharingPredictor
+
+    estimate = estimate_cost(nest, num_threads, model.machine, chunk=chunk)
+    runs = _fit_runs(estimate, budget, predictor_runs)
+    if runs <= 0:
+        return None, (
+            f"not even one chunk run ({estimate.steps_per_chunk_run:,} "
+            f"steps) fits the steps budget"
+        )
+    if budget is not None and not budget.allows_state(estimate.state_bytes):
+        return None, (
+            f"estimated cache-state memory ({estimate.state_bytes:,} B) "
+            "exceeds the budget"
+        )
+    predictor = FalseSharingPredictor(model, n_runs=runs, method=method)
+    try:
+        pred = predictor.predict(nest, num_threads, chunk=chunk, budget=budget)
+    except BudgetExceededError as exc:
+        return None, exc.message
+    prefix = pred.prefix_result
+    read_f, write_f = _split(
+        prefix.fs_cases, prefix.fs_read_cases, prefix.fs_write_cases
+    )
+    return (
+        LadderOutcome(
+            nest_name=pred.nest_name,
+            num_threads=num_threads,
+            chunk=pred.chunk,
+            fidelity="regression",
+            requested="regression",
+            fs_cases=pred.predicted_fs_cases,
+            fs_read_fraction=read_f,
+            fs_write_fraction=write_f,
+            detail=pred,
+        ),
+        None,
+    )
+
+
+def _analytic_bound(machine, nest, num_threads, chunk) -> LadderOutcome:
+    """The always-affordable level: ``fs_cases ≤ accesses × (T − 1)``.
+
+    Each modeled access touches one cache line; in the detector's
+    1-to-All comparison that line can at worst be resident in every
+    other thread's cache state, contributing ``T − 1`` FS cases.  The
+    bound is computed from trip-count arithmetic only — no iteration is
+    ever enumerated, so it cannot exceed any budget.
+    """
+    estimate = estimate_cost(nest, num_threads, machine, chunk=chunk)
+    if chunk is not None:
+        bound_chunk = chunk
+    else:
+        from repro.model.schedule import effective_chunk
+
+        bound_chunk = effective_chunk(nest, num_threads)
+    return LadderOutcome(
+        nest_name=nest.name,
+        num_threads=num_threads,
+        chunk=bound_chunk,
+        fidelity="analytic",
+        requested="analytic",
+        fs_cases=float(estimate.accesses * max(num_threads - 1, 0)),
+        # Upper bound: price every case as a write (invalidation), the
+        # conservative end of the detector's cost split.
+        fs_read_fraction=0.0,
+        fs_write_fraction=1.0,
+        detail=estimate,
+    )
+
+
+def analyze_with_ladder(
+    machine,
+    nest,
+    num_threads: int,
+    chunk: int | None = None,
+    budget: Budget | None = None,
+    prefer: str = "exact",
+    predictor_runs: int = 8,
+    mode: str = "invalidate",
+    method: str = "paper",
+    model=None,
+) -> LadderOutcome:
+    """Run the best analysis the budget affords, never raising for
+    budget reasons.
+
+    Parameters
+    ----------
+    prefer:
+        The requested fidelity: ``"exact"`` or ``"regression"``
+        (requesting ``"analytic"`` directly is allowed but unusual).
+    model:
+        Optional pre-built :class:`~repro.model.fsmodel.FalseSharingModel`
+        (reused across a sweep); built from ``machine``/``mode`` when
+        omitted.
+
+    Frontend/model errors (:class:`~repro.resilience.errors.ModelError`
+    etc.) still propagate — the ladder degrades on *resource* pressure,
+    not on wrong inputs.
+    """
+    if prefer not in FIDELITY_LEVELS:
+        raise ValueError(f"unknown fidelity level {prefer!r}")
+    if model is None:
+        from repro.model.fsmodel import FalseSharingModel
+
+        model = FalseSharingModel(machine, mode=mode)
+
+    requested = prefer
+    degradation: str | None = None
+    with span(
+        "resilience.ladder", kernel=nest.name, threads=num_threads,
+        prefer=prefer,
+    ) as sp:
+        if prefer == "exact":
+            try:
+                outcome = _try_exact(model, nest, num_threads, chunk, budget)
+                sp.set(fidelity="exact")
+                return outcome
+            except BudgetExceededError as exc:
+                degradation = f"exact analysis over budget: {exc.message}"
+                _record_fallback("regression", degradation, nest.name)
+
+        if prefer in ("exact", "regression"):
+            outcome, reason = _try_regression(
+                model, nest, num_threads, chunk, budget, predictor_runs,
+                method,
+            )
+            if outcome is not None:
+                sp.set(fidelity="regression")
+                if requested == "regression":
+                    return outcome
+                return replace(
+                    outcome, requested=requested, degradation=degradation
+                )
+            next_reason = f"regression prefix over budget: {reason}"
+            degradation = (
+                f"{degradation}; {next_reason}" if degradation else next_reason
+            )
+            _record_fallback("analytic", next_reason, nest.name)
+
+        outcome = _analytic_bound(machine, nest, num_threads, chunk)
+        sp.set(fidelity="analytic")
+        if requested == "analytic":
+            return outcome
+        return replace(outcome, requested=requested, degradation=degradation)

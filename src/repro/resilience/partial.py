@@ -1,0 +1,209 @@
+"""Partial-result semantics: failure isolation for sweeps and suites.
+
+A 48-point what-if sweep with one unparsable kernel or one crashing
+configuration should produce 47 points and one *structured* failure —
+not a traceback that discards the 47.  This module provides the two
+pieces every batch caller shares:
+
+:class:`FailureReport`
+    one isolated failure: the stable error code, the human-readable
+    message, the (threads/chunk/kernel) point it belongs to, attempt
+    count and per-attempt retry history.  JSON-able, so reports travel
+    inside sweep results, experiment outputs and the CLI's ``--json``
+    form.
+
+:class:`FailurePolicy`
+    the decision logic: ``keep_going`` (collect failures vs raise on
+    the first one) plus a failure-rate **circuit breaker** — when more
+    than ``max_failure_rate`` of evaluated points have failed (after a
+    minimum sample), the batch is aborted with
+    :class:`~repro.resilience.errors.CircuitOpenError` rather than
+    grinding through hundreds of doomed points against a dead cache
+    volume or a broken toolchain.
+
+Counted in ``resilience_failures_total{kind=...}`` per isolated
+failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.obs import get_registry
+from repro.resilience.errors import CircuitOpenError, ReproError, UsageError
+from repro.util import get_logger
+
+__all__ = ["FailurePolicy", "FailureReport"]
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """One isolated failure inside a batch run."""
+
+    label: str
+    kind: str
+    code: str
+    message: str
+    attempts: int = 1
+    retry_history: tuple[str, ...] = ()
+    point: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "label": self.label,
+            "kind": self.kind,
+            "code": self.code,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+        if self.retry_history:
+            doc["retry_history"] = list(self.retry_history)
+        if self.point:
+            doc["point"] = dict(self.point)
+        return doc
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "FailureReport":
+        return FailureReport(
+            label=str(doc.get("label", "")),
+            kind=str(doc.get("kind", "")),
+            code=str(doc.get("code", "REPRO-X000")),
+            message=str(doc.get("message", "")),
+            attempts=int(doc.get("attempts", 1)),
+            retry_history=tuple(doc.get("retry_history", ())),
+            point=dict(doc.get("point", {})),
+        )
+
+    def one_line(self) -> str:
+        retries = (
+            f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        )
+        return f"[{self.code}] {self.label}: {self.message}{retries}"
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        label: str,
+        kind: str,
+        point: Mapping[str, Any] | None = None,
+    ) -> "FailureReport":
+        """Wrap a raised exception (serial evaluation path)."""
+        if isinstance(exc, ReproError):
+            code, message = exc.code, exc.message
+        else:
+            code, message = "REPRO-X000", f"{type(exc).__name__}: {exc}"
+        return cls(
+            label=label, kind=kind, code=code, message=message,
+            point=dict(point or {}),
+        )
+
+    @classmethod
+    def from_outcome(
+        cls,
+        outcome,
+        kind: str,
+        point: Mapping[str, Any] | None = None,
+    ) -> "FailureReport":
+        """Wrap a failed :class:`~repro.engine.pool.JobOutcome`."""
+        return cls(
+            label=outcome.job.describe(),
+            kind=kind,
+            code=outcome.error_code or "REPRO-E100",
+            message=outcome.error or "unknown engine failure",
+            attempts=outcome.attempts,
+            retry_history=tuple(outcome.retry_history),
+            point=dict(point or {}),
+        )
+
+
+@dataclass
+class FailurePolicy:
+    """How a batch reacts to per-point failures.
+
+    Parameters
+    ----------
+    keep_going:
+        ``True`` collects :class:`FailureReport` objects and finishes
+        the batch; ``False`` re-raises the first failure (the CLI's
+        ``--fail-fast``).
+    max_failure_rate:
+        Circuit breaker: abort with ``REPRO-E201`` once
+        ``failures / evaluated`` exceeds this fraction.  ``1.0``
+        disables the breaker.
+    min_evaluated:
+        Breaker grace period — never trip before this many points have
+        been evaluated (a 1-for-1 start must not kill a 200-point run).
+    """
+
+    keep_going: bool = True
+    max_failure_rate: float = 0.5
+    min_evaluated: int = 4
+
+    #: Mutable tally (one policy instance per batch run).
+    failures: list[FailureReport] = field(default_factory=list)
+    evaluated: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_failure_rate <= 1.0:
+            raise UsageError(
+                f"max_failure_rate must be in [0, 1], got {self.max_failure_rate}"
+            )
+        if self.min_evaluated < 1:
+            raise UsageError("min_evaluated must be >= 1")
+
+    # -- accounting ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        self.evaluated += 1
+
+    def record_failure(
+        self, report: FailureReport, cause: BaseException | None = None
+    ) -> None:
+        """Account one failure; raise when the policy says stop.
+
+        Raises the *original* exception under ``fail-fast`` (so the CLI
+        maps its category to the right exit code) and
+        :class:`CircuitOpenError` when the failure-rate breaker trips.
+        """
+        self.evaluated += 1
+        self.failures.append(report)
+        get_registry().counter(
+            "resilience_failures_total",
+            "isolated per-point failures collected by batch runs",
+        ).labels(kind=report.kind).inc()
+        logger.warning("isolated failure: %s", report.one_line())
+        if not self.keep_going:
+            if cause is not None:
+                raise cause
+            raise CircuitOpenError(
+                f"failing fast on first error: {report.one_line()}",
+                code=report.code if report.code.startswith("REPRO-") else None,
+            )
+        self._check_breaker()
+
+    @property
+    def failure_rate(self) -> float:
+        return len(self.failures) / self.evaluated if self.evaluated else 0.0
+
+    def _check_breaker(self) -> None:
+        if self.max_failure_rate >= 1.0:
+            return
+        if self.evaluated < self.min_evaluated:
+            return
+        if self.failure_rate > self.max_failure_rate:
+            raise CircuitOpenError(
+                f"{len(self.failures)}/{self.evaluated} points failed "
+                f"({100 * self.failure_rate:.0f}% > "
+                f"{100 * self.max_failure_rate:.0f}% threshold); aborting "
+                "the batch",
+                context={
+                    "failures": len(self.failures),
+                    "evaluated": self.evaluated,
+                    "threshold": self.max_failure_rate,
+                    "codes": sorted({f.code for f in self.failures}),
+                },
+            )

@@ -1,6 +1,17 @@
-"""Shared fixtures: miniature machines, nests and kernel instances."""
+"""Shared fixtures: miniature machines, nests and kernel instances.
+
+Also installs a per-test wall-clock timeout guard (SIGALRM-based, no
+third-party plugin needed) so a hung worker pool or an accidental
+busy-loop cannot wedge the whole suite — a stuck test fails with a
+diagnostic instead.  Tune with ``REPRO_TEST_TIMEOUT`` (seconds;
+``0`` disables the guard).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -18,6 +29,41 @@ from repro.ir import (
     Schedule,
 )
 from repro.machine import paper_machine, tiny_machine
+
+
+_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    """Fail any single test that runs longer than ``REPRO_TEST_TIMEOUT`` s.
+
+    Uses ``SIGALRM``, so it only arms on POSIX main-thread runs (exactly
+    the environments where a hung ``ProcessPoolExecutor`` would
+    otherwise block forever).  Elsewhere it is a no-op.
+    """
+    if (
+        _TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only fires on a hang
+        pytest.fail(
+            f"test exceeded the {_TEST_TIMEOUT_S:.0f}s wall-clock guard "
+            f"(REPRO_TEST_TIMEOUT): {request.node.nodeid}",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)

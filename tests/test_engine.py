@@ -197,14 +197,28 @@ class TestEngineCaching:
 # ---------------------------------------------------------------------------
 
 
+def _counter(name: str) -> float:
+    """Current value of an unlabeled counter (0.0 if never touched)."""
+    return get_registry().counter(name).value
+
+
 class TestWorkerPoolFailures:
     def test_inline_retry_exhaustion_counts_attempts(self):
+        retries_before = _counter("engine_retries_total")
         pool = WorkerPool(workers=1, retries=2, backoff_s=0.0)
         out = pool.run([Job("engine.test.fail", {"message": "always"})])[0]
         assert not out.ok
         assert out.attempts == 3  # 1 try + 2 retries
+        # Structured failure surface: a stable error code plus the
+        # per-attempt retry history (docs/RESILIENCE.md).
+        assert out.error_code and out.error_code.startswith("REPRO-E")
+        assert len(out.retry_history) == 2
+        # Each retry is visible in the metrics registry.
+        assert _counter("engine_retries_total") == retries_before + 2
 
     def test_crash_then_success_via_retry(self, tmp_path):
+        crashes_before = _counter("engine_worker_crashes_total")
+        retries_before = _counter("engine_retries_total")
         job = Job(
             "engine.test.flaky_crash",
             {"sentinel_dir": str(tmp_path / "flaky"), "crashes": 1},
@@ -213,8 +227,14 @@ class TestWorkerPoolFailures:
         out = pool.run([job])[0]
         assert out.ok, out.error
         assert out.result["attempts_observed"] >= 2
+        # The crash and the retry that recovered from it are counted.
+        assert _counter("engine_worker_crashes_total") >= crashes_before + 1
+        assert _counter("engine_retries_total") >= retries_before + 1
+        # A successful outcome still carries its bumpy history.
+        assert len(out.retry_history) >= 1
 
     def test_permanent_crash_fails_one_job_not_the_batch(self):
+        crashes_before = _counter("engine_worker_crashes_total")
         crash = Job("engine.test.crash", {"code": 1})
         good = [echo_job(i, label=f"good{i}") for i in range(4)]
         pool = WorkerPool(workers=JOBS, retries=1, backoff_s=0.0)
@@ -223,9 +243,13 @@ class TestWorkerPoolFailures:
         assert not by_label[crash.describe()].ok
         err = by_label[crash.describe()].error
         assert "died" in err or "crash" in err or "broken" in err
+        # Stable code for the worker-death failure mode.
+        assert by_label[crash.describe()].error_code == "REPRO-E102"
         for g in good:
             assert by_label[f"good{g.spec['value']}"].ok
         assert sum(o.ok for o in outcomes) == 4
+        # 1 try + 1 retry, both crashed, both counted.
+        assert _counter("engine_worker_crashes_total") >= crashes_before + 2
 
     def test_timeout_kills_hung_job(self):
         hang = Job("engine.test.sleep", {"seconds": 30.0})
@@ -240,6 +264,7 @@ class TestWorkerPoolFailures:
         by_key = {o.job.key(): o for o in outcomes}
         assert not by_key[hang.key()].ok
         assert "timeout" in by_key[hang.key()].error
+        assert by_key[hang.key()].error_code == "REPRO-E103"
 
     def test_empty_batch(self):
         assert WorkerPool(workers=JOBS).run([]) == []

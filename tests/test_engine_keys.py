@@ -107,10 +107,23 @@ class TestStability:
 # ---------------------------------------------------------------------------
 
 
+def _same_key_scalar(a, b) -> bool:
+    """Key-level equality: type-strict, and *bit* equality for floats
+    (0.0 and -0.0 are distinct IEEE values and distinct keys by design —
+    see the float-encoding docs in ``repro.engine.keys``)."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, float):
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    return a == b
+
+
 class TestSensitivity:
     @given(scalars, scalars)
     def test_distinct_scalars_distinct_hashes(self, a, b):
-        if a is b or (type(a) is type(b) and a == b):
+        if _same_key_scalar(a, b):
             assert stable_hash(a) == stable_hash(b)
         else:
             assert stable_hash(a) != stable_hash(b)

@@ -1,0 +1,150 @@
+"""Hypothesis fuzzing: the frontend never leaks internal exceptions.
+
+The robustness contract for a compiler frontend is narrow but absolute:
+*any* input — printable garbage, binary soup, pathological nesting,
+truncated pragmas — either parses or raises a structured
+:class:`~repro.frontend.FrontendError`.  ``IndexError``,
+``AttributeError``, ``RecursionError`` or a hang are all bugs, no
+matter how malformed the input was.
+
+Each property also asserts that when a structured error *is* raised it
+carries a registered ``REPRO-F…`` code, so the CLI's one-line
+diagnostics stay meaningful under fire.
+
+Deadline note: pycparser builds its parse tables on first use, which
+can take longer than Hypothesis' default 200 ms deadline; deadlines are
+disabled for the parse properties (the suite-wide alarm in conftest
+still bounds true hangs).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import FrontendError, parse_c_source
+from repro.frontend.pragmas import parse_omp_pragma
+from repro.frontend.preprocess import preprocess
+from repro.resilience import ERROR_CODES
+
+# A generous but bounded alphabet: full printable ASCII plus newline,
+# tab, NUL, a few non-ASCII codepoints — enough to hit tokenizer edge
+# cases without drowning in astral-plane noise.
+_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8", max_codepoint=0x2FF
+    ),
+    max_size=200,
+)
+
+# C-ish fragments: shuffled keywords and punctuation that get much
+# deeper into the parser than uniform noise does.
+_c_soup = st.lists(
+    st.sampled_from([
+        "for", "(", ")", "{", "}", "[", "]", ";", "int", "double", "i",
+        "a", "=", "+", "<", "++", "0", "N", "#define", "#pragma omp",
+        "parallel", "schedule", "static", ",", "1", "\n", " ",
+        "/*", "*/", "//", '"', "num_threads",
+    ]),
+    max_size=40,
+).map(" ".join)
+
+
+def _assert_structured(exc: FrontendError) -> None:
+    assert exc.code in ERROR_CODES, f"unregistered code {exc.code}"
+    assert exc.code.startswith("REPRO-F") or exc.code.startswith("REPRO-U")
+    assert exc.one_line()  # renders without raising
+
+
+class TestPreprocessFuzz:
+    @settings(max_examples=200, deadline=1000)
+    @given(_text)
+    def test_arbitrary_text_never_leaks(self, source):
+        try:
+            result = preprocess(source)
+        except FrontendError as exc:
+            _assert_structured(exc)
+        else:
+            assert isinstance(result.source, str)
+            assert isinstance(result.macros, dict)
+
+    @settings(max_examples=100, deadline=1000)
+    @given(_c_soup)
+    def test_c_soup_never_leaks(self, source):
+        try:
+            preprocess(source)
+        except FrontendError as exc:
+            _assert_structured(exc)
+
+    @settings(max_examples=100, deadline=1000)
+    @given(st.text(alphabet="N()+-*/ 0123456789", max_size=40))
+    def test_macro_values_never_leak(self, value):
+        try:
+            preprocess(f"#define N {value}\n")
+        except FrontendError as exc:
+            _assert_structured(exc)
+
+    def test_exponent_bomb_is_rejected_fast(self):
+        # 9**9**9**9 must not hang the preprocessor.
+        with __import__("pytest").raises(FrontendError):
+            preprocess("#define N 9**9**9**9\n")
+
+
+class TestPragmaFuzz:
+    @settings(max_examples=200, deadline=1000)
+    @given(_text)
+    def test_arbitrary_pragma_text_never_leaks(self, text):
+        try:
+            pragma = parse_omp_pragma(text)
+        except FrontendError as exc:
+            _assert_structured(exc)
+        else:
+            assert pragma is None or pragma.is_parallel_for or True
+
+    @settings(max_examples=100, deadline=1000)
+    @given(st.text(alphabet="schedul(,)staticdynamic0123456789 -", max_size=40))
+    def test_schedule_clause_never_leaks(self, args):
+        try:
+            parse_omp_pragma(f"omp parallel for schedule({args})")
+        except FrontendError as exc:
+            _assert_structured(exc)
+
+
+class TestParseFuzz:
+    # parse_c_source drags in pycparser: slower, so fewer examples and
+    # no per-example deadline (table construction on the first example).
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_c_soup)
+    def test_c_soup_parses_or_raises_frontend_error(self, source):
+        try:
+            kernels = parse_c_source(source)
+        except FrontendError as exc:
+            _assert_structured(exc)
+        else:
+            assert isinstance(kernels, list)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_text)
+    def test_arbitrary_text_parses_or_raises_frontend_error(self, source):
+        try:
+            parse_c_source(source)
+        except FrontendError as exc:
+            _assert_structured(exc)
+
+    def test_truncated_kernel_has_span(self):
+        import pytest
+
+        with pytest.raises(FrontendError) as exc_info:
+            parse_c_source("void f(void) { int i;\nfor (i = 0; i <")
+        err = exc_info.value
+        assert err.code.startswith("REPRO-F")
+        # pycparser's location survives into the structured span.
+        assert err.span is None or err.span.line >= 1
