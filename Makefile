@@ -5,7 +5,8 @@ PY      := python
 PP      := PYTHONPATH=src
 BENCHD  := .bench
 
-.PHONY: test test-fast lint bench-smoke bench-overhead bench-sweep clean
+.PHONY: test test-fast lint bench-smoke bench-overhead bench-sweep \
+        bench-model bench-model-quick clean
 
 test:
 	$(PP) $(PY) -m pytest -q
@@ -42,6 +43,19 @@ bench-sweep:
 	$(PP) $(PY) -c "import json; \
 	  doc = json.load(open('$(BENCHD)/BENCH_engine.json')); \
 	  print('bench-sweep OK:', json.dumps(doc['summary']))"
+
+# Fast-path FS simulation benchmark (docs/PERFORMANCE.md): vectorized
+# detector vs scalar reference plus the exact steady-state early exit.
+# Writes BENCH_model.json; exits nonzero if the ≥10× micro / ≥50×
+# large-grid targets regress or any engine pair disagrees.
+bench-model:
+	$(PP) $(PY) benchmarks/bench_model_fastpath.py --out BENCH_model.json
+
+# CI-sized variant: seconds instead of minutes, looser targets.
+bench-model-quick:
+	mkdir -p $(BENCHD)
+	$(PP) $(PY) benchmarks/bench_model_fastpath.py --quick \
+	  --out $(BENCHD)/BENCH_model.json
 
 # Guard the <5% disabled-overhead budget on the model's hot path.
 bench-overhead:

@@ -1,0 +1,188 @@
+"""Fast-path FS-simulation benchmark (``make bench-model``).
+
+Measures the two tentpole optimizations against the scalar reference
+detector and writes the numbers to a JSON report (default
+``BENCH_model.json``):
+
+1. **micro** — raw detector throughput (accesses/s) on a pre-generated
+   lockstep block: reference vs vectorized engine (target ≥10×);
+2. **tables** — wall time of representative paper configurations
+   (Table 1/2 style heat/DFT points) under both engines, asserting the
+   counters stay bit-identical;
+3. **large-grid** — end-to-end model wall time on grids whose working
+   set far exceeds the modeled private cache, where the exact
+   steady-state early exit extrapolates most chunk runs (target ≥50×
+   vs the reference engine with the exit disabled).
+
+Every comparison re-checks result identity — the report is as much a
+correctness gate as a speed gate.
+
+Run:  PYTHONPATH=src python benchmarks/bench_model_fastpath.py
+      PYTHONPATH=src python benchmarks/bench_model_fastpath.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.kernels import dft, heat_diffusion
+from repro.machine import paper_machine
+from repro.model import FalseSharingModel, FSDetector, FastFSDetector
+
+
+def _micro(rounds: int) -> dict:
+    """Detector-core throughput on one synthetic lockstep block."""
+    rng = np.random.default_rng(7)
+    steps, refs, threads = 2000, 6, 4
+    lines = [
+        rng.integers(0, 256, size=(steps, refs)).astype(np.int64)
+        for _ in range(threads)
+    ]
+    writes = np.array([False, False, False, False, True, True])
+    accesses = steps * refs * threads
+
+    def best_of(cls) -> tuple[float, int]:
+        best, fs = float("inf"), -1
+        for _ in range(rounds):
+            d = cls(threads, 8192)
+            t0 = time.perf_counter()
+            d.process_block(lines, writes)
+            best = min(best, time.perf_counter() - t0)
+            fs = d.stats.fs_cases
+        return best, fs
+
+    ref_s, ref_fs = best_of(FSDetector)
+    fast_s, fast_fs = best_of(FastFSDetector)
+    assert ref_fs == fast_fs, "engines disagree on the micro block"
+    return {
+        "accesses": accesses,
+        "reference_s": round(ref_s, 6),
+        "fast_s": round(fast_s, 6),
+        "reference_macc_per_s": round(accesses / ref_s / 1e6, 2),
+        "fast_macc_per_s": round(accesses / fast_s / 1e6, 2),
+        "speedup": round(ref_s / fast_s, 1),
+    }
+
+
+def _identical(a, b) -> bool:
+    sa, sb = a.stats, b.stats
+    return (
+        (a.fs_cases, a.fs_read_cases, a.fs_write_cases, a.accesses,
+         sa.misses, sa.invalidations, sa.downgrades, sa.evictions, sa.steps)
+        == (b.fs_cases, b.fs_read_cases, b.fs_write_cases, b.accesses,
+            sb.misses, sb.invalidations, sb.downgrades, sb.evictions,
+            sb.steps)
+        and dict(sa.fs_by_line) == dict(sb.fs_by_line)
+        and dict(sa.fs_by_pair) == dict(sb.fs_by_pair)
+    )
+
+
+def _compare(machine, kernel, threads, chunk) -> dict:
+    """Reference (no early exit) vs optimized (auto + steady state)."""
+    opt = FalseSharingModel(machine, engine="auto", steady_state=True)
+    t0 = time.perf_counter()
+    r_opt = opt.analyze(kernel.nest, threads, chunk=chunk)
+    opt_s = time.perf_counter() - t0
+
+    ref = FalseSharingModel(machine, engine="reference", steady_state=False)
+    t0 = time.perf_counter()
+    r_ref = ref.analyze(kernel.nest, threads, chunk=chunk)
+    ref_s = time.perf_counter() - t0
+
+    assert _identical(r_ref, r_opt), f"{kernel.nest.name}: results diverged"
+    return {
+        "kernel": kernel.nest.name,
+        "threads": threads,
+        "chunk": chunk,
+        "fs_cases": r_opt.fs_cases,
+        "accesses": r_opt.accesses,
+        "reference_s": round(ref_s, 3),
+        "optimized_s": round(opt_s, 3),
+        "speedup": round(ref_s / opt_s, 1),
+        "runs_extrapolated": r_opt.runs_extrapolated,
+        "total_chunk_runs": r_opt.total_chunk_runs,
+        "fidelity": r_opt.fidelity,
+        "identical": True,
+    }
+
+
+def run(out: str, quick: bool) -> int:
+    machine = paper_machine()
+    report: dict = {"quick": quick}
+
+    print("[bench-model] micro: detector block throughput")
+    report["micro"] = micro = _micro(rounds=3 if quick else 5)
+    print(f"[bench-model]   reference {micro['reference_macc_per_s']:.2f} "
+          f"Macc/s  fast {micro['fast_macc_per_s']:.2f} Macc/s  "
+          f"speedup {micro['speedup']}x")
+
+    print("[bench-model] tables: paper-style configurations")
+    table_cfgs = [
+        (heat_diffusion(rows=6, cols=1026), 8, 1),
+        (dft(samples=4, freqs=768), 8, 1),
+    ]
+    report["tables"] = []
+    for kernel, threads, chunk in table_cfgs:
+        row = _compare(machine, kernel, threads, chunk)
+        report["tables"].append(row)
+        print(f"[bench-model]   {row['kernel']:<18} ref {row['reference_s']:7.2f}s "
+              f"opt {row['optimized_s']:6.2f}s  {row['speedup']:5.1f}x  "
+              f"ext {row['runs_extrapolated']}/{row['total_chunk_runs']}")
+
+    if quick:
+        large_cfgs = [
+            (heat_diffusion(rows=3, cols=131074), 8, 1),
+            (dft(samples=2, freqs=131072), 8, 1),
+        ]
+    else:
+        large_cfgs = [
+            (heat_diffusion(rows=3, cols=2097154), 8, 1),
+            (dft(samples=4, freqs=1310720), 8, 1),
+        ]
+    print("[bench-model] large-grid: steady-state end-to-end")
+    report["large_grid"] = []
+    for kernel, threads, chunk in large_cfgs:
+        row = _compare(machine, kernel, threads, chunk)
+        report["large_grid"].append(row)
+        print(f"[bench-model]   {row['kernel']:<18} ref {row['reference_s']:7.2f}s "
+              f"opt {row['optimized_s']:6.2f}s  {row['speedup']:5.1f}x  "
+              f"ext {row['runs_extrapolated']}/{row['total_chunk_runs']}")
+
+    micro_ok = micro["speedup"] >= (5.0 if quick else 10.0)
+    steady_ok = all(r["runs_extrapolated"] > 0 for r in report["large_grid"])
+    e2e_ok = quick or all(r["speedup"] >= 50.0 for r in report["large_grid"])
+    report["summary"] = {
+        "micro_speedup": micro["speedup"],
+        "large_grid_speedups": [r["speedup"] for r in report["large_grid"]],
+        "all_identical": True,  # every _compare above asserted it
+        "micro_target_met": micro_ok,
+        "steady_state_fired": steady_ok,
+        "large_grid_target_met": e2e_ok,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"[bench-model] wrote {out}")
+    if not (micro_ok and steady_ok and e2e_ok):
+        print("[bench-model] FAILED: performance targets not met "
+              f"(micro_ok={micro_ok}, steady_ok={steady_ok}, "
+              f"e2e_ok={e2e_ok})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_model.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized grids (seconds, looser targets)")
+    args = parser.parse_args(argv)
+    return run(args.out, args.quick)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,11 @@ import numpy as np
 
 from repro.kernels import heat_diffusion
 from repro.machine import paper_machine
-from repro.model import FalseSharingModel, FSDetector
+from repro.model import FalseSharingModel, FastFSDetector, FSDetector
 from repro.model.ownership import OwnershipListGenerator
 
 
-def test_detector_throughput(benchmark):
-    """φ/mask detection on a pre-generated 4-thread block."""
+def _detector_block():
     rng = np.random.default_rng(7)
     steps, refs, threads = 2000, 6, 4
     lines = [
@@ -23,6 +22,12 @@ def test_detector_throughput(benchmark):
         for _ in range(threads)
     ]
     writes = np.array([False, False, False, False, True, True])
+    return lines, writes, steps * refs * threads, threads
+
+
+def test_detector_throughput(benchmark):
+    """φ/mask detection on a pre-generated 4-thread block (reference)."""
+    lines, writes, accesses, threads = _detector_block()
 
     def run():
         d = FSDetector(threads, 8192)
@@ -31,7 +36,23 @@ def test_detector_throughput(benchmark):
 
     fs = benchmark(run)
     assert fs >= 0
-    accesses = steps * refs * threads
+    benchmark.extra_info["accesses_per_round"] = accesses
+
+
+def test_fast_detector_throughput(benchmark):
+    """Same block through the vectorized engine (docs/PERFORMANCE.md);
+    results are bit-identical, throughput is the point."""
+    lines, writes, accesses, threads = _detector_block()
+    ref = FSDetector(threads, 8192)
+    ref.process_block(lines, writes)
+
+    def run():
+        d = FastFSDetector(threads, 8192)
+        d.process_block(lines, writes)
+        return d.stats.fs_cases
+
+    fs = benchmark(run)
+    assert fs == ref.stats.fs_cases
     benchmark.extra_info["accesses_per_round"] = accesses
 
 
@@ -62,6 +83,37 @@ def test_end_to_end_model_throughput(benchmark):
 
     fs = benchmark(run)
     assert fs > 0
+
+
+def test_end_to_end_reference_engine_throughput(benchmark):
+    """Same pipeline pinned to the scalar reference detector with the
+    steady-state exit off — the before-optimization baseline."""
+    machine = paper_machine()
+    model = FalseSharingModel(machine, engine="reference",
+                              steady_state=False)
+    k = heat_diffusion(rows=6, cols=1026)
+
+    def run():
+        return model.analyze(k.nest, 4, chunk=1).fs_cases
+
+    fs = benchmark(run)
+    assert fs > 0
+
+
+def test_end_to_end_steady_state_throughput(benchmark):
+    """Streaming-regime grid where the exact steady-state early exit
+    extrapolates most chunk runs."""
+    machine = paper_machine()
+    model = FalseSharingModel(machine)
+    k = heat_diffusion(rows=3, cols=65538)
+    warm = model.analyze(k.nest, 8, chunk=1)
+    assert warm.runs_extrapolated > 0  # the mechanism must fire here
+
+    def run():
+        return model.analyze(k.nest, 8, chunk=1).fs_cases
+
+    fs = benchmark(run)
+    assert fs == warm.fs_cases
 
 
 def test_simulator_throughput(benchmark):

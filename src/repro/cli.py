@@ -85,8 +85,28 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--metrics-out", metavar="METRICS.json", default=None,
                    help="write the metrics registry to a JSON (or .csv) "
                         "dump at exit")
+    _add_model_flags(p)
     _add_engine_flags(p)
     _add_resilience_flags(p)
+
+
+def _add_model_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine", choices=("auto", "fast", "reference"),
+                   default="auto", dest="detector_engine",
+                   help="FS detector engine (default auto: the "
+                        "vectorized fast path with scalar fallback; all "
+                        "engines produce bit-identical results)")
+    p.add_argument("--no-steady-state", action="store_true",
+                   help="disable the exact steady-state early exit "
+                        "(slower on large grids; identical results)")
+
+
+def _model_kwargs(args: argparse.Namespace) -> dict:
+    """Engine knobs shared by every model-building command."""
+    return {
+        "engine": getattr(args, "detector_engine", "auto"),
+        "steady_state": not getattr(args, "no_steady_state", False),
+    }
 
 
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
@@ -218,7 +238,7 @@ def _threads_for(args: argparse.Namespace, kernel) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     machine = paper_machine(num_cores=args.cores)
-    model = FalseSharingModel(machine, mode=args.mode)
+    model = FalseSharingModel(machine, mode=args.mode, **_model_kwargs(args))
     total_model = TotalCostModel(machine)
     budget = _budget_from(args)
     for k in _load_kernels(args):
@@ -240,14 +260,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for victim in r.victim_arrays()[:5]:
             print(f"  victim              : {victim.name} "
                   f"({victim.fs_cases:,} cases on {victim.lines:,} lines)")
+        detail = f"engine={r.engine}"
+        if r.runs_extrapolated:
+            detail += (f", {r.runs_extrapolated:,}/{r.total_chunk_runs:,} "
+                       f"chunk runs extrapolated exactly")
         print(f"  evaluated           : {r.steps_evaluated:,} iterations "
-              f"in {r.elapsed_seconds:.2f}s")
+              f"in {r.elapsed_seconds:.2f}s ({detail})")
     return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
     machine = paper_machine(num_cores=args.cores)
-    model = FalseSharingModel(machine, mode=args.mode)
+    model = FalseSharingModel(machine, mode=args.mode, **_model_kwargs(args))
     predictor = FalseSharingPredictor(model, n_runs=args.runs)
     budget = _budget_from(args)
     for k in _load_kernels(args):
@@ -277,7 +301,10 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.analysis import ExperimentSuite
 
-    suite = ExperimentSuite(scale=args.scale)
+    kwargs = _model_kwargs(args)
+    suite = ExperimentSuite(scale=args.scale,
+                            detector_engine=kwargs["engine"],
+                            steady_state=kwargs["steady_state"])
     policy = _policy_from(args)
     results = list(suite.run_all(engine=_engine_from(args), policy=policy))
     for res in results:
@@ -302,7 +329,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.model import diagnose
 
     machine = paper_machine(num_cores=args.cores)
-    model = FalseSharingModel(machine, mode=args.mode)
+    model = FalseSharingModel(machine, mode=args.mode, **_model_kwargs(args))
     for k in _load_kernels(args):
         result = model.analyze(k.nest, _threads_for(args, k), chunk=args.chunk)
         print(diagnose(result).to_text())
@@ -329,8 +356,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.model import WhatIfSweep
 
     machine = paper_machine(num_cores=args.cores)
+    kwargs = _model_kwargs(args)
     sweep = WhatIfSweep(machine, use_predictor=not args.exact,
-                        predictor_runs=args.runs, mode=args.mode)
+                        predictor_runs=args.runs, mode=args.mode,
+                        detector_engine=kwargs["engine"],
+                        steady_state=kwargs["steady_state"])
     threads = tuple(int(t) for t in args.threads_list.split(","))
     chunks = tuple(int(c) for c in args.chunks_list.split(","))
     engine = _engine_from(args)
@@ -423,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="regenerate the paper's experiments")
     p.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    _add_model_flags(p)
     _add_engine_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(func=cmd_experiments)

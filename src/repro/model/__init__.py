@@ -8,6 +8,11 @@ Pipeline (Section III):
 4. :mod:`~repro.model.detector` — φ/mask 1-to-All FS counting;
 plus :mod:`~repro.model.regression` (the linear-regression FS predictor)
 and :mod:`~repro.model.cost` (Eq. 1 integration / Eq. 5 percentages).
+
+Performance machinery (docs/PERFORMANCE.md): step 4 has a vectorized
+NumPy twin (:mod:`~repro.model.fastdetect`, ``engine="fast"``) and an
+exact steady-state early exit (:mod:`~repro.model.steadystate`) — both
+bit-identical to the scalar reference detector.
 """
 
 from repro.model.cost import (
@@ -19,6 +24,12 @@ from repro.model.cost import (
 )
 from repro.model.detector import FSDetector, FSStats
 from repro.model.diagnostics import FSDiagnostics, HotLine, diagnose
+from repro.model.fastdetect import (
+    ENGINES,
+    FastFSDetector,
+    make_detector,
+    resolve_engine,
+)
 from repro.model.fsmodel import (
     FalseSharingModel,
     FSCycleRate,
@@ -46,6 +57,11 @@ from repro.model.stackdist import (
     SHARED,
     StackDistanceAnalyzer,
 )
+from repro.model.steadystate import (
+    ShiftProfile,
+    SteadyStateRunner,
+    compute_shift_profile,
+)
 from repro.model.whatif import SweepPoint, SweepResult, WhatIfSweep
 
 __all__ = [
@@ -59,6 +75,13 @@ __all__ = [
     "FSDiagnostics",
     "HotLine",
     "diagnose",
+    "ENGINES",
+    "FastFSDetector",
+    "make_detector",
+    "resolve_engine",
+    "ShiftProfile",
+    "SteadyStateRunner",
+    "compute_shift_profile",
     "FalseSharingModel",
     "FSCycleRate",
     "FSModelResult",

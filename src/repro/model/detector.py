@@ -29,15 +29,37 @@ detector therefore reports read-FS and write-FS cases separately.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.model.stackdist import MODIFIED, SHARED
 from repro.obs import get_registry, span
 from repro.resilience.errors import ModelError
+
+#: Interned static write tuples, keyed by the raw bytes of the mask.
+#: The same nest's write mask arrives once per block, so rebuilding the
+#: tuple (and re-boxing every bool) per block is pure overhead; a block
+#: now costs one dict lookup instead.
+_WRITES_CACHE: dict[bytes, tuple[bool, ...]] = {}
+
+
+def interned_writes(write_mask: np.ndarray) -> tuple[bool, ...]:
+    """The write mask as an interned ``tuple[bool, ...]``.
+
+    Identical masks (by content) return the *same* tuple object, so the
+    per-block hot loop binds plain Python bools without any per-block
+    conversion cost.
+    """
+    key = np.asarray(write_mask, dtype=bool).tobytes()
+    tup = _WRITES_CACHE.get(key)
+    if tup is None:
+        tup = tuple(b != 0 for b in key)
+        _WRITES_CACHE[key] = tup
+    return tup
 
 
 @dataclass
@@ -174,36 +196,90 @@ class FSDetector:
         write_mask: np.ndarray,
         thread_order: Sequence[int] | None = None,
     ) -> None:
-        writes: tuple[bool, ...] = tuple(bool(w) for w in write_mask)
-        rows = [mat.tolist() for mat in thread_lines]
-        lengths = [len(r) for r in rows]
-        n_steps = max(lengths, default=0)
-        process = self._process_one
-        mru_line = self._mru_line
-        mru_mod = self._mru_mod
-        n_refs = len(writes)
-        accesses = 0
+        writes = interned_writes(write_mask)
         order = tuple(thread_order) if thread_order is not None else tuple(
             range(self.num_threads)
         )
         if sorted(order) != list(range(self.num_threads)):
             raise ModelError("thread_order must be a permutation of thread ids")
+        private = self._block_private_sets(thread_lines)
+        # Hoist every per-access conversion out of the hot loop: one
+        # tolist() per thread matrix, and one (id, rows, length, private)
+        # tuple per thread so the step loop binds locals instead of
+        # re-indexing parallel lists.
+        per_thread: list[tuple[int, list, int, set[int]]] = []
+        n_steps = 0
+        for t in order:
+            rows = thread_lines[t].tolist()
+            length = len(rows)
+            if length > n_steps:
+                n_steps = length
+            per_thread.append((t, rows, length, private[t]))
+        process = self._process_one
+        process_private = self._process_private
+        mru_line = self._mru_line
+        mru_mod = self._mru_mod
+        n_refs = len(writes)
+        ref_range = range(n_refs)
+        accesses = 0
         for s in range(n_steps):
-            for t in order:
-                if s >= lengths[t]:
+            for t, rows, length, priv in per_thread:
+                if s >= length:
                     continue
-                row = rows[t][s]
-                for k in range(n_refs):
+                row = rows[s]
+                for k in ref_range:
                     line = row[k]
                     w = writes[k]
                     # MRU fast path (see __init__): a re-touch of the MRU
                     # line with sufficient ownership is a guaranteed no-op.
                     if line == mru_line[t] and (mru_mod[t] or not w):
                         continue
-                    process(t, line, w)
+                    if line in priv:
+                        process_private(t, line, w)
+                    else:
+                        process(t, line, w)
                 accesses += n_refs
         self.stats.accesses += accesses
         self.stats.steps += n_steps
+
+    def _block_private_sets(
+        self, thread_lines: Sequence[np.ndarray]
+    ) -> list[set[int]]:
+        """Per-thread sets of lines provably free of φ interactions.
+
+        A line is *block-private* to thread ``t`` when no other thread
+        touches it anywhere in this block **and** no other thread's cache
+        state currently holds it (Shared or Modified).  Accesses to such
+        lines can never produce FS cases, downgrades or invalidations —
+        only LRU motion, misses and evictions — so they go through
+        :meth:`_process_private`, skipping the φ/mask machinery entirely.
+        This extends the MRU memo to whole working sets: under
+        large-chunk schedules most threads' line ranges never intersect.
+        """
+        uniqs = [
+            np.unique(mat) if mat.size else np.empty(0, dtype=np.int64)
+            for mat in thread_lines
+        ]
+        if len(uniqs) > 1:
+            vals, counts = np.unique(
+                np.concatenate(uniqs), return_counts=True
+            )
+            shared = set(vals[counts > 1].tolist())
+        else:
+            shared = set()
+        holders = self._holders
+        writers = self._writers
+        out: list[set[int]] = []
+        for t, uniq in enumerate(uniqs):
+            foreign = ~(1 << t)
+            out.append({
+                ln
+                for ln in uniq.tolist()
+                if ln not in shared
+                and holders.get(ln, 0) & foreign == 0
+                and writers.get(ln, 0) & foreign == 0
+            })
+        return out
 
     # -- core transition -----------------------------------------------------------
 
@@ -291,6 +367,140 @@ class FSDetector:
             if self._mru_line[t] == evicted:  # capacity-1 corner case
                 self._mru_line[t] = None
             stats.evictions += 1
+
+    def _process_private(self, t: int, line: int, is_write: bool) -> None:
+        """Transition for a line with no possible φ interaction.
+
+        Precondition (established per block by
+        :meth:`_block_private_sets`): no *other* thread currently holds
+        or writes ``line``, and none touches it before the private sets
+        are recomputed.  Under that precondition FS cases, downgrades
+        and invalidations are provably zero, so only the accessing
+        thread's LRU stack, the line's own holder/writer bits and the
+        miss/eviction counters change.  Valid in both coherence modes
+        (they differ only in remote-state handling, and there is no
+        remote state to handle).
+        """
+        stats = self.stats
+        stack = self._stacks[t]
+        prev = stack.pop(line, None)
+        if prev is None:
+            stats.misses += 1
+        bit = 1 << t
+        if is_write:
+            stack[line] = MODIFIED
+            self._holders[line] = bit
+            self._writers[line] = bit
+            self._mru_mod[t] = True
+        else:
+            st = prev if prev == MODIFIED else SHARED
+            stack[line] = st
+            self._holders[line] = bit
+            self._mru_mod[t] = st == MODIFIED
+        self._mru_line[t] = line
+        if len(stack) > self.stack_lines:
+            evicted, _ = stack.popitem(last=False)
+            self._holders[evicted] = self._holders.get(evicted, 0) & ~bit
+            self._writers[evicted] = self._writers.get(evicted, 0) & ~bit
+            if self._mru_line[t] == evicted:  # capacity-1 corner case
+                self._mru_line[t] = None
+            stats.evictions += 1
+
+    # -- steady-state support ---------------------------------------------------------
+
+    def state_fingerprint(
+        self,
+        canon: Callable[[int], object] | None = None,
+        canon_arrays: Callable[[np.ndarray], tuple] | None = None,
+    ) -> bytes:
+        """Order-sensitive digest of the complete cache state.
+
+        Covers every thread's LRU stack content, order and M/S states —
+        which fully determines future behaviour (the holder/writer
+        bitmasks are derivable: thread ``t`` holds a line iff it is in
+        ``t``'s stack, and writes it iff that entry is Modified).
+
+        ``canon`` optionally maps raw line ids to canonical,
+        shift-invariant keys (see :mod:`repro.model.steadystate`);
+        identity when omitted.  ``canon_arrays`` is the vectorized
+        variant — a callable mapping an ``int64`` line-id array to a
+        tuple of equal-length arrays forming the canonical key — and is
+        much faster on large states (digests from the two variants are
+        not interchangeable; compare like with like).  Two detectors
+        with equal fingerprints evolve identically on canonically-equal
+        future access streams.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        update = h.update
+        if canon_arrays is not None:
+            for stack in self._stacks:
+                n = len(stack)
+                if n:
+                    keys = np.fromiter(stack.keys(), np.int64, count=n)
+                    for part in canon_arrays(keys):
+                        update(np.ascontiguousarray(part).tobytes())
+                    update("".join(stack.values()).encode())
+                update(b"|")
+            return h.digest()
+        for stack in self._stacks:
+            for line, st in stack.items():
+                key = line if canon is None else canon(line)
+                update(repr(key).encode())
+                update(b"M" if st == MODIFIED else b"S")
+            update(b"|")
+        return h.digest()
+
+    def shift_lines(
+        self,
+        rename: Callable[[int], int] | None = None,
+        rename_arrays: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        """Apply an injective line renaming to the whole detector state.
+
+        Detector transitions commute with injective renamings of line
+        ids, so the steady-state runner can advance the cache state by a
+        whole extrapolated period: shift the state, then resume
+        simulating — equivalent to simulating the skipped runs.  Resets
+        the MRU memo (a pure optimization; resetting is always safe).
+
+        ``rename`` maps one line id at a time; ``rename_arrays`` is the
+        vectorized equivalent over an ``int64`` array (preferred for
+        large states).  Exactly one must be provided.
+        """
+        if (rename is None) == (rename_arrays is None):
+            raise ModelError("provide exactly one of rename/rename_arrays")
+        new_stacks: list[OrderedDict[int, str]] = []
+        holders: dict[int, int] = {}
+        writers: dict[int, int] = {}
+        for t, stack in enumerate(self._stacks):
+            bit = 1 << t
+            renamed: OrderedDict[int, str] = OrderedDict()
+            if rename_arrays is not None and stack:
+                keys = np.fromiter(stack.keys(), np.int64, count=len(stack))
+                new_keys = rename_arrays(keys).tolist()
+                renamed = OrderedDict(zip(new_keys, stack.values()))
+                hg = holders.get
+                for new in new_keys:
+                    holders[new] = hg(new, 0) | bit
+                wg = writers.get
+                for new, st in renamed.items():
+                    if st == MODIFIED:
+                        writers[new] = wg(new, 0) | bit
+            elif rename is not None:
+                for line, st in stack.items():
+                    new = rename(line)
+                    renamed[new] = st
+                    holders[new] = holders.get(new, 0) | bit
+                    if st == MODIFIED:
+                        writers[new] = writers.get(new, 0) | bit
+            if len(renamed) != len(stack):
+                raise ModelError("line renaming must be injective")
+            new_stacks.append(renamed)
+        self._stacks = new_stacks
+        self._holders = holders
+        self._writers = writers
+        self._mru_line = [None] * self.num_threads
+        self._mru_mod = [False] * self.num_threads
 
     # -- inspection -------------------------------------------------------------------
 

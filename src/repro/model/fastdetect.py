@@ -1,0 +1,659 @@
+"""Vectorized fast path for the FS detector (the model's hot engine).
+
+:class:`FastFSDetector` processes an entire lockstep block with NumPy
+array operations instead of the reference detector's per-access Python
+loop.  It is **result-identical** to :class:`~repro.model.detector.
+FSDetector` — same ``FSStats`` counters, same per-thread LRU stacks
+(content, order *and* M/S states), same holder/writer bitmasks — which
+the property suite (``tests/test_fastdetect.py``) asserts on random
+traces and the benchmark harness asserts on every table/figure config.
+
+How it works
+------------
+In ``invalidate`` mode the per-line coherence state collapses to
+``(owner, holders)``: a write sets ``writers[line] = {t}`` and a read
+clears all foreign writer bits, so at most one writer exists at any
+time.  With that invariant, and as long as **no evicted line interacts
+with any in-block access**, lines evolve independently — the only
+cross-line coupling in the detector is LRU capacity pressure.  The
+fast path therefore:
+
+1. flattens the block into ``(line, thread, timestamp, is_write)``
+   event arrays, where the timestamp encodes the lockstep interleaving
+   (step-major, then thread order, then program order of references);
+2. groups events by line (``np.lexsort``) and splits each group into
+   *segments* at write events — within a segment the owner is constant
+   until the first foreign read downgrades it;
+3. evaluates φ/mask per segment: the write leading a segment is an FS
+   write case iff the previous segment (or the carried state) ends with
+   a foreign owner; the first foreign read of a segment is the single
+   FS read case + downgrade the reference detector would count;
+   misses are first occurrences of ``(segment, thread)`` outside the
+   segment's base holder mask; invalidations are popcounts of the
+   holder mask a write destroys — all with ``reduceat``/``unique``;
+4. writes the final ``(owner, holders)`` per line back into the dicts
+   and reconstructs each thread's LRU stack exactly: surviving
+   untouched lines keep their relative order, touched-and-held lines
+   re-enter above them ordered by their last own-access timestamp —
+   precisely where the reference's pop/re-insert discipline puts them.
+
+Capacity pressure is handled in the common *streaming* shape: when the
+``K`` evictions a thread's stack needs (``|stack| + |new lines| −
+capacity``) all land on its ``K`` least-recently-used entries and none
+of those entries is touched by *any* thread in the block, the evictions
+cannot interact with any in-block access — the reference would pop
+exactly those ``K`` entries — so the fast path applies them as a
+batched epilogue.  Blocks where an eviction candidate *is* re-touched
+(LRU thrashing), ``literal``-mode detectors and thread counts beyond
+the 63-bit mask width fall back transparently to the reference scalar
+path, so `FastFSDetector` is safe to use unconditionally; the
+``detector_fast_blocks_total`` / ``detector_fallback_blocks_total``
+counters make the split observable.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.detector import FSDetector
+from repro.model.stackdist import MODIFIED, SHARED
+from repro.obs import get_registry
+from repro.resilience.errors import ModelError
+
+__all__ = [
+    "ENGINES",
+    "MAX_FAST_THREADS",
+    "FastFSDetector",
+    "make_detector",
+    "resolve_engine",
+]
+
+#: Valid values for the model's ``engine`` knob.
+ENGINES = ("auto", "fast", "reference")
+
+#: The vectorized core keeps thread-holder sets in uint64 bitmasks;
+#: thread counts beyond this fall back to the reference detector.
+MAX_FAST_THREADS = 63
+
+#: Blocks with fewer total events than this run through the scalar
+#: reference path — the array setup cost exceeds the per-access loop.
+MIN_FAST_EVENTS = 192
+
+_POP8: np.ndarray | None = None
+
+
+def _popcount(x: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (with pre-2.0 fallback)."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(x)
+    global _POP8
+    if _POP8 is None:
+        _POP8 = np.array(
+            [bin(i).count("1") for i in range(256)], dtype=np.int64
+        )
+    x = np.asarray(x, dtype=np.uint64)
+    out = np.zeros(x.shape, dtype=np.int64)
+    for shift in range(0, 64, 8):
+        out += _POP8[((x >> np.uint64(shift)) & np.uint64(0xFF)).astype(np.intp)]
+    return out
+
+
+def resolve_engine(engine: str, mode: str, num_threads: int) -> str:
+    """Resolve the ``engine`` knob to a concrete detector engine.
+
+    ``"auto"`` selects ``"fast"`` when the configuration permits the
+    vectorized core (``invalidate`` mode, ≤ :data:`MAX_FAST_THREADS`
+    threads) and ``"reference"`` otherwise.  An explicit ``"fast"`` on
+    an unsupported configuration is still honoured — the fast detector
+    falls back block-by-block — but ``auto`` avoids the wrapper
+    overhead when no block could ever take the fast path.
+    """
+    if engine not in ENGINES:
+        raise ModelError(
+            f"unknown detector engine {engine!r}; use one of {ENGINES}"
+        )
+    if engine != "auto":
+        return engine
+    if mode == "invalidate" and num_threads <= MAX_FAST_THREADS:
+        return "fast"
+    return "reference"
+
+
+def make_detector(
+    engine: str, num_threads: int, stack_lines: int, mode: str = "invalidate"
+) -> FSDetector:
+    """Build the detector the resolved engine calls for.
+
+    Returns a :class:`FastFSDetector` for ``"fast"`` (resolved) and a
+    reference :class:`~repro.model.detector.FSDetector` otherwise; both
+    produce identical results, so callers may treat the choice as a
+    pure performance knob.
+    """
+    resolved = resolve_engine(engine, mode, num_threads)
+    cls = FastFSDetector if resolved == "fast" else FSDetector
+    return cls(num_threads, stack_lines, mode=mode)
+
+
+class FastFSDetector(FSDetector):
+    """Drop-in detector with a vectorized block path (see module docs).
+
+    Exposes ``fast_blocks`` / ``fallback_blocks`` counters so callers
+    (and tests) can verify which path ran.  All inherited APIs —
+    single-access, fingerprinting, state shifting, inspection — operate
+    on the same underlying structures and remain valid.
+    """
+
+    def __init__(
+        self, num_threads: int, stack_lines: int, mode: str = "invalidate"
+    ) -> None:
+        super().__init__(num_threads, stack_lines, mode=mode)
+        #: blocks processed by the vectorized core
+        self.fast_blocks = 0
+        #: blocks routed to the reference scalar path
+        self.fallback_blocks = 0
+        #: planned LRU pops for the current block (set by eligibility)
+        self._block_evictions: tuple[tuple[int, int], ...] = ()
+        registry = get_registry()
+        self._fast_counter = registry.counter(
+            "detector_fast_blocks_total",
+            "lockstep blocks processed by the vectorized detector core",
+        ).labels(mode=mode)
+        self._fallback_counter = registry.counter(
+            "detector_fallback_blocks_total",
+            "lockstep blocks that fell back to the reference scalar path",
+        ).labels(mode=mode)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _process_block(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        thread_order: Sequence[int] | None = None,
+    ) -> None:
+        order = tuple(thread_order) if thread_order is not None else tuple(
+            range(self.num_threads)
+        )
+        if sorted(order) != list(range(self.num_threads)):
+            raise ModelError("thread_order must be a permutation of thread ids")
+        if self.mode != "invalidate" or self.num_threads > MAX_FAST_THREADS:
+            self.fallback_blocks += 1
+            self._fallback_counter.inc()
+            super()._process_block(thread_lines, write_mask, thread_order)
+            return
+        self._dispatch(thread_lines, write_mask, order)
+
+    def _dispatch(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        order: tuple[int, ...],
+    ) -> None:
+        """Route a block to the fast core, subdividing under pressure.
+
+        Processing a lockstep block is equivalent to processing any
+        step-axis split of it in sequence, so when a big block fails the
+        capacity checks — e.g. it alone streams more new lines than the
+        stack holds, or its eviction prefix reaches into recently-used
+        lines — halving it shrinks the per-piece eviction demand until
+        the pieces qualify.  Genuinely thrashing pieces bottom out in
+        the scalar path.
+        """
+        if self._fast_eligible(thread_lines):
+            self.fast_blocks += 1
+            self._fast_counter.inc()
+            self._process_block_fast(thread_lines, write_mask, order)
+            return
+        n_steps = max((len(m) for m in thread_lines), default=0)
+        total = sum(m.size for m in thread_lines)
+        if n_steps >= 2 and total >= 2 * MIN_FAST_EVENTS:
+            h = n_steps // 2
+            self._dispatch(
+                tuple(m[:h] for m in thread_lines), write_mask, order
+            )
+            self._dispatch(
+                tuple(m[h:] for m in thread_lines), write_mask, order
+            )
+            return
+        self.fallback_blocks += 1
+        self._fallback_counter.inc()
+        super()._process_block(thread_lines, write_mask, order)
+
+    def _fast_eligible(self, thread_lines: Sequence[np.ndarray]) -> bool:
+        """Whether this block can run vectorized (planning evictions).
+
+        The per-line decomposition is exact when evictions cannot
+        interact with in-block accesses.  A thread's stack grows solely
+        by insertion of *new* lines, so it needs exactly ``K = |stack| +
+        |new lines| − capacity`` evictions (when positive).  The
+        reference pops the current LRU entry at each overflow; if the
+        ``K`` least-recently-used entries at block start are untouched
+        by **every** thread, those are exactly the entries it would pop
+        (untouched entries never move, so the LRU front stays inside
+        that prefix until it is exhausted), no evicted line is
+        re-accessed, and no access observes a holder bit an eviction
+        cleared.  The planned ``(thread, K)`` pops are stashed in
+        ``_block_evictions`` for the vectorized core's epilogue; any
+        violation falls back to the scalar path.
+        """
+        self._block_evictions: tuple[tuple[int, int], ...] = ()
+        if self.mode != "invalidate" or self.num_threads > MAX_FAST_THREADS:
+            return False
+        # Tiny blocks (per-run series sampling, single steps) are faster
+        # through the scalar path than through the array machinery's
+        # fixed setup cost.
+        if sum(m.size for m in thread_lines) < MIN_FAST_EVENTS:
+            return False
+        cap = self.stack_lines
+        tight: list[int] = []
+        for t, mat in enumerate(thread_lines):
+            if not mat.size:
+                continue
+            held = len(self._stacks[t])
+            if held + mat.size <= cap:  # cheap bound, skips the scans
+                continue
+            # distinct lines ≤ the value range they span
+            span = int(mat.max()) - int(mat.min()) + 1
+            if held + span <= cap:
+                continue
+            tight.append(t)
+        if not tight:
+            return True
+        # Upper-bound per-thread eviction demand with |distinct touched|
+        # (≥ |new lines|, the true insertion count): exactness of the
+        # *count* is the core's job (section 4d); eligibility only needs
+        # a prefix long enough to cover any possible victim, and the
+        # few re-touched held lines the bound overcounts sit far above
+        # the LRU front in streaming traces anyway.
+        evict: list[tuple[int, int]] = []
+        uniqs: list[np.ndarray] = []
+        for t in tight:
+            stack = self._stacks[t]
+            u = np.unique(thread_lines[t])
+            uniqs.append(u)
+            k = len(stack) + int(u.size) - cap
+            if k <= 0:
+                continue
+            if k > len(stack):
+                return False  # would evict lines inserted this block
+            evict.append((t, k))
+        if not evict:
+            return True
+        # The planned victims must be untouched by *any* thread.
+        tight_set = set(tight)
+        extra = [
+            np.unique(m)
+            for t, m in enumerate(thread_lines)
+            if m.size and t not in tight_set
+        ]
+        touched = np.unique(np.concatenate(uniqs + extra))
+        for t, k in evict:
+            victims = np.fromiter(
+                islice(self._stacks[t], k), dtype=np.int64, count=k
+            )
+            pos = np.searchsorted(touched, victims)
+            pos[pos == touched.size] = 0  # clamp; re-check below
+            if bool(np.any(touched[pos] == victims)):
+                return False  # LRU thrash: timing matters, bail out
+        self._block_evictions = tuple(evict)
+        return True
+
+    # -- the vectorized core ------------------------------------------------------
+
+    def _process_block_fast(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        order: tuple[int, ...],
+    ) -> None:
+        stats = self.stats
+        T = self.num_threads
+        writes = np.asarray(write_mask, dtype=bool)
+        R = int(writes.size)
+        n_steps = max((len(m) for m in thread_lines), default=0)
+        stats.steps += n_steps
+        if R == 0 or n_steps == 0:
+            return
+
+        # 1.+2. Flatten the block into (line, timestamp) events and sort
+        # by line, timestamps ascending within each line.  The timestamp
+        # encodes the reference interleaving — step-major, then position
+        # in the thread order, then program order of references — and
+        # also *determines* the accessing thread and the write flag, so
+        # the common case packs each event into one int64 sort key
+        # ``line · ts_span + ts`` and recovers everything after an
+        # index-free ``np.sort``.  Astronomical line ids fall back to a
+        # two-key lexsort over explicit arrays.
+        posof = {t: i for i, t in enumerate(order)}
+        stride = T * R
+        ts_span = n_steps * stride  # timestamps live in [0, ts_span)
+        max_line = max(
+            (int(m.max()) for m in thread_lines if m.size), default=0
+        )
+        min_line = min(
+            (int(m.min()) for m in thread_lines if m.size), default=0
+        )
+        packed = min_line >= 0 and max_line < (2**62) // ts_span
+        # Per-position lookup tables (``pos_ref`` = ts mod stride encodes
+        # the accessing thread and the reference): one small gather
+        # replaces several full-length arithmetic passes.
+        order_arr = np.asarray(order, dtype=np.int64)
+        th_tab = np.repeat(order_arr, R)
+        w_tab = np.tile(writes, T)
+        rb_tab = np.where(
+            w_tab, np.uint64(0), np.uint64(1) << th_tab.astype(np.uint64)
+        )
+        parts: list[np.ndarray] = []
+        th_parts: list[np.ndarray] = []
+        ts_parts: list[np.ndarray] = []
+        w_parts: list[np.ndarray] = []
+        total = 0
+        # ts(step, pos, ref) = step·stride + pos·R + ref, precomputed
+        # once for the widest thread and sliced per thread.
+        base_ts = (
+            np.arange(n_steps, dtype=np.int64)[:, None] * stride
+            + np.arange(R, dtype=np.int64)[None, :]
+        )
+        for t in range(T):
+            mat = thread_lines[t]
+            steps_t = len(mat)
+            if steps_t == 0:
+                continue
+            mat = np.ascontiguousarray(mat, dtype=np.int64)
+            if packed:
+                part = mat * ts_span + base_ts[:steps_t]
+                if posof[t]:
+                    part += posof[t] * R
+                parts.append(part.reshape(-1))
+            else:
+                ts_t = base_ts[:steps_t] + posof[t] * R
+                parts.append(mat.reshape(-1))
+                th_parts.append(np.full(steps_t * R, t, dtype=np.int64))
+                ts_parts.append(ts_t.reshape(-1))
+                w_parts.append(np.tile(writes, steps_t))
+            total += steps_t * R
+        stats.accesses += total
+        if total == 0:
+            return
+        N = total
+        ar_n = np.arange(N, dtype=np.int64)
+        if packed:
+            key = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            key.sort()
+            LA, TS = np.divmod(key, ts_span)
+            pos_ref = TS % stride
+            TH = th_tab[pos_ref]
+            W = w_tab[pos_ref]
+        else:
+            LA = np.concatenate(parts)
+            TH = np.concatenate(th_parts)
+            TS = np.concatenate(ts_parts)
+            W = np.concatenate(w_parts)
+            perm = np.lexsort((TS, LA))
+            LA = LA[perm]
+            TH = TH[perm]
+            TS = TS[perm]
+            W = W[perm]
+            pos_ref = TS % stride
+
+        gs = np.empty(N, dtype=bool)
+        gs[0] = True
+        np.not_equal(LA[1:], LA[:-1], out=gs[1:])
+        uniq_lines = LA[gs]
+        G = int(uniq_lines.size)
+        grp = np.cumsum(gs) - 1
+
+        # Carried per-line state from the dicts (invalidate-mode
+        # invariant: at most one writer → a single "owner" thread).
+        ul = uniq_lines.tolist()
+        hget = self._holders.get
+        wget = self._writers.get
+        carr_holders = np.fromiter(
+            (hget(ln, 0) for ln in ul), dtype=np.uint64, count=G
+        )
+        carr_writers = np.fromiter(
+            (wget(ln, 0) for ln in ul), dtype=np.uint64, count=G
+        )
+        carr_owner = np.full(G, -1, dtype=np.int64)
+        wnz = carr_writers != 0
+        if wnz.any():
+            # exact for single-bit values below 2**63
+            carr_owner[wnz] = np.log2(
+                carr_writers[wnz].astype(np.float64)
+            ).astype(np.int64)
+
+        # 3. Segments: split each group at write events.
+        seg_start = W | gs
+        seg_starts = np.flatnonzero(seg_start)
+        S = int(seg_starts.size)
+        seg_of = np.cumsum(seg_start) - 1
+        seg_grp = grp[seg_starts]
+        seg_is_w = W[seg_starts]
+        seg_first = gs[seg_starts]
+        seg_thr = TH[seg_starts]
+
+        # Owner while the segment's reads run.
+        seg_owner0 = np.where(seg_is_w, seg_thr, carr_owner[seg_grp])
+
+        # First foreign read per segment = the FS-read + downgrade event.
+        # ``(TH ^ owner) > 0`` is "foreign read" in two passes: it is 0
+        # for the owner itself, negative when there is no owner (-1),
+        # and a write event always leads its own segment (owner == TH),
+        # so no explicit read mask is needed.
+        owner_at = seg_owner0[seg_of]
+        fr = (TH ^ owner_at) > 0
+        ffr = np.minimum.reduceat(np.where(fr, ar_n, N), seg_starts)
+        has_fr = ffr < N
+        seg_end_owner = np.where(has_fr, -1, seg_owner0)
+
+        # Holder mask at segment end = base holders ∪ readers (the
+        # per-position table maps write events to zero bits).
+        read_bits = rb_tab[pos_ref]
+        seg_read_mask = np.bitwise_or.reduceat(read_bits, seg_starts)
+        seg_wbit = np.uint64(1) << seg_thr.astype(np.uint64)
+        seg_base = np.where(seg_is_w, seg_wbit, carr_holders[seg_grp])
+        seg_h_end = seg_base | seg_read_mask
+
+        # State seen by each segment's leading write: the previous
+        # segment's end state, or the carried state for group-initial
+        # segments.
+        prev_owner = np.empty(S, dtype=np.int64)
+        prev_h = np.empty(S, dtype=np.uint64)
+        prev_owner[0] = -1
+        prev_owner[1:] = seg_end_owner[:-1]
+        prev_h[0] = 0
+        prev_h[1:] = seg_h_end[:-1]
+        seg_prev_owner = np.where(seg_first, carr_owner[seg_grp], prev_owner)
+        seg_prev_h = np.where(seg_first, carr_holders[seg_grp], prev_h)
+
+        # 4a. Write events: FS-write / miss / invalidations.
+        wsel = seg_is_w
+        w_thr = seg_thr[wsel]
+        w_prev_owner = seg_prev_owner[wsel]
+        w_prev_h = seg_prev_h[wsel]
+        w_bit = seg_wbit[wsel]
+        w_grp = seg_grp[wsel]
+        fs_w_sel = (w_prev_owner >= 0) & (w_prev_owner != w_thr)
+        w_miss = (w_prev_h & w_bit) == 0
+        inv_bits = w_prev_h & ~w_bit
+        stats.misses += int(w_miss.sum())
+        stats.invalidations += int(_popcount(inv_bits).sum())
+        stats.downgrades += int(has_fr.sum())
+
+        # 4b. Read misses: each distinct (segment, thread) reader pair
+        # misses exactly once — at its first read — iff the thread is
+        # outside the segment's base holder mask.  ``seg_read_mask``
+        # already holds the distinct-reader bits per segment, so this is
+        # one popcount of the bits *outside* the base mask.
+        stats.misses += int(_popcount(seg_read_mask & ~seg_base).sum())
+
+        # 4c. FS cases (φ over the single foreign writer).
+        fs_r_idx = ffr[has_fr]
+        fs_r_acc = TH[fs_r_idx]
+        fs_r_wrt = seg_owner0[has_fr]
+        fs_w_acc = w_thr[fs_w_sel]
+        fs_w_wrt = w_prev_owner[fs_w_sel]
+        n_r = int(fs_r_acc.size)
+        n_w = int(fs_w_acc.size)
+        if n_r or n_w:
+            stats.fs_cases += n_r + n_w
+            stats.fs_read_cases += n_r
+            stats.fs_write_cases += n_w
+            acc = np.concatenate([fs_r_acc, fs_w_acc])
+            wrt = np.concatenate([fs_r_wrt, fs_w_wrt])
+            # Small dense domains → bincount beats sort-based unique.
+            by_thread = stats.fs_by_thread
+            cnt = np.bincount(acc, minlength=T)
+            for v in np.flatnonzero(cnt).tolist():
+                by_thread[v] += int(cnt[v])
+            by_line = stats.fs_by_line
+            lin_grp = np.concatenate([seg_grp[has_fr], w_grp[fs_w_sel]])
+            cnt = np.bincount(lin_grp, minlength=G)
+            for g in np.flatnonzero(cnt).tolist():
+                by_line[ul[g]] += int(cnt[g])
+            by_pair = stats.fs_by_pair
+            cnt = np.bincount(wrt * T + acc, minlength=T * T)
+            for v in np.flatnonzero(cnt).tolist():
+                by_pair[(v // T, v % T)] += int(cnt[v])
+
+        # 4d. Exact eviction demand for capacity-tight threads.  A
+        # stack's length rises by one at every miss (insert) and falls
+        # by one at every invalidation (foreign-write pop), so with the
+        # overflow shed at capacity the total eviction count obeys the
+        # reflected-process identity ``K = max(0, peak(held + inserts −
+        # pops) − capacity)`` — exact because the shed entries (the LRU
+        # prefix, untouched per eligibility) are disjoint from the pop
+        # targets (in-block touched lines).  Eligibility's ``K_max``
+        # plan only bounds this from above.
+        exact_ev: list[tuple[int, int]] = []
+        if self._block_evictions:
+            cap = self.stack_lines
+            w_starts = seg_starts[wsel]
+            w_ts = TS[w_starts]
+            # First read per (segment, thread): insert iff outside the
+            # segment's base holder mask.
+            ridx = np.flatnonzero(~W)
+            key_r = seg_of[ridx] * T + TH[ridx]
+            uk, first_idx = np.unique(key_r, return_index=True)
+            r_pos = ridx[first_idx]
+            r_seg = uk // T
+            r_thr = uk % T
+            r_ins = (
+                (seg_base[r_seg] >> r_thr.astype(np.uint64))
+                & np.uint64(1)
+            ) == 0
+            r_ts = TS[r_pos]
+            for t, _kmax in self._block_evictions:
+                tbit = np.uint64(1 << t)
+                pop_ts = w_ts[(inv_bits & tbit) != 0]
+                ins_ts = np.concatenate(
+                    [
+                        w_ts[w_miss & (w_thr == t)],
+                        r_ts[r_ins & (r_thr == t)],
+                    ]
+                )
+                ts_all = np.concatenate([ins_ts, pop_ts])
+                delta = np.concatenate(
+                    [
+                        np.ones(ins_ts.size, dtype=np.int64),
+                        np.full(pop_ts.size, -1, dtype=np.int64),
+                    ]
+                )
+                run = np.cumsum(delta[np.argsort(ts_all)])
+                peak = int(run.max()) if run.size else 0
+                k = len(self._stacks[t]) + max(peak, 0) - cap
+                if k > 0:
+                    exact_ev.append((t, k))
+
+        # 5. Write the final per-line state back and rebuild stacks.
+        last_seg = np.empty(S, dtype=bool)
+        last_seg[-1] = True
+        np.not_equal(seg_grp[1:], seg_grp[:-1], out=last_seg[:-1])
+        new_owner_l = seg_end_owner[last_seg].tolist()
+        new_hold_l = seg_h_end[last_seg].tolist()
+        old_hold_l = carr_holders.tolist()
+        carr_owner_l = carr_owner.tolist()
+
+        holders_d = self._holders
+        writers_d = self._writers
+        stacks = self._stacks
+
+        # Last own-access event per (line, thread) via an ordered
+        # scatter: events arrive ts-ascending per key, and duplicate
+        # fancy-index assignments keep the last value written.
+        last_pos = np.full(G * T, -1, dtype=np.int64)
+        last_pos[grp * T + TH] = ar_n
+        pairs2 = np.flatnonzero(last_pos >= 0)
+        lts = TS[last_pos[pairs2]].tolist()
+        lg = (pairs2 // T).tolist()
+        lthr = (pairs2 % T).tolist()
+        touched_keys = set(pairs2.tolist())
+
+        for i, line in enumerate(ul):
+            nh = new_hold_l[i]
+            no = new_owner_l[i]
+            holders_d[line] = nh
+            writers_d[line] = (1 << no) if no >= 0 else 0
+            # Threads that lost their copy (foreign-write invalidation).
+            lost = old_hold_l[i] & ~nh
+            while lost:
+                low = lost & -lost
+                stacks[low.bit_length() - 1].pop(line, None)
+                lost ^= low
+            # Carried owner kept its copy but never touched the line in
+            # this block: its Modified copy was downgraded *in place*
+            # (no LRU motion) by the foreign read.
+            c = carr_owner_l[i]
+            if (
+                c >= 0
+                and no != c
+                and (nh >> c) & 1
+                and (i * T + c) not in touched_keys
+            ):
+                st = stacks[c]
+                if line in st:
+                    st[line] = SHARED
+
+        # Touched-and-held lines re-enter each stack above the untouched
+        # survivors, ordered by last own-access timestamp — exactly the
+        # reference's pop/re-insert discipline.
+        per_ins: list[list[tuple[int, int]]] = [[] for _ in range(T)]
+        for g, t, ts in zip(lg, lthr, lts):
+            if (new_hold_l[g] >> t) & 1:
+                per_ins[t].append((ts, g))
+        for t, ins in enumerate(per_ins):
+            if not ins:
+                continue
+            ins.sort()
+            st = stacks[t]
+            pop = st.pop
+            for _, g in ins:
+                line = ul[g]
+                pop(line, None)
+                st[line] = MODIFIED if new_owner_l[g] == t else SHARED
+
+        # 6. Evictions (streaming regime): pop each thread's K LRU-front
+        # entries — proven untouched by eligibility, so they are exactly
+        # the entries the reference would have popped — and clear that
+        # thread's holder/writer bits, mirroring the scalar epilogue of
+        # ``_process_one``.
+        for t, k in exact_ev:
+            st = stacks[t]
+            popfront = st.popitem
+            hget2 = holders_d.get
+            wget2 = writers_d.get
+            mask = ~(1 << t)
+            for _ in range(k):
+                ev, _ = popfront(last=False)
+                holders_d[ev] = hget2(ev, 0) & mask
+                writers_d[ev] = wget2(ev, 0) & mask
+            stats.evictions += k
+        self._block_evictions = ()
+
+        # The MRU memo only enables scalar-path skips; clearing it is
+        # always safe.
+        self._mru_line = [None] * T
+        self._mru_mod = [False] * T

@@ -29,8 +29,10 @@ from repro.ir.refs import AddressSpace
 from repro.ir.validate import validate_nest
 from repro.machine import MachineConfig
 from repro.model.detector import FSDetector, FSStats
+from repro.model.fastdetect import make_detector, resolve_engine
 from repro.model.ownership import OwnershipListGenerator
 from repro.model.schedule import IterationSpace
+from repro.model.steadystate import SteadyStateRunner, compute_shift_profile
 from repro.obs import get_registry, span
 from repro.resilience.budget import Budget, estimate_cost
 from repro.resilience.errors import ModelError
@@ -93,6 +95,17 @@ class FSModelResult:
     elapsed_seconds: float
     line_size: int = 64
     per_chunk_run: np.ndarray | None = None
+    #: ``"exact"`` for full simulation, ``"exact-steady-state"`` when
+    #: part of the loop was closed by exact periodic extrapolation (both
+    #: are bit-identical to full simulation; the label records *how* the
+    #: result was obtained for the resilience ladder / provenance).
+    fidelity: str = "exact"
+    #: detector engine that produced the result (``fast``/``reference``)
+    engine: str = "reference"
+    #: chunk runs actually walked by the detector
+    runs_simulated: int = 0
+    #: chunk runs closed by exact steady-state extrapolation
+    runs_extrapolated: int = 0
     _victims: tuple[VictimArray, ...] | None = field(default=None, repr=False)
 
     def fs_cycles(self, machine: MachineConfig) -> float:
@@ -179,6 +192,16 @@ class FalseSharingModel:
         ``"literal"`` — see :mod:`repro.model.detector`.
     block_steps:
         Lockstep steps processed per vectorized block.
+    engine:
+        Detector engine: ``"auto"`` (default — vectorized fast path
+        when the configuration permits, reference otherwise),
+        ``"fast"`` or ``"reference"``.  All engines are result-identical
+        (see :mod:`repro.model.fastdetect`); this is a pure performance
+        knob.
+    steady_state:
+        Enable the exact steady-state early-exit (see
+        :mod:`repro.model.steadystate`).  Only engages on full-loop
+        analyses of eligible nests; also result-identical.
     """
 
     def __init__(
@@ -187,6 +210,8 @@ class FalseSharingModel:
         mode: str = "invalidate",
         block_steps: int = 4096,
         thread_order: tuple[int, ...] | None = None,
+        engine: str = "auto",
+        steady_state: bool = True,
     ) -> None:
         self.machine = machine
         self.mode = mode
@@ -194,6 +219,9 @@ class FalseSharingModel:
         #: Optional within-step thread processing order (ablation knob;
         #: the lockstep model's default is ascending thread id).
         self.thread_order = thread_order
+        resolve_engine(engine, mode, 1)  # validate the knob eagerly
+        self.engine = engine
+        self.steady_state = steady_state
 
     def analyze(
         self,
@@ -204,6 +232,8 @@ class FalseSharingModel:
         record_series: bool = False,
         space: AddressSpace | None = None,
         budget: Budget | None = None,
+        engine: str | None = None,
+        steady_state: bool | None = None,
     ) -> FSModelResult:
         """Run the full FS analysis.
 
@@ -233,6 +263,10 @@ class FalseSharingModel:
             (``REPRO-R002``).  A budgeted caller that wants graceful
             degradation instead of an exception should go through
             :func:`repro.resilience.ladder.analyze_with_ladder`.
+        engine:
+            Per-call override of the model's detector engine knob.
+        steady_state:
+            Per-call override of the steady-state early-exit flag.
 
         Notes
         -----
@@ -260,8 +294,15 @@ class FalseSharingModel:
             result = self._analyze(
                 nest, num_threads, max_chunk_runs, record_series, space,
                 budget,
+                engine=self.engine if engine is None else engine,
+                steady_state=(
+                    self.steady_state if steady_state is None else steady_state
+                ),
             )
-            sp.set(chunk=result.chunk, fs_cases=result.fs_cases)
+            sp.set(
+                chunk=result.chunk, fs_cases=result.fs_cases,
+                engine=result.engine, fidelity=result.fidelity,
+            )
         return result
 
     def _analyze(
@@ -272,6 +313,8 @@ class FalseSharingModel:
         record_series: bool,
         space: AddressSpace | None,
         budget: Budget | None = None,
+        engine: str = "auto",
+        steady_state: bool = True,
     ) -> FSModelResult:
         t0 = time.perf_counter()
         gen = OwnershipListGenerator(
@@ -282,8 +325,12 @@ class FalseSharingModel:
             block_steps=self.block_steps,
         )
         ispace: IterationSpace = gen.iteration_space
-        detector = FSDetector(
-            num_threads, self.machine.model_stack_lines, mode=self.mode
+        resolved_engine = resolve_engine(engine, self.mode, num_threads)
+        detector = make_detector(
+            resolved_engine,
+            num_threads,
+            self.machine.model_stack_lines,
+            mode=self.mode,
         )
 
         steps_per_run = ispace.steps_per_chunk_run
@@ -291,8 +338,27 @@ class FalseSharingModel:
         if max_chunk_runs is not None:
             max_steps = max_chunk_runs * steps_per_run
 
+        runs_simulated = 0
+        runs_extrapolated = 0
         series: list[int] | None = None
-        if record_series:
+        steady_runner: SteadyStateRunner | None = None
+        if steady_state and max_chunk_runs is None:
+            # The early exit needs the whole loop (a truncated prefix is
+            # the predictor's job) and an eligible shift structure.
+            profile = compute_shift_profile(gen, num_threads)
+            if profile is not None:
+                steady_runner = SteadyStateRunner(
+                    gen,
+                    detector,
+                    profile,
+                    thread_order=self.thread_order,
+                    budget=budget,
+                    record_series=record_series,
+                    block_steps=self.block_steps,
+                )
+        if steady_runner is not None:
+            runs_simulated, runs_extrapolated, series = steady_runner.run()
+        elif record_series:
             # Align block emission to chunk-run boundaries so cumulative
             # counts are sampled exactly at run ends.
             runs_per_block = max(1, self.block_steps // max(steps_per_run, 1))
@@ -323,6 +389,8 @@ class FalseSharingModel:
             kernel=nest.name, threads=num_threads, chunk=ispace.chunk,
             mode=self.mode,
         )
+        if steady_runner is None:
+            runs_simulated = runs_evaluated
         registry = get_registry()
         registry.histogram(
             "model_analyze_seconds", "wall time of FalseSharingModel.analyze"
@@ -332,6 +400,13 @@ class FalseSharingModel:
                 "model_accesses_per_sec",
                 "modeled accesses processed per second by the last analysis",
             ).labels(kernel=nest.name).set(stats.accesses / elapsed)
+            registry.gauge(
+                "detector_accesses_per_second",
+                "detector throughput of the last analysis (incl. "
+                "extrapolated accesses), by engine",
+            ).labels(kernel=nest.name, engine=resolved_engine).set(
+                stats.accesses / elapsed
+            )
         result = FSModelResult(
             nest_name=nest.name,
             num_threads=num_threads,
@@ -349,11 +424,18 @@ class FalseSharingModel:
             elapsed_seconds=elapsed,
             line_size=self.machine.line_size,
             per_chunk_run=np.asarray(series, dtype=np.int64) if series else None,
+            fidelity=(
+                "exact-steady-state" if runs_extrapolated > 0 else "exact"
+            ),
+            engine=resolved_engine,
+            runs_simulated=runs_simulated,
+            runs_extrapolated=runs_extrapolated,
         )
         logger.debug(
-            "FS analysis %s T=%d chunk=%d: %d cases in %d steps (%.3fs)",
+            "FS analysis %s T=%d chunk=%d: %d cases in %d steps "
+            "(%.3fs, engine=%s, %d runs extrapolated)",
             nest.name, num_threads, ispace.chunk, stats.fs_cases,
-            stats.steps, elapsed,
+            stats.steps, elapsed, resolved_engine, runs_extrapolated,
         )
         return result
 

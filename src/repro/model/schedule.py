@@ -150,6 +150,11 @@ class LockstepEnumerator:
             for t in range(num_threads)
         ]
 
+    @property
+    def parallel_loop(self):
+        """The worksharing loop (public accessor for model consumers)."""
+        return self._parallel_loop
+
     def thread_steps(self, thread: int) -> int:
         """Total innermost iterations executed by one thread."""
         return (

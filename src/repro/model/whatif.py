@@ -170,6 +170,8 @@ def evaluate_point(
     predictor_runs: int = 8,
     mode: str = "invalidate",
     budget: Budget | None = None,
+    detector_engine: str = "auto",
+    steady_state: bool = True,
 ) -> SweepPoint:
     """Evaluate one (threads, chunk) configuration.
 
@@ -180,6 +182,13 @@ def evaluate_point(
     the predictor samples a fixed prefix of chunk runs, not a random
     subset.
 
+    ``detector_engine`` and ``steady_state`` select the detector
+    implementation (see :class:`FalseSharingModel`).  Both knobs are
+    *result-invariant* — every engine produces bit-identical counters —
+    so they deliberately do **not** participate in the engine cache key
+    (:meth:`WhatIfSweep.point_jobs` puts them in the job payload, not
+    the spec): a sweep cached under one engine is valid for all.
+
     With a ``budget``, the evaluation goes through the degradation
     ladder (:func:`repro.resilience.ladder.analyze_with_ladder`): an
     over-budget exact analysis falls back to the regression prediction,
@@ -187,7 +196,9 @@ def evaluate_point(
     achieved level and the reason are recorded on the returned
     :class:`SweepPoint` (``fidelity`` / ``degradation``).
     """
-    model = FalseSharingModel(machine, mode=mode)
+    model = FalseSharingModel(
+        machine, mode=mode, engine=detector_engine, steady_state=steady_state
+    )
     total_model = TotalCostModel(machine)
     candidate = nest.with_chunk(chunk)
     prefer = "exact" if not use_predictor else "regression"
@@ -236,6 +247,12 @@ def run_point_job(job) -> dict:
         predictor_runs=int(job.spec["predictor_runs"]),
         mode=str(job.spec["mode"]),
         budget=Budget.from_key_dict(job.spec.get("budget")),
+        # Engine knobs ride in the payload (not the hashed spec):
+        # results are engine-invariant, so cache keys must not fork on
+        # them — a landscape computed with the fast path serves a
+        # reference-engine re-run and vice versa.
+        detector_engine=str(job.payload.get("detector_engine", "auto")),
+        steady_state=bool(job.payload.get("steady_state", True)),
     )
     return point.to_dict()
 
@@ -251,6 +268,12 @@ class WhatIfSweep:
         Use the LR predictor (default) or the full model per point.
     predictor_runs:
         Chunk runs sampled per point in predictor mode.
+    detector_engine:
+        Detector engine per point: ``"auto"`` (default), ``"fast"`` or
+        ``"reference"``.  Result-invariant, so it never enters the
+        engine cache key.
+    steady_state:
+        Enable the exact steady-state early exit (default ``True``).
     """
 
     def __init__(
@@ -259,11 +282,18 @@ class WhatIfSweep:
         use_predictor: bool = True,
         predictor_runs: int = 8,
         mode: str = "invalidate",
+        detector_engine: str = "auto",
+        steady_state: bool = True,
     ) -> None:
         self.machine = machine
         self.use_predictor = use_predictor
         self.predictor_runs = predictor_runs
-        self.model = FalseSharingModel(machine, mode=mode)
+        self.detector_engine = detector_engine
+        self.steady_state = steady_state
+        self.model = FalseSharingModel(
+            machine, mode=mode, engine=detector_engine,
+            steady_state=steady_state,
+        )
         self.total_model = TotalCostModel(machine)
 
     def _point(
@@ -279,6 +309,8 @@ class WhatIfSweep:
             predictor_runs=self.predictor_runs,
             mode=self.model.mode,
             budget=budget,
+            detector_engine=self.detector_engine,
+            steady_state=self.steady_state,
         )
 
     def _feasible(
@@ -315,7 +347,16 @@ class WhatIfSweep:
 
         digest = nest_digest(nest)
         machine_key = self.machine.to_key_dict()
-        payload = {"machine": self.machine, "nest": nest}
+        # detector_engine / steady_state stay OUT of the spec (and
+        # therefore out of the cache key): all engines are
+        # result-identical, so forking the key on them would only
+        # defeat the result store.
+        payload = {
+            "machine": self.machine,
+            "nest": nest,
+            "detector_engine": self.detector_engine,
+            "steady_state": self.steady_state,
+        }
         budget_key = budget.to_key_dict() if budget is not None else {}
         jobs = []
         for t, c in self._feasible(nest, threads, chunks):

@@ -44,7 +44,11 @@ from repro.resilience.errors import (
     UsageError,
 )
 from repro.resilience.faults import FaultPlan, fault_point, install_plan
-from repro.resilience.ladder import FIDELITY_LEVELS, analyze_with_ladder
+from repro.resilience.ladder import (
+    FIDELITY_LEVELS,
+    analyze_with_ladder,
+    fidelity_tier,
+)
 from repro.resilience.partial import FailurePolicy, FailureReport
 
 __all__ = ["CheckResult", "run_doctor"]
@@ -139,12 +143,12 @@ def _check_budget_guards() -> str:
 def _check_ladder() -> str:
     machine, nest = _machine(), _nest()
     exact = analyze_with_ladder(machine, nest, 4, prefer="exact")
-    if exact.fidelity != "exact" or exact.degraded:
+    if fidelity_tier(exact.fidelity) != "exact" or exact.degraded:
         raise AssertionError("unbudgeted analysis did not stay exact")
     squeezed = analyze_with_ladder(
         machine, nest, 4, prefer="exact", budget=Budget(max_steps=1)
     )
-    if squeezed.fidelity == "exact":
+    if fidelity_tier(squeezed.fidelity) == "exact":
         raise AssertionError("1-step budget did not force a fallback")
     if not squeezed.degraded:
         raise AssertionError("degraded outcome carries no reason")

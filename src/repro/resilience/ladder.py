@@ -37,12 +37,35 @@ from repro.resilience.budget import Budget, CostEstimate, estimate_cost
 from repro.resilience.errors import BudgetExceededError
 from repro.util import get_logger
 
-__all__ = ["FIDELITY_LEVELS", "LadderOutcome", "analyze_with_ladder"]
+__all__ = [
+    "FIDELITY_LEVELS",
+    "LadderOutcome",
+    "analyze_with_ladder",
+    "fidelity_tier",
+]
 
 logger = get_logger(__name__)
 
-#: Fidelity levels in decreasing order of faithfulness.
+#: Fidelity levels in decreasing order of faithfulness.  The exact tier
+#: has two spellings: ``"exact"`` (every chunk run simulated) and
+#: ``"exact-steady-state"`` (a detected periodic steady state let the
+#: model extrapolate the remaining runs *without* approximation — the
+#: counters are still bit-identical to the full simulation).  Both map
+#: to the ``"exact"`` rung; use :func:`fidelity_tier` to normalize.
 FIDELITY_LEVELS = ("exact", "regression", "analytic")
+
+#: Fidelity tags that belong to the exact tier.
+EXACT_FIDELITIES = ("exact", "exact-steady-state")
+
+
+def fidelity_tier(fidelity: str) -> str:
+    """Map a result fidelity tag onto its ladder rung.
+
+    ``"exact-steady-state"`` is an *exact* result (the steady-state
+    early exit is a lossless extrapolation), so it normalizes to
+    ``"exact"``; every other tag maps to itself.
+    """
+    return "exact" if fidelity in EXACT_FIDELITIES else fidelity
 
 
 @dataclass(frozen=True)
@@ -107,7 +130,11 @@ def _try_exact(model, nest, num_threads, chunk, budget) -> LadderOutcome:
         nest_name=result.nest_name,
         num_threads=num_threads,
         chunk=result.chunk,
-        fidelity="exact",
+        # Pass the model's own tag through: "exact-steady-state" when the
+        # periodic early exit fired (still bit-identical counters), plain
+        # "exact" otherwise.  Ladder consumers compare tiers via
+        # fidelity_tier(), so both count as the exact rung.
+        fidelity=getattr(result, "fidelity", "exact"),
         requested="exact",
         fs_cases=float(result.fs_cases),
         fs_read_fraction=read_f,
@@ -247,7 +274,7 @@ def analyze_with_ladder(
         if prefer == "exact":
             try:
                 outcome = _try_exact(model, nest, num_threads, chunk, budget)
-                sp.set(fidelity="exact")
+                sp.set(fidelity=outcome.fidelity)
                 return outcome
             except BudgetExceededError as exc:
                 degradation = f"exact analysis over budget: {exc.message}"

@@ -1,0 +1,247 @@
+"""Fast-engine contracts: the vectorized detector is bit-identical to
+the scalar reference on every trace, including the streaming-eviction
+regime, and the engine knob never leaks into cached identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import dft, heat_diffusion, linear_regression
+from repro.machine import paper_machine, tiny_machine
+from repro.model import (
+    ENGINES,
+    FalseSharingModel,
+    FastFSDetector,
+    FSDetector,
+    make_detector,
+    resolve_engine,
+)
+from repro.model.fastdetect import MAX_FAST_THREADS, MIN_FAST_EVENTS
+from repro.resilience.errors import ModelError
+
+_SCALARS = (
+    "fs_cases", "fs_read_cases", "fs_write_cases", "accesses", "misses",
+    "invalidations", "downgrades", "evictions", "steps",
+)
+
+
+def _full_state(d: FSDetector):
+    """Everything observable: counters, breakdowns, exact cache states,
+    and the coherence directory for every resident line."""
+    lines = sorted(
+        {ln for t in range(d.num_threads) for ln, _ in d.cache_state(t)}
+    )
+    return (
+        tuple(getattr(d.stats, n) for n in _SCALARS),
+        dict(d.stats.fs_by_thread),
+        dict(d.stats.fs_by_line),
+        dict(d.stats.fs_by_pair),
+        [d.cache_state(t) for t in range(d.num_threads)],
+        [(ln, d.holders_of(ln), d.writers_of(ln)) for ln in lines],
+    )
+
+
+def _run_blocks(detector, blocks, writes, order):
+    for mats in blocks:
+        detector.process_block(mats, writes, thread_order=order)
+    return _full_state(detector)
+
+
+def _random_blocks(rng, T, refs, n_blocks, max_steps, streaming):
+    """Either uniform-random line traffic (heavy invalidation churn) or
+    a monotone streaming trace (the eviction fast-path regime)."""
+    blocks, base = [], 0
+    for _ in range(n_blocks):
+        steps = int(rng.integers(1, max_steps + 1))
+        mats = []
+        for _t in range(T):
+            if streaming:
+                adv = (rng.random(steps * refs) < 0.2).cumsum()
+                look = rng.integers(0, 5, size=steps * refs)
+                m = np.maximum(base + adv - look, 0).reshape(steps, refs)
+            else:
+                m = rng.integers(0, 40, size=(steps, refs))
+            mats.append(m.astype(np.int64))
+        if streaming:
+            base = int(max(m.max() for m in mats))
+        blocks.append(tuple(mats))
+    return blocks
+
+
+class TestEngineResolution:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ModelError):
+            resolve_engine("turbo", "invalidate", 4)
+
+    def test_auto_prefers_fast_when_supported(self):
+        assert resolve_engine("auto", "invalidate", 8) == "fast"
+        assert resolve_engine("auto", "invalidate", MAX_FAST_THREADS) == "fast"
+
+    def test_auto_falls_back_outside_support(self):
+        assert resolve_engine("auto", "literal", 8) == "reference"
+        assert (
+            resolve_engine("auto", "invalidate", MAX_FAST_THREADS + 1)
+            == "reference"
+        )
+
+    def test_explicit_choice_honoured(self):
+        assert resolve_engine("reference", "invalidate", 4) == "reference"
+        assert resolve_engine("fast", "literal", 4) == "fast"
+
+    def test_make_detector_classes(self):
+        assert isinstance(make_detector("fast", 4, 16), FastFSDetector)
+        ref = make_detector("reference", 4, 16)
+        assert type(ref) is FSDetector
+        assert isinstance(make_detector("auto", 4, 16), FastFSDetector)
+
+    def test_engines_constant(self):
+        assert set(ENGINES) == {"auto", "fast", "reference"}
+
+    def test_model_rejects_bad_engine(self):
+        with pytest.raises(ModelError):
+            FalseSharingModel(tiny_machine(), engine="warp")
+
+
+class TestBlockEquivalence:
+    """Property suite: FastFSDetector ≡ FSDetector on arbitrary traces."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        T=st.integers(1, 4),
+        cap=st.sampled_from([4, 8, 32]),
+        refs=st.integers(1, 3),
+        streaming=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_trace_equivalence(self, seed, T, cap, refs, streaming):
+        rng = np.random.default_rng(seed)
+        writes = rng.random(refs) < 0.4
+        order = list(range(T))
+        rng.shuffle(order)
+        blocks = _random_blocks(
+            rng, T, refs, n_blocks=int(rng.integers(1, 4)),
+            max_steps=120, streaming=streaming,
+        )
+        ref = _run_blocks(FSDetector(T, cap), blocks, writes, order)
+        fast = _run_blocks(FastFSDetector(T, cap), blocks, writes, order)
+        assert ref == fast
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_eviction_regime_equivalence(self, seed):
+        """Streaming blocks sized to overflow the stack exercise the
+        batched-eviction epilogue; the fast path must still match the
+        reference bit for bit — including eviction counts and the
+        post-block LRU order."""
+        rng = np.random.default_rng(seed)
+        T, cap, refs = 3, 16, 2
+        writes = np.array([True, False])
+        blocks = _random_blocks(
+            rng, T, refs, n_blocks=4, max_steps=200, streaming=True
+        )
+        ref_d = FSDetector(T, cap)
+        fast_d = FastFSDetector(T, cap)
+        for mats in blocks:
+            ref_d.process_block(mats, writes)
+            fast_d.process_block(mats, writes)
+            assert _full_state(ref_d) == _full_state(fast_d)
+        assert ref_d.stats.evictions > 0  # the regime was actually hit
+
+    def test_fast_path_engages_on_large_blocks(self):
+        """A block well above MIN_FAST_EVENTS must take the vectorized
+        core, not the scalar fallback."""
+        rng = np.random.default_rng(7)
+        d = FastFSDetector(4, 64)
+        steps = MIN_FAST_EVENTS * 2
+        mats = tuple(
+            rng.integers(0, 30, size=(steps, 2)).astype(np.int64)
+            for _ in range(4)
+        )
+        d.process_block(mats, np.array([True, False]))
+        assert d.fast_blocks >= 1
+        assert d.stats.accesses == 4 * steps * 2
+
+    def test_single_access_api_still_scalar(self):
+        """The inherited single-access API keeps working on the fast
+        detector (it shares all underlying structures)."""
+        d = FastFSDetector(2, 8)
+        d.access(0, 5, True)
+        fs = d.access(1, 5, True)
+        assert fs == 1
+        assert d.stats.fs_write_cases == 1
+
+    def test_bad_thread_order_rejected(self):
+        d = FastFSDetector(2, 8)
+        mats = (np.zeros((4, 1), dtype=np.int64),) * 2
+        with pytest.raises(ModelError):
+            d.process_block(mats, np.array([True]), thread_order=[0, 0])
+
+
+class TestModelLevelEquivalence:
+    """engine="fast" and engine="reference" produce identical results
+    through the full model, chunk-run series included."""
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            heat_diffusion(rows=6, cols=1026),
+            dft(samples=4, freqs=768),
+            linear_regression(4, tasks=96, total_points=480),
+        ],
+        ids=["heat", "dft", "linreg"],
+    )
+    def test_engines_bit_identical(self, kernel):
+        machine = paper_machine()
+        results = {}
+        for engine in ("reference", "fast"):
+            model = FalseSharingModel(
+                machine, engine=engine, steady_state=False
+            )
+            results[engine] = model.analyze(
+                kernel.nest, 4, chunk=1, record_series=True
+            )
+        ref, fast = results["reference"], results["fast"]
+        assert ref.fs_cases == fast.fs_cases
+        assert ref.fs_read_cases == fast.fs_read_cases
+        assert ref.fs_write_cases == fast.fs_write_cases
+        for name in _SCALARS:
+            assert getattr(ref.stats, name) == getattr(fast.stats, name)
+        assert dict(ref.stats.fs_by_line) == dict(fast.stats.fs_by_line)
+        assert dict(ref.stats.fs_by_pair) == dict(fast.stats.fs_by_pair)
+        assert ref.per_chunk_run.tolist() == fast.per_chunk_run.tolist()
+        assert ref.engine == "reference" and fast.engine == "fast"
+
+    def test_result_reports_resolved_engine(self):
+        machine = tiny_machine()
+        k = heat_diffusion(rows=4, cols=258)
+        r = FalseSharingModel(machine, engine="auto").analyze(k.nest, 4)
+        assert r.engine == "fast"
+
+
+class TestCacheKeyInvariance:
+    """Engine knobs must not fork the engine's content-addressed cache:
+    all detector engines are result-identical, so a landscape computed
+    under one must be served to re-runs under any other."""
+
+    def _keys(self, **kwargs):
+        from repro.model import WhatIfSweep
+
+        sweep = WhatIfSweep(tiny_machine(), **kwargs)
+        k = heat_diffusion(rows=4, cols=258)
+        jobs = sweep.point_jobs(k.nest, threads=(2, 4), chunks=(1, 2))
+        return [j.key() for j in jobs], jobs
+
+    def test_engine_choice_does_not_change_job_keys(self):
+        base, _ = self._keys()
+        for kwargs in (
+            dict(detector_engine="fast"),
+            dict(detector_engine="reference"),
+            dict(steady_state=False),
+            dict(detector_engine="reference", steady_state=False),
+        ):
+            keys, jobs = self._keys(**kwargs)
+            assert keys == base, kwargs
+            for job in jobs:  # knobs travel in the (unhashed) payload
+                assert "detector_engine" not in job.spec
+                assert "steady_state" not in job.spec
+                assert "detector_engine" in job.payload

@@ -32,11 +32,13 @@ from repro.obs import (
 @pytest.fixture
 def tracer():
     t = get_tracer()
+    cap = t.max_events
     t.reset()
     t.enable()
     yield t
     t.disable()
     t.reset()
+    t.max_events = cap  # tests may shrink the buffer cap; undo the leak
 
 
 @pytest.fixture

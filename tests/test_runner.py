@@ -48,8 +48,10 @@ class TestRunnerMain:
         results = {"run_table1": fake_results()[0], "run_fig6": fake_results()[1]}
 
         class FakeSuite:
-            def __init__(self, scale):
+            def __init__(self, scale, detector_engine="auto", steady_state=True):
                 assert scale in ("tiny", "full")
+                assert detector_engine in ("auto", "fast", "reference")
+                assert isinstance(steady_state, bool)
 
             def run_driver(self, name):
                 if name == fail_driver:
