@@ -6,7 +6,7 @@ PP      := PYTHONPATH=src
 BENCHD  := .bench
 
 .PHONY: test test-fast lint bench-smoke bench-overhead bench-sweep \
-        bench-model bench-model-quick clean
+        bench-model bench-model-quick service-smoke clean
 
 test:
 	$(PP) $(PY) -m pytest -q
@@ -56,6 +56,14 @@ bench-model-quick:
 	mkdir -p $(BENCHD)
 	$(PP) $(PY) benchmarks/bench_model_fastpath.py --quick \
 	  --out $(BENCHD)/BENCH_model.json
+
+# Boot the analysis service daemon, drive the full client contract
+# (submit, NDJSON stream, warm-cache re-submit, /metrics counters) and
+# require a graceful SIGTERM drain with exit 0 (docs/SERVICE.md).
+service-smoke:
+	mkdir -p $(BENCHD)
+	$(PP) REPRO_CACHE_DIR=$(BENCHD)/svc-cache $(PY) benchmarks/service_smoke.py \
+	  --out $(BENCHD)/SERVICE_smoke.json
 
 # Guard the <5% disabled-overhead budget on the model's hot path.
 bench-overhead:

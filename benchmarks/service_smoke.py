@@ -1,0 +1,123 @@
+"""End-to-end smoke of the analysis service daemon (``make service-smoke``).
+
+Boots a real ``repro-fs serve`` **subprocess**, then walks the whole
+operational contract the docs promise:
+
+1. submit a small heat-kernel sweep over HTTP and stream its NDJSON
+   results live (cells must carry fidelity tags; the terminal row is a
+   summary);
+2. re-submit the identical sweep and require a warm run — every cell
+   served ``from_cache`` and the ``service_cells_total{status=
+   "from_cache"}`` counter visible at ``/metrics`` in valid Prometheus
+   text exposition;
+3. send SIGTERM and require a graceful drain: the process must exit 0.
+
+Exit status is nonzero on any violated expectation, so CI can gate on
+it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def _heat_source() -> str:
+    from repro.kernels import heat_source
+
+    return heat_source(6, 130)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=18377,
+                        help="service port (default 18377)")
+    parser.add_argument("--out", default=None,
+                        help="write a JSON verdict here as well")
+    args = parser.parse_args(argv)
+
+    from repro.service.client import ServiceClient
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-svc-smoke-"))
+    env = dict(os.environ)
+    env.setdefault("REPRO_CACHE_DIR", str(workdir / "cache"))
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--host", "127.0.0.1", "--port", str(args.port),
+         "--workers", "2", "--concurrency", "1",
+         "--state-file", str(workdir / "queue-state.json"),
+         "--store-dir", str(workdir / "store")],
+        env=env,
+    )
+    verdict: dict = {"port": args.port}
+    try:
+        client = ServiceClient(
+            f"http://127.0.0.1:{args.port}", timeout_s=120
+        )
+        health = client.wait_ready(timeout_s=30)
+        assert health["status"] == "ok", health
+
+        source = _heat_source()
+        grid = {"threads": [2, 4], "chunks": [1, 4]}
+
+        # 1. cold submit + live stream
+        job = client.submit(source, **grid)
+        rows = list(client.stream(job["id"]))
+        cells = [r for r in rows if r["type"] == "cell"]
+        assert cells, "stream produced no cells"
+        assert all("fidelity" in c for c in cells), cells[0]
+        assert rows[-1]["type"] == "summary", rows[-1]
+        assert rows[-1]["status"] == "done", rows[-1]
+        verdict["cold"] = {
+            "cells": len(cells),
+            "from_cache": sum(1 for c in cells if c["from_cache"]),
+        }
+
+        # 2. warm re-submit: >= 90% cache-served, counter at /metrics
+        job2 = client.submit(source, **grid)
+        final = client.wait(job2["id"], timeout_s=120)
+        done = final["cells"]["done"]
+        cached = final["cells"]["from_cache"]
+        assert done and cached / done >= 0.9, final["cells"]
+        counter = client.metric_value(
+            "service_cells_total", {"status": "from_cache"}
+        )
+        assert counter is not None and counter >= cached, counter
+        text = client.metrics()
+        assert "# TYPE service_cells_total counter" in text
+        assert "# TYPE service_job_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        verdict["warm"] = {"cells": done, "from_cache": cached,
+                           "metrics_counter": counter}
+
+        # 3. SIGTERM -> graceful drain -> exit 0
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=60)
+        assert rc == 0, f"daemon exited {rc}, wanted 0"
+        verdict["drain_exit_code"] = rc
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    verdict["ok"] = True
+    print("service-smoke OK:", json.dumps(verdict))
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            json.dumps(verdict, indent=1), encoding="utf-8"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,17 @@ Subcommands
 ``cache``
     Inspect (``stats``) or empty (``clear``) the batch engine's
     content-addressed result store.
+``serve``
+    Run the analysis-as-a-service daemon: HTTP/JSON job API with
+    NDJSON result streaming, multi-tenant quotas, a Prometheus
+    ``/metrics`` endpoint and a graceful SIGTERM drain
+    (docs/SERVICE.md).
 ``doctor``
     Self-check the resilience machinery (error taxonomy, budget
     guards, degradation ladder, fault injection, store corruption
-    tolerance); exit 0 iff every check passes.
+    tolerance) and the service plumbing (socket bind, tenants parsing,
+    store writability, queue-state round-trip); exit 0 iff every check
+    passes.
 
 Every analysis subcommand also accepts ``--profile TRACE.json`` /
 ``--metrics-out METRICS.json`` (or the ``REPRO_TRACE`` /
@@ -83,8 +90,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="record spans and write a Chrome trace-event "
                         "JSON (open in Perfetto / chrome://tracing)")
     p.add_argument("--metrics-out", metavar="METRICS.json", default=None,
-                   help="write the metrics registry to a JSON (or .csv) "
-                        "dump at exit")
+                   help="write the metrics registry at exit; format by "
+                        "extension: .json dump, .csv table, or .prom "
+                        "Prometheus text exposition")
     _add_model_flags(p)
     _add_engine_flags(p)
     _add_resilience_flags(p)
@@ -416,6 +424,24 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return rc
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        batch_cells=args.batch_cells,
+        tenants_file=args.tenants_file,
+        state_file=args.state_file,
+        store_dir=args.store_dir,
+        use_cache=not args.no_cache,
+        timeout_s=args.timeout,
+    )
+    return serve(config)
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import ResultStore
 
@@ -509,6 +535,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     p.set_defaults(func=cmd_profile, _force_profile=True)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the analysis service daemon (HTTP/JSON API, "
+             "/metrics, SIGTERM drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8377,
+                   help="TCP port; 0 picks an ephemeral one (default 8377)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine worker processes for sweep cells "
+                        "(default 2)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="jobs progressing concurrently (default 2)")
+    p.add_argument("--batch-cells", type=int, default=16,
+                   help="cells submitted to the engine per batch; also "
+                        "the cancellation granularity (default 16)")
+    p.add_argument("--tenants-file", default=None,
+                   help="tenants JSON (API keys + quotas); omit for a "
+                        "single key-less public tenant")
+    p.add_argument("--state-file", default=None,
+                   help="queue-state file: SIGTERM persists unfinished "
+                        "jobs here, the next boot restores them")
+    p.add_argument("--store-dir", default=None,
+                   help="result-store root (default $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result store (every cell recomputes)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock timeout in the engine pool")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -37,7 +37,7 @@ from repro.engine.keys import (
     nest_digest,
     stable_hash,
 )
-from repro.engine.pool import JobOutcome, WorkerPool
+from repro.engine.pool import JobOutcome, WorkerPool, cancelled_outcome
 from repro.engine.scheduler import Engine, default_jobs
 from repro.engine.store import (
     STORE_SCHEMA_VERSION,
@@ -59,6 +59,7 @@ __all__ = [
     "nest_digest",
     "stable_hash",
     "JobOutcome",
+    "cancelled_outcome",
     "WorkerPool",
     "Engine",
     "default_jobs",

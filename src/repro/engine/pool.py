@@ -25,6 +25,8 @@ no subprocess spin-up) with identical outcome semantics — that is the
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -33,10 +35,10 @@ from typing import Callable, Sequence
 
 from repro.engine.job import Job, run_job
 from repro.obs import get_registry
-from repro.resilience.errors import EngineError
+from repro.resilience.errors import EngineError, JobCancelledError
 from repro.util import get_logger
 
-__all__ = ["JobOutcome", "WorkerPool"]
+__all__ = ["JobOutcome", "WorkerPool", "cancelled_outcome"]
 
 logger = get_logger(__name__)
 
@@ -83,6 +85,20 @@ class JobOutcome:
             )
         assert self.result is not None
         return self.result
+
+
+def cancelled_outcome(job: Job, reason: str = "shutdown drain") -> JobOutcome:
+    """A terminal ``REPRO-E104`` outcome for a job that never ran.
+
+    Used by the pool's drain path and the engine's cancellation hook so
+    pending work surfaces as a structured diagnostic, not a traceback.
+    """
+    return JobOutcome(
+        job,
+        error=f"cancelled before running ({reason})",
+        attempts=0,
+        error_code=JobCancelledError.code,
+    )
 
 
 def _classify(exc: BaseException) -> str:
@@ -142,6 +158,7 @@ class WorkerPool:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self._closing = threading.Event()
         reg = get_registry()
         self._retries_total = reg.counter(
             "engine_retries_total", "job attempts retried after a failure"
@@ -150,6 +167,56 @@ class WorkerPool:
             "engine_worker_crashes_total",
             "worker-process deaths observed by the pool",
         )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closing(self) -> bool:
+        """Whether a drain has been requested (``close`` called)."""
+        return self._closing.is_set()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop starting new jobs; finish what is already running.
+
+        Safe to call from any thread (including a signal handler) while
+        a batch is in flight: in-flight jobs run to completion and keep
+        their real outcomes, while jobs still waiting in the submission
+        queue finish immediately as structured ``REPRO-E104``
+        cancellations — no traceback, no lost results.  Idempotent.
+
+        ``drain=False`` reserves space for a future hard-kill path; for
+        now both modes let in-flight work finish (terminating workers
+        mid-job would discard results for no latency win on the short
+        cell jobs the pool runs).
+        """
+        del drain  # both modes drain; see docstring
+        self._closing.set()
+
+    def reopen(self) -> None:
+        """Clear a previous :meth:`close` so the pool accepts work again
+        (used by tests and by services that survive a cancelled batch)."""
+        self._closing.clear()
+
+    def handle_signals(
+        self, signums: Sequence[int] = (signal.SIGTERM, signal.SIGINT)
+    ) -> None:
+        """Install handlers that drain this pool on ``signums``.
+
+        The previous handler is chained after the drain flag is set, so
+        stacking with an outer service's own shutdown logic works.  Only
+        callable from the main thread (a Python signal restriction).
+        """
+        for signum in signums:
+            previous = signal.getsignal(signum)
+
+            def _drain(sig, frame, _previous=previous):
+                self.close(drain=True)
+                if callable(_previous) and _previous not in (
+                    signal.SIG_IGN, signal.SIG_DFL
+                ):
+                    _previous(sig, frame)
+
+            signal.signal(signum, _drain)
 
     # -- public -------------------------------------------------------------
 
@@ -163,9 +230,19 @@ class WorkerPool:
         ``on_outcome`` fires as each job reaches a terminal state (in
         completion order) — the scheduler uses it to write cache entries
         and bump metrics while the batch is still running.
+
+        A :meth:`close` (e.g. from a SIGTERM handler) while the batch
+        runs finishes in-flight jobs and resolves everything still
+        queued as ``REPRO-E104`` cancellations.
         """
         if not jobs:
             return []
+        if self.closing:
+            outcomes = [cancelled_outcome(job) for job in jobs]
+            if on_outcome is not None:
+                for outcome in outcomes:
+                    on_outcome(outcome)
+            return outcomes
         if self.workers <= 1:
             return self._run_inline(jobs, on_outcome)
         return self._run_pool(jobs, on_outcome)
@@ -179,6 +256,12 @@ class WorkerPool:
     ) -> list[JobOutcome]:
         outcomes: list[JobOutcome] = []
         for job in jobs:
+            if self.closing:
+                outcome = cancelled_outcome(job)
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                continue
             attempts = 0
             history: list[str] = []
             while True:
@@ -249,7 +332,17 @@ class WorkerPool:
         broken = False
         try:
             while queue or inflight:
-                while not broken and queue and len(inflight) < self.workers:
+                if self.closing and queue:
+                    # Drain: everything not yet submitted resolves as a
+                    # structured cancellation; in-flight futures below
+                    # still run to completion.
+                    for att in queue:
+                        finish(att.index, cancelled_outcome(att.job))
+                    queue = []
+                while (
+                    not broken and not self.closing
+                    and queue and len(inflight) < self.workers
+                ):
                     att = queue.pop(0)
                     att.attempts += 1
                     if att.attempts > 1:

@@ -33,7 +33,8 @@ import time
 from typing import Callable, Sequence
 
 from repro.engine.job import Job
-from repro.engine.pool import JobOutcome, WorkerPool
+from repro.engine.pool import JobOutcome, WorkerPool, cancelled_outcome
+from repro.resilience.errors import JobCancelledError
 from repro.engine.store import ResultStore
 from repro.obs import get_registry, span
 from repro.resilience.errors import StoreError
@@ -108,12 +109,22 @@ class Engine:
         self,
         jobs: Sequence[Job],
         on_outcome: Callable[[JobOutcome], None] | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> list[JobOutcome]:
         """Execute a batch; outcomes return in input order.
 
         ``on_outcome`` fires once per *input* job as it reaches a
         terminal state (cache hits first, then executions in completion
         order).
+
+        ``should_stop`` is the cancellation hook for long-running
+        callers (the analysis service): it is polled during the cache
+        lookup and once more before the pool executes — when it turns
+        true, every job that has not started resolves as a
+        ``REPRO-E104`` cancellation while cache hits already fanned out
+        keep their results.  Cancellation granularity is the batch the
+        pool has in flight; callers wanting finer grain submit in
+        smaller batches.
         """
         jobs = list(jobs)
         if not jobs:
@@ -121,6 +132,7 @@ class Engine:
         with span("engine.run", n_jobs=len(jobs), workers=self.jobs):
             keys = [job.key() for job in jobs]
             outcomes: list[JobOutcome | None] = [None] * len(jobs)
+            stopped = False
 
             # 1. cache lookup (+ intra-batch dedupe: first occurrence of
             #    a key owns the computation, the rest alias its result).
@@ -128,6 +140,14 @@ class Engine:
             to_run: list[int] = []
             with span("engine.cache_lookup"):
                 for i, (job, key) in enumerate(zip(jobs, keys)):
+                    if not stopped and should_stop is not None and should_stop():
+                        stopped = True
+                    if stopped:
+                        outcomes[i] = cancelled_outcome(job, "client cancel")
+                        self._jobs_total.labels(status="cancelled").inc()
+                        if on_outcome is not None:
+                            on_outcome(outcomes[i])
+                        continue
                     if key in owners:
                         continue
                     owners[key] = i
@@ -145,7 +165,17 @@ class Engine:
                         self._misses.inc()
                         to_run.append(i)
 
-            # 2. execute the misses.
+            # 2. execute the misses (unless cancellation arrived while
+            #    the lookup ran).
+            if to_run and not stopped and should_stop is not None and should_stop():
+                stopped = True
+            if to_run and stopped:
+                for i in to_run:
+                    outcomes[i] = cancelled_outcome(jobs[i], "client cancel")
+                    self._jobs_total.labels(status="cancelled").inc()
+                    if on_outcome is not None:
+                        on_outcome(outcomes[i])
+                to_run = []
             if to_run:
                 busy_s = 0.0
                 t0 = time.perf_counter()
@@ -154,7 +184,12 @@ class Engine:
                     nonlocal busy_s
                     busy_s += outcome.duration_s
                     self._job_seconds.observe(outcome.duration_s)
-                    status = "completed" if outcome.ok else "failed"
+                    if outcome.ok:
+                        status = "completed"
+                    elif outcome.error_code == JobCancelledError.code:
+                        status = "cancelled"
+                    else:
+                        status = "failed"
                     self._jobs_total.labels(status=status).inc()
                     if (
                         outcome.ok
@@ -196,11 +231,21 @@ class Engine:
                 outcomes[i] = JobOutcome(
                     job, result=owner.result, error=owner.error,
                     attempts=0, from_cache=True,
+                    error_code=owner.error_code,
                 )
                 if on_outcome is not None:
                     on_outcome(outcomes[i])
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
+
+    def close(self, drain: bool = True) -> None:
+        """Drain the worker pool: finish in-flight jobs, cancel pending.
+
+        The shutdown half of the service's SIGTERM contract; see
+        :meth:`repro.engine.pool.WorkerPool.close`.  Idempotent, safe
+        from any thread.
+        """
+        self.pool.close(drain=drain)
 
     def run_strict(self, jobs: Sequence[Job]) -> list[dict]:
         """Like :meth:`run` but unwraps results, raising on any failure."""

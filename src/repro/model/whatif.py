@@ -330,6 +330,20 @@ class WhatIfSweep:
             )
         return grid
 
+    def feasible_grid(
+        self,
+        nest: ParallelLoopNest,
+        threads: Sequence[int] = (2, 4, 8, 16, 24, 32, 48),
+        chunks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    ) -> list[tuple[int, int]]:
+        """The feasible (threads, chunk) grid, in sweep order.
+
+        Public admission-control hook: the analysis service sizes and
+        cost-estimates a submitted sweep from this grid *before*
+        queueing it, without building any engine jobs.
+        """
+        return self._feasible(nest, threads, chunks)
+
     def point_jobs(
         self,
         nest: ParallelLoopNest,

@@ -26,6 +26,8 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import to_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -65,4 +67,6 @@ __all__ = [
     "metrics_snapshot",
     "write_chrome_trace",
     "write_metrics",
+    "PROMETHEUS_CONTENT_TYPE",
+    "to_prometheus",
 ]

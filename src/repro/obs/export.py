@@ -139,12 +139,19 @@ def write_metrics(
     """Dump a registry snapshot to ``path``; returns the snapshot.
 
     ``*.csv`` paths get ``kind,name,value`` rows (histograms flattened
-    to count/sum/mean); anything else gets pretty-printed JSON.
+    to count/sum/mean); ``*.prom`` paths get Prometheus text exposition
+    format (:func:`repro.obs.prometheus.to_prometheus`); anything else
+    gets pretty-printed JSON.
     """
+    from repro.obs.prometheus import to_prometheus
+
     snap = metrics_snapshot(registry)
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
-    if p.suffix.lower() == ".csv":
+    if p.suffix.lower() == ".prom":
+        p.write_text(to_prometheus(registry or get_registry()),
+                     encoding="utf-8")
+    elif p.suffix.lower() == ".csv":
         with p.open("w", encoding="utf-8", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(["kind", "name", "value"])

@@ -1,0 +1,126 @@
+"""Prometheus text-exposition export for the metrics registry.
+
+:func:`to_prometheus` renders every metric of a
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+exposition format (version 0.0.4) — the format a ``GET /metrics``
+scrape endpoint serves and ``promtool check metrics`` accepts::
+
+    # HELP engine_cache_hits_total engine jobs served from the result store
+    # TYPE engine_cache_hits_total counter
+    engine_cache_hits_total 12
+
+Histograms expand to the conventional ``_bucket{le="..."}`` cumulative
+series plus ``_sum`` and ``_count``; the registry's per-bucket counts
+are cumulated here so the stored representation stays additive under
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`.
+
+Everything is stdlib-only; the service's ``/metrics`` endpoint and the
+``--metrics-out x.prom`` CLI flag both call :func:`to_prometheus`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import HistogramChild, MetricsRegistry, get_registry
+
+__all__ = ["CONTENT_TYPE", "to_prometheus"]
+
+#: The scrape response Content-Type for this exposition version.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+def _sanitize(name: str, pattern: re.Pattern) -> str:
+    """Coerce a name into the Prometheus charset (invalid chars -> _)."""
+    if pattern.fullmatch(name):
+        return name
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers stay integral, specials spelled
+    the Prometheus way (``+Inf`` / ``-Inf`` / ``NaN``)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        (_sanitize(str(k), _LABEL_RE), _escape_label(str(v)))
+        for k, v in sorted(labels.items())
+    ]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def to_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render ``registry`` (default: the process registry) as Prometheus
+    text exposition format.
+
+    Counters and gauges emit one sample per labeled child; histograms
+    emit cumulative ``_bucket`` series (ending in ``le="+Inf"``) plus
+    ``_sum`` and ``_count``.  Families with no children yet are skipped
+    — Prometheus has no notion of a declared-but-never-sampled series.
+    """
+    registry = registry or get_registry()
+    lines: list[str] = []
+    for metric in registry.metrics():
+        children = metric.children()
+        if not children:
+            continue
+        name = _sanitize(metric.name, _NAME_RE)
+        if metric.help:
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        for child in children:
+            if metric.kind == "histogram":
+                assert isinstance(child, HistogramChild)
+                cumulative = 0
+                for bound, count in zip(child.bounds, child.bucket_counts):
+                    cumulative += count
+                    le = "+Inf" if math.isinf(bound) else _fmt(bound)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(child.labels, (('le', le),))}"
+                        f" {_fmt(cumulative)}"
+                    )
+                if not math.isinf(child.bounds[-1]):
+                    # Defensive: custom bucket tuples without an +Inf
+                    # bound still need the mandatory terminal bucket.
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(child.labels, (('le', '+Inf'),))}"
+                        f" {_fmt(child.count)}"
+                    )
+                labels = _labels_text(child.labels)
+                lines.append(f"{name}_sum{labels} {_fmt(child.sum)}")
+                lines.append(f"{name}_count{labels} {_fmt(child.count)}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(child.labels)} {_fmt(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

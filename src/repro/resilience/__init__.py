@@ -29,7 +29,9 @@ from repro.resilience.errors import (
     CostModelError,
     EngineError,
     FaultInjectedError,
+    JobCancelledError,
     ModelError,
+    QuotaExceededError,
     ReproError,
     SourceSpan,
     StoreError,
@@ -69,8 +71,10 @@ __all__ = [
     "FaultInjectedError",
     "FaultPlan",
     "FaultSpec",
+    "JobCancelledError",
     "LadderOutcome",
     "ModelError",
+    "QuotaExceededError",
     "ReproError",
     "SourceSpan",
     "StoreError",

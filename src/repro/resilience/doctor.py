@@ -223,6 +223,78 @@ def _check_partial() -> str:
     return "failure isolation, breaker trip and report round-trip hold"
 
 
+def _check_service() -> str:
+    """Service plumbing: socket bind, tenants parsing, store
+    writability, queue-state persistence round-trip."""
+    import json
+    import socket
+    from pathlib import Path
+
+    from repro.engine import Engine
+    from repro.engine.store import ResultStore
+    from repro.service.queue import JobQueue, JobRequest
+    from repro.service.tenants import TenantRegistry
+
+    # 1. a TCP socket is bindable (ephemeral port, immediately released)
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+    if not port:
+        raise AssertionError("could not bind an ephemeral TCP port")
+
+    with tempfile.TemporaryDirectory(prefix="repro-doctor-svc-") as root:
+        # 2. a well-formed tenants file parses; a malformed one is U102
+        tenants_path = Path(root) / "tenants.json"
+        tenants_path.write_text(json.dumps({"tenants": [
+            {"name": "doctor", "api_key": "sk-doctor",
+             "max_queued_jobs": 2, "max_cells_per_job": 64},
+        ]}), encoding="utf-8")
+        registry = TenantRegistry.from_file(tenants_path)
+        if registry.authenticate("sk-doctor") is None:
+            raise AssertionError("tenants file did not authenticate its key")
+        try:
+            TenantRegistry.from_file(__file__)  # python source != JSON
+        except UsageError as exc:
+            if exc.code != "REPRO-U102":
+                raise AssertionError(
+                    f"bad tenants file raised {exc.code}, not U102"
+                )
+        else:
+            raise AssertionError("malformed tenants file accepted")
+
+        # 3. the service's store dir is writable
+        store = ResultStore(Path(root) / "store")
+        store.put("cd" * 32, {"value": 1}, kind="doctor")
+        if store.get("cd" * 32) is None:
+            raise AssertionError("service store round-trip failed")
+
+        # 4. queue-state persistence round-trips one queued job
+        state_path = Path(root) / "queue-state.json"
+        engine = Engine(jobs=1, store=store)
+        queue = JobQueue(registry, engine, concurrency=1,
+                         state_path=state_path)
+        tenant = registry.authenticate("sk-doctor")
+        queue.submit(tenant, JobRequest(source=_SERVICE_KERNEL,
+                                        threads=(2,), chunks=(1,)))
+        queue.save_state()
+        restored_queue = JobQueue(registry, Engine(jobs=1, store=store),
+                                  concurrency=1, state_path=state_path)
+        if restored_queue.load_state() != 1:
+            raise AssertionError("queue state did not restore the job")
+    return "port bindable; tenants parse; store writable; state round-trips"
+
+
+_SERVICE_KERNEL = """
+#define N 16
+double a[N];
+void doctor_probe(void) {
+    int i;
+    #pragma omp parallel for schedule(static,1)
+    for (i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+}
+"""
+
+
 _CHECKS: tuple[tuple[str, Callable[[], str]], ...] = (
     ("error-codes", _check_error_codes),
     ("taxonomy-compat", _check_taxonomy),
@@ -231,6 +303,7 @@ _CHECKS: tuple[tuple[str, Callable[[], str]], ...] = (
     ("fault-injection", _check_faults),
     ("result-store", _check_store),
     ("partial-results", _check_partial),
+    ("service-plumbing", _check_service),
 )
 
 

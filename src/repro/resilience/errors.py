@@ -52,7 +52,9 @@ __all__ = [
     "CostModelError",
     "EngineError",
     "FaultInjectedError",
+    "JobCancelledError",
     "ModelError",
+    "QuotaExceededError",
     "ReproError",
     "SourceSpan",
     "StoreError",
@@ -263,6 +265,8 @@ class UsageError(ReproError, ValueError):
 
 register_code("REPRO-U002", "malformed -D macro definition")
 register_code("REPRO-U003", "no OpenMP parallel-for loops found in input")
+register_code("REPRO-U101", "malformed service request body or job spec")
+register_code("REPRO-U102", "malformed tenants file")
 
 
 # -- model / resource --------------------------------------------------------
@@ -313,6 +317,25 @@ register_code(
 )
 
 
+class QuotaExceededError(ReproError):
+    """A service tenant hit one of its admission quotas (HTTP 429).
+
+    The resource category maps to CLI exit 4 and, through the service's
+    status table, to HTTP 429 — quota rejections are back-pressure, not
+    bugs.  ``context`` names the ``quota`` (``queued_jobs`` / ``cells``
+    / ``steps`` / ``rate``), the ``limit`` and the offending value.
+    """
+
+    code = register_code("REPRO-R101", "tenant job-queue quota exceeded")
+    category = "resource"
+
+
+register_code("REPRO-R102", "tenant rate limit exceeded (token bucket empty)")
+register_code(
+    "REPRO-R103", "job exceeds the tenant's per-job cell/step budget"
+)
+
+
 # -- engine ------------------------------------------------------------------
 
 
@@ -340,6 +363,20 @@ class WorkerTimeoutError(EngineError):
     """A job overran the pool's per-job wall-clock budget."""
 
     code = register_code("REPRO-E103", "engine job timed out")
+
+
+class JobCancelledError(EngineError):
+    """A job was cancelled before or while running.
+
+    Raised (or surfaced as a per-job outcome) when a worker pool drains
+    on SIGTERM/SIGINT or a service client DELETEs its job: in-flight
+    work finishes, pending work reports this code instead of a
+    traceback.
+    """
+
+    code = register_code(
+        "REPRO-E104", "job cancelled by shutdown drain or client request"
+    )
 
 
 class CircuitOpenError(EngineError):

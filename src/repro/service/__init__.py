@@ -1,0 +1,41 @@
+"""``repro.service`` — analysis-as-a-service over HTTP/JSON.
+
+PR-7 layer: a stdlib-only daemon (``repro-fs serve``) that accepts
+kernel source + machine/schedule grids over ``POST /v1/jobs``, runs
+the sweeps through one shared, memoizing
+:class:`~repro.engine.Engine`, streams per-cell results back as NDJSON
+while they compute, and exposes its own health on a Prometheus
+``/metrics`` endpoint.
+
+Layout::
+
+    tenants.py   API keys, quotas, token-bucket rate limits
+    queue.py     admission control + worker threads + drain persistence
+    api.py       ThreadingHTTPServer routes, REPRO-* → HTTP mapping
+    client.py    stdlib urllib client (scripts, CI smoke, tests)
+    daemon.py    boot/serve/SIGTERM-drain lifecycle
+
+See ``docs/SERVICE.md`` for the API reference and runbook.
+"""
+
+from repro.service.api import STATUS_BY_EXIT, make_server
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import ServeConfig, build_queue, serve
+from repro.service.queue import JobQueue, JobRequest, ServiceJob
+from repro.service.tenants import TenantConfig, TenantRegistry, TokenBucket
+
+__all__ = [
+    "STATUS_BY_EXIT",
+    "make_server",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServeConfig",
+    "build_queue",
+    "serve",
+    "JobQueue",
+    "JobRequest",
+    "ServiceJob",
+    "TenantConfig",
+    "TenantRegistry",
+    "TokenBucket",
+]

@@ -1,0 +1,217 @@
+"""A tiny stdlib client for the analysis service.
+
+Wraps the HTTP/JSON API in typed helpers so scripts, tests and the CI
+smoke job never hand-roll ``urllib`` calls::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8377", api_key="sk-alice")
+    job = client.submit(source=open("kernel.c").read(), threads=[2, 4])
+    for row in client.stream(job["id"]):     # live NDJSON rows
+        print(row["type"], row)
+    final = client.wait(job["id"])           # poll until terminal
+
+Server-side ``REPRO-*`` rejections surface as
+:class:`ServiceClientError` carrying the HTTP status and the
+structured error document, so callers can branch on
+``exc.code``/``exc.status`` exactly like the CLI branches on exit
+codes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """A non-2xx response, carrying the server's structured error."""
+
+    def __init__(self, status: int, error: Mapping[str, Any] | None):
+        self.status = status
+        self.error = dict(error or {})
+        #: The stable ``REPRO-*`` diagnostic code, when the server sent one.
+        self.code = str(self.error.get("code", ""))
+        message = self.error.get("message", "no error document")
+        super().__init__(f"HTTP {status} [{self.code or '?'}]: {message}")
+
+
+class ServiceClient:
+    """HTTP client for one service endpoint (and optionally one tenant)."""
+
+    def __init__(
+        self,
+        base_url: str,
+        api_key: str | None = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.api_key = api_key
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> urllib.request.Request:
+        headers = {"Accept": "application/json"}
+        if self.api_key:
+            headers["X-Api-Key"] = self.api_key
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        return urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+
+    def _json(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> dict:
+        req = self._request(method, path, body)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._wrap(exc) from exc
+
+    @staticmethod
+    def _wrap(exc: urllib.error.HTTPError) -> ServiceClientError:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+            error = doc.get("error")
+        except (ValueError, OSError):
+            error = None
+        return ServiceClientError(exc.code, error)
+
+    # -- API -----------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The service's liveness document."""
+        return self._json("GET", "/healthz")
+
+    def submit(
+        self,
+        source: str,
+        threads: Sequence[int] | None = None,
+        chunks: Sequence[int] | None = None,
+        **options: Any,
+    ) -> dict:
+        """``POST /v1/jobs``; returns the 202 document (``id`` inside).
+
+        ``options`` passes through any other :class:`JobRequest` field
+        (``cores``, ``mode``, ``exact``, ``macros``, ``deadline_s``,
+        ``max_iters``, ...).
+        """
+        body: dict[str, Any] = {"source": source, **options}
+        if threads is not None:
+            body["threads"] = list(threads)
+        if chunks is not None:
+            body["chunks"] = list(chunks)
+        return self._json("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}``."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """This tenant's jobs, oldest first."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def results(self, job_id: str) -> dict:
+        """All rows produced so far (non-streaming snapshot)."""
+        return self._json("GET", f"/v1/jobs/{job_id}/results")
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """``GET .../results?stream=1`` — yield NDJSON rows as they
+        arrive, ending when the job reaches a terminal state."""
+        req = self._request("GET", f"/v1/jobs/{job_id}/results?stream=1")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                for raw in resp:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._wrap(exc) from exc
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /v1/jobs/{id}``."""
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 120.0, poll_s: float = 0.15
+    ) -> dict:
+        """Poll until the job is terminal; returns its final status doc."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.status(job_id)
+            if doc["status"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['status']!r} after "
+                    f"{timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def wait_ready(self, timeout_s: float = 15.0, poll_s: float = 0.1) -> dict:
+        """Block until ``/healthz`` answers (daemon boot helper)."""
+        deadline = time.monotonic() + timeout_s
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                last = exc
+                time.sleep(poll_s)
+        raise TimeoutError(
+            f"service at {self.base_url} not ready after {timeout_s:g}s: "
+            f"{last}"
+        )
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus text exposition."""
+        req = self._request("GET", "/metrics")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._wrap(exc) from exc
+
+    def metric_value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float | None:
+        """One sample's value from ``/metrics``, or ``None`` if absent.
+
+        ``labels`` must match the sample's label set exactly (order
+        does not matter) — a subset does not match.
+        """
+        want = dict(labels or {})
+        for line in self.metrics().splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            metric, _, value = line.rpartition(" ")
+            if "{" in metric:
+                mname, _, rest = metric.partition("{")
+                pairs = {}
+                for item in rest.rstrip("}").split(","):
+                    if not item:
+                        continue
+                    k, _, v = item.partition("=")
+                    pairs[k] = v.strip('"')
+            else:
+                mname, pairs = metric, {}
+            if mname == name and pairs == want:
+                try:
+                    return float(value)
+                except ValueError:
+                    return None
+        return None

@@ -1,0 +1,151 @@
+"""Daemon lifecycle: boot, serve, drain on SIGTERM/SIGINT, exit 0.
+
+:func:`serve` is what ``repro-fs serve`` runs.  Boot order:
+
+1. load tenants (``--tenants-file`` or the key-less ``public`` default),
+2. build the shared :class:`~repro.engine.Engine` (one result store →
+   cross-tenant warm cache),
+3. restore any queue state persisted by a previous drain
+   (:meth:`JobQueue.load_state`),
+4. start the queue workers and the ``ThreadingHTTPServer`` (HTTP runs
+   on a background thread; the main thread parks on a shutdown event).
+
+Shutdown contract (the part ops scripts rely on): the **first**
+SIGTERM or SIGINT flips the service into draining mode —
+
+* ``/healthz`` reports ``draining`` and new submissions answer 503
+  (``REPRO-E104``),
+* streaming readers are released with an ``interrupted`` row,
+* in-flight sweep batches run to completion; running jobs are then
+  parked back into the queue,
+* queue state is persisted atomically to ``--state-file``,
+* the process exits **0**.
+
+A restart with the same ``--state-file`` re-queues the parked jobs,
+and because every finished cell lives in the content-addressed store,
+re-execution is served almost entirely from cache — drains are cheap
+by construction.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine import Engine
+from repro.service.queue import JobQueue
+from repro.service.tenants import TenantRegistry
+from repro.util import get_logger
+
+__all__ = ["ServeConfig", "build_queue", "serve"]
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``repro-fs serve`` needs to boot a daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    #: Engine worker processes (sweep cells run here).
+    workers: int = 2
+    #: Queue worker threads (jobs progressing concurrently).
+    concurrency: int = 2
+    batch_cells: int = 16
+    tenants_file: str | None = None
+    #: Queue-state file for drain/restart round trips.
+    state_file: str | None = None
+    #: Result-store override; ``None`` = the shared default cache dir.
+    store_dir: str | None = None
+    use_cache: bool = True
+    timeout_s: float | None = None
+
+    def tenants(self) -> TenantRegistry:
+        if self.tenants_file:
+            return TenantRegistry.from_file(self.tenants_file)
+        return TenantRegistry.default()
+
+
+def build_queue(config: ServeConfig) -> JobQueue:
+    """Tenants + engine + queue, wired but not yet started."""
+    from repro.engine import ResultStore
+
+    store = None
+    if config.store_dir:
+        store = ResultStore(Path(config.store_dir))
+    engine = Engine(
+        jobs=config.workers,
+        use_cache=config.use_cache,
+        store=store,
+        timeout_s=config.timeout_s,
+    )
+    return JobQueue(
+        config.tenants(),
+        engine,
+        concurrency=config.concurrency,
+        batch_cells=config.batch_cells,
+        state_path=config.state_file,
+    )
+
+
+def serve(config: ServeConfig, ready=None, stop_event=None) -> int:
+    """Run the daemon until a signal (or ``stop_event``) drains it.
+
+    ``ready`` (optional callable) fires with the bound
+    :class:`~repro.service.api.ServiceServer` once the socket is
+    listening — tests use it to learn the ephemeral port.
+    ``stop_event`` substitutes for the signal handlers when serving
+    from a thread that cannot own them.  Returns the process exit code
+    (0 for a clean drain).
+    """
+    from repro.service.api import make_server
+
+    queue = build_queue(config)
+    restored = queue.load_state()
+    if restored:
+        logger.info("restored %d drained job(s) from %s",
+                    restored, config.state_file)
+    queue.start()
+    server = make_server(config.host, config.port, queue)
+    host, port = server.server_address[:2]
+    logger.info(
+        "repro-fs service listening on %s:%d (%d tenant(s), "
+        "%d engine worker(s), %d queue worker(s))",
+        host, port, len(queue.tenants), config.workers, config.concurrency,
+    )
+
+    shutdown = stop_event if stop_event is not None else threading.Event()
+
+    if stop_event is None and threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):  # noqa: ARG001 - signal API
+            logger.info(
+                "received %s: draining", signal.Signals(signum).name
+            )
+            shutdown.set()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    http_thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.1},
+        name="repro-svc-http", daemon=True,
+    )
+    http_thread.start()
+    if ready is not None:
+        ready(server)
+
+    try:
+        shutdown.wait()
+    finally:
+        # Drain: release streaming readers, stop accepting, finish
+        # in-flight batches, persist the queue, exit clean.
+        server.draining.set()
+        queue.drain(persist=True)
+        server.shutdown()
+        http_thread.join(timeout=5.0)
+        server.server_close()
+        logger.info("drain complete; exiting 0")
+    return 0

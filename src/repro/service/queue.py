@@ -1,0 +1,866 @@
+"""The multi-tenant job queue feeding one shared analysis engine.
+
+Submission flow (:meth:`JobQueue.submit`)::
+
+    rate bucket ──► queued-jobs quota ──► parse kernels ──► grid size +
+    step estimate vs tenant budget ──► ServiceJob(queued) ──► worker
+
+Admission rejections raise structured resource errors (``REPRO-R101``
+rate/quota, ``REPRO-R102`` token bucket, ``REPRO-R103`` oversized job)
+that the HTTP layer maps to 429; frontend errors from the submit-time
+parse keep their ``REPRO-F*`` codes and map to 422.  Nothing about a
+rejected job ever reaches the engine.
+
+Execution: ``concurrency`` worker threads pull queued jobs and run
+their sweep grids through the **shared** :class:`repro.engine.Engine`
+in small batches (``batch_cells`` cells per call, serialized by a
+lock).  Sharing one engine means one result store: a cell any tenant
+ever computed is a warm cache hit for every other tenant, and batching
+keeps cancellation (client ``DELETE`` or SIGTERM drain) responsive —
+at most one batch of cells is in flight per job when the stop signal
+lands.
+
+Per-cell results stream: each terminal cell immediately appends an
+NDJSON-ready row to its job (``type: cell`` for successes, ``type:
+diagnostic`` carrying the stable ``REPRO-*`` code for isolated
+failures — :class:`~repro.resilience.partial.FailurePolicy` keep-going
+semantics, so one broken cell never kills the sweep), and
+:meth:`ServiceJob.stream` hands them to waiting HTTP readers as they
+land.
+
+Drain (:meth:`JobQueue.drain`): stop admitting, let the in-flight
+batch finish, park running jobs back in the queue, persist queue state
+to disk (:meth:`save_state`) and join the workers.  On restart,
+:meth:`load_state` re-queues the parked jobs — their already-computed
+cells live in the content-addressed store, so re-execution is served
+almost entirely warm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.engine import Engine
+from repro.machine import paper_machine
+from repro.model.whatif import SweepPoint, WhatIfSweep
+from repro.obs import get_registry, span
+from repro.resilience.budget import Budget, estimate_cost
+from repro.resilience.errors import (
+    CircuitOpenError,
+    JobCancelledError,
+    QuotaExceededError,
+    ReproError,
+    UsageError,
+)
+from repro.resilience.partial import FailurePolicy, FailureReport
+from repro.service.tenants import TenantConfig, TenantRegistry
+from repro.util import get_logger
+
+__all__ = ["JobQueue", "JobRequest", "ServiceJob", "STATUSES"]
+
+logger = get_logger(__name__)
+
+#: Job lifecycle states.  queued → running → {done, failed, cancelled};
+#: a drain parks running jobs back at queued.
+STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Hard ceiling on grid-axis lengths, independent of tenant quotas —
+#: keeps a malformed request from allocating an absurd grid before the
+#: per-tenant cell quota is even consulted.
+_MAX_AXIS = 256
+
+_QUEUE_STATE_VERSION = 1
+
+
+def _usage(message: str) -> UsageError:
+    return UsageError(message, code="REPRO-U101")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One submitted analysis: kernel source + machine/schedule grid.
+
+    The wire form (``POST /v1/jobs`` body) is :meth:`from_dict` /
+    :meth:`to_dict`; the same round trip persists queued jobs across a
+    daemon restart.
+    """
+
+    source: str
+    filename: str = "<job>"
+    threads: tuple[int, ...] = (2, 4, 8)
+    chunks: tuple[int, ...] = (1, 2, 4, 8, 16)
+    cores: int = 48
+    mode: str = "invalidate"
+    #: ``True`` requests the exact model per cell (subject to budgets),
+    #: ``False`` the regression predictor.
+    exact: bool = False
+    predictor_runs: int = 8
+    macros: Mapping[str, int] = field(default_factory=dict)
+    deadline_s: float | None = None
+    max_iters: int | None = None
+    max_failure_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.source.strip():
+            raise _usage("request carries no kernel source")
+        for axis_name, axis in (("threads", self.threads),
+                                ("chunks", self.chunks)):
+            if not axis:
+                raise _usage(f"{axis_name} list must be non-empty")
+            if len(axis) > _MAX_AXIS:
+                raise _usage(
+                    f"{axis_name} list longer than {_MAX_AXIS} entries"
+                )
+            if any(v < 1 for v in axis):
+                raise _usage(f"{axis_name} values must be >= 1")
+        if self.cores < 1:
+            raise _usage("cores must be >= 1")
+        if self.mode not in ("invalidate", "literal"):
+            raise _usage(f"unknown mode {self.mode!r}")
+        if self.predictor_runs < 1:
+            raise _usage("predictor_runs must be >= 1")
+        if not 0.0 <= self.max_failure_rate <= 1.0:
+            raise _usage("max_failure_rate must be in [0, 1]")
+
+    def budget(self) -> Budget | None:
+        """The per-cell resource budget this request asks for."""
+        if self.deadline_s is None and self.max_iters is None:
+            return None
+        return Budget(deadline_s=self.deadline_s, max_steps=self.max_iters)
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "source": self.source,
+            "filename": self.filename,
+            "threads": list(self.threads),
+            "chunks": list(self.chunks),
+            "cores": self.cores,
+            "mode": self.mode,
+            "exact": self.exact,
+            "predictor_runs": self.predictor_runs,
+        }
+        if self.macros:
+            doc["macros"] = dict(self.macros)
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.max_iters is not None:
+            doc["max_iters"] = self.max_iters
+        if self.max_failure_rate != 1.0:
+            doc["max_failure_rate"] = self.max_failure_rate
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "JobRequest":
+        """Validate a wire/persisted request (``REPRO-U101`` on junk)."""
+        if not isinstance(doc, Mapping):
+            raise _usage(
+                f"request body must be a JSON object, got "
+                f"{type(doc).__name__}"
+            )
+        unknown = set(doc) - {
+            "source", "filename", "threads", "chunks", "cores", "mode",
+            "exact", "predictor_runs", "macros", "deadline_s",
+            "max_iters", "max_failure_rate",
+        }
+        if unknown:
+            raise _usage(f"request has unknown fields: {sorted(unknown)}")
+        if not isinstance(doc.get("source"), str):
+            raise _usage("request field 'source' must be a string")
+        macros = doc.get("macros", {})
+        if not isinstance(macros, Mapping):
+            raise _usage("request field 'macros' must be an object")
+        try:
+            return cls(
+                source=doc["source"],
+                filename=str(doc.get("filename", "<job>")),
+                threads=tuple(int(t) for t in doc.get("threads", (2, 4, 8))),
+                chunks=tuple(
+                    int(c) for c in doc.get("chunks", (1, 2, 4, 8, 16))
+                ),
+                cores=int(doc.get("cores", 48)),
+                mode=str(doc.get("mode", "invalidate")),
+                exact=bool(doc.get("exact", False)),
+                predictor_runs=int(doc.get("predictor_runs", 8)),
+                macros={str(k): int(v) for k, v in macros.items()},
+                deadline_s=(
+                    None if doc.get("deadline_s") is None
+                    else float(doc["deadline_s"])
+                ),
+                max_iters=(
+                    None if doc.get("max_iters") is None
+                    else int(doc["max_iters"])
+                ),
+                max_failure_rate=float(doc.get("max_failure_rate", 1.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ReproError):
+                raise
+            raise _usage(f"malformed request field: {exc}") from exc
+
+
+class ServiceJob:
+    """One tenant job: request, lifecycle state and streamed rows.
+
+    Rows are JSON-able dicts with a ``type`` discriminator (``cell`` /
+    ``diagnostic`` / ``summary``); readers follow them live through
+    :meth:`stream` while the sweep runs.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        request: JobRequest,
+        cells_total: int,
+        job_id: str | None = None,
+        created_at: float | None = None,
+    ) -> None:
+        self.id = job_id or uuid.uuid4().hex[:20]
+        self.tenant = tenant
+        self.request = request
+        self.cells_total = cells_total
+        self.created_at = created_at if created_at is not None else time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.status = "queued"
+        self.error: dict | None = None
+        #: Set once the job was parked by a drain (for status/runbooks).
+        self.requeues = 0
+        self.cells_done = 0
+        self.cells_failed = 0
+        self.cells_cached = 0
+        self.cancel_event = threading.Event()
+        self._rows: list[dict] = []
+        self._cond = threading.Condition()
+
+    # -- state transitions (called by the queue) -----------------------------
+
+    def _set_status(self, status: str, error: dict | None = None) -> None:
+        assert status in STATUSES, status
+        with self._cond:
+            self.status = status
+            if status == "running" and self.started_at is None:
+                self.started_at = time.time()
+            if status in ("done", "failed", "cancelled"):
+                self.finished_at = time.time()
+            if error is not None:
+                self.error = error
+            self._cond.notify_all()
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    # -- rows ----------------------------------------------------------------
+
+    def append_row(self, row: dict) -> None:
+        with self._cond:
+            self._rows.append(row)
+            self._cond.notify_all()
+
+    def rows(self) -> list[dict]:
+        """Snapshot of every row produced so far."""
+        with self._cond:
+            return list(self._rows)
+
+    def stream(
+        self,
+        poll_s: float = 0.2,
+        should_abort=None,
+    ) -> Iterator[dict]:
+        """Yield rows as they land, finishing when the job is terminal.
+
+        ``should_abort`` (optional callable) lets the HTTP layer break
+        a long-poll when the server itself is draining; the iterator
+        then ends after an ``interrupted`` row instead of blocking on a
+        job that was parked back into the queue.
+        """
+        i = 0
+        while True:
+            with self._cond:
+                while (
+                    i >= len(self._rows)
+                    and not self.terminal
+                    and not (should_abort is not None and should_abort())
+                ):
+                    self._cond.wait(timeout=poll_s)
+                rows = self._rows[i:]
+                i = len(self._rows)
+                terminal = self.terminal
+            for row in rows:
+                yield row
+            if terminal:
+                return
+            if should_abort is not None and should_abort():
+                yield {
+                    "type": "interrupted",
+                    "job": self.id,
+                    "status": self.status,
+                    "reason": "server draining; job state persisted",
+                }
+                return
+
+    # -- wire forms ----------------------------------------------------------
+
+    def status_doc(self) -> dict:
+        """The ``GET /v1/jobs/{id}`` document."""
+        with self._cond:
+            doc: dict[str, Any] = {
+                "id": self.id,
+                "tenant": self.tenant,
+                "status": self.status,
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "cells": {
+                    "total": self.cells_total,
+                    "done": self.cells_done,
+                    "failed": self.cells_failed,
+                    "from_cache": self.cells_cached,
+                },
+                "rows": len(self._rows),
+                "requeues": self.requeues,
+            }
+            if self.error is not None:
+                doc["error"] = self.error
+            return doc
+
+    def persist_doc(self) -> dict:
+        """The queue-state form (enough to re-queue after a restart)."""
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "created_at": self.created_at,
+            "requeues": self.requeues,
+            "request": self.request.to_dict(),
+        }
+
+
+class JobQueue:
+    """Admission control + worker threads over one shared engine."""
+
+    def __init__(
+        self,
+        tenants: TenantRegistry,
+        engine: Engine,
+        concurrency: int = 2,
+        batch_cells: int = 16,
+        state_path: str | os.PathLike | None = None,
+    ) -> None:
+        if concurrency < 1:
+            raise UsageError("concurrency must be >= 1")
+        if batch_cells < 1:
+            raise UsageError("batch_cells must be >= 1")
+        self.tenants = tenants
+        self.engine = engine
+        self.concurrency = concurrency
+        self.batch_cells = batch_cells
+        self.state_path = Path(state_path) if state_path else None
+        self._jobs: dict[str, ServiceJob] = {}
+        self._pending: deque[str] = deque()
+        self._cond = threading.Condition()
+        self._engine_lock = threading.Lock()
+        self._draining = False
+        self._threads: list[threading.Thread] = []
+        reg = get_registry()
+        self._m_jobs = reg.counter(
+            "service_jobs_total",
+            "service jobs by tenant and terminal status",
+        )
+        self._m_cells = reg.counter(
+            "service_cells_total",
+            "sweep cells evaluated by the service, by terminal status",
+        )
+        self._m_rejections = reg.counter(
+            "service_rejections_total",
+            "jobs rejected at admission, by quota guard",
+        )
+        self._m_queued = reg.gauge(
+            "service_jobs_queued", "jobs currently waiting in the queue"
+        )
+        self._m_running = reg.gauge(
+            "service_jobs_running", "jobs currently executing"
+        )
+        self._m_job_seconds = reg.histogram(
+            "service_job_seconds", "wall time of completed service jobs"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._draining = False
+        for i in range(self.concurrency):
+            t = threading.Thread(
+                target=self._worker, name=f"repro-svc-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def drain(self, persist: bool = True, timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: finish in-flight cells, park running jobs,
+        persist queue state, stop the workers.
+
+        The engine pool is closed *after* the workers notice the drain,
+        so the batch each worker has in flight completes with real
+        results; anything later resolves as ``REPRO-E104``.
+        """
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+        deadline = time.monotonic() + timeout_s
+        for t in self._threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        self.engine.close(drain=True)
+        self._threads = []
+        if persist:
+            self.save_state()
+        logger.info(
+            "queue drained: %d job(s) left queued", len(self._pending)
+        )
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, tenant: TenantConfig, request: JobRequest) -> ServiceJob:
+        """Admit one job for ``tenant`` or raise a structured error.
+
+        Checks, in order: drain state (503 via ``REPRO-E104``), the
+        tenant's token bucket (``REPRO-R102``), its queued-jobs quota
+        (``REPRO-R101``), the submit-time parse (``REPRO-F*``), and the
+        grid-size/step-estimate budget (``REPRO-R103``).
+        """
+        if self._draining:
+            raise JobCancelledError(
+                "service is draining; resubmit after restart"
+            )
+        if not self.tenants.bucket(tenant).try_acquire():
+            self._m_rejections.labels(quota="rate").inc()
+            raise QuotaExceededError(
+                f"tenant {tenant.name!r} exceeded its submission rate "
+                f"({tenant.rate_per_s:g}/s, burst {tenant.burst})",
+                code="REPRO-R102",
+                context={"quota": "rate", "tenant": tenant.name,
+                         "limit": tenant.rate_per_s},
+            )
+        with self._cond:
+            active = sum(
+                1 for j in self._jobs.values()
+                if j.tenant == tenant.name and j.status in ("queued", "running")
+            )
+        if active >= tenant.max_queued_jobs:
+            self._m_rejections.labels(quota="queued_jobs").inc()
+            raise QuotaExceededError(
+                f"tenant {tenant.name!r} already has {active} queued/"
+                f"running job(s) (limit {tenant.max_queued_jobs})",
+                code="REPRO-R101",
+                context={"quota": "queued_jobs", "tenant": tenant.name,
+                         "limit": tenant.max_queued_jobs,
+                         "active": active},
+            )
+        cells_total = self._admit_grid(tenant, request)
+        job = ServiceJob(
+            tenant=tenant.name, request=request, cells_total=cells_total
+        )
+        self._enqueue(job)
+        logger.info(
+            "job %s admitted for %s: %d cell(s)",
+            job.id, tenant.name, cells_total,
+        )
+        return job
+
+    def _admit_grid(self, tenant: TenantConfig, request: JobRequest) -> int:
+        """Parse + size the request's sweep; enforce the cell/step
+        budget.  Returns the total feasible cell count."""
+        kernels = self._parse(request)
+        machine = paper_machine(num_cores=request.cores)
+        sweep = self._sweep_for(request)
+        cells = 0
+        steps = 0
+        for kernel in kernels:
+            grid = sweep.feasible_grid(
+                kernel.nest, request.threads, request.chunks
+            )
+            cells += len(grid)
+            if tenant.max_steps_per_job is not None:
+                for threads, chunk in grid:
+                    steps += estimate_cost(
+                        kernel.nest, threads, machine, chunk=chunk
+                    ).steps
+        if cells > tenant.max_cells_per_job:
+            self._m_rejections.labels(quota="cells").inc()
+            raise QuotaExceededError(
+                f"job spans {cells:,} cells; tenant {tenant.name!r} "
+                f"allows {tenant.max_cells_per_job:,} per job",
+                code="REPRO-R103",
+                context={"quota": "cells", "tenant": tenant.name,
+                         "limit": tenant.max_cells_per_job,
+                         "estimate": cells},
+            )
+        if (
+            tenant.max_steps_per_job is not None
+            and steps > tenant.max_steps_per_job
+        ):
+            self._m_rejections.labels(quota="steps").inc()
+            raise QuotaExceededError(
+                f"job's estimated {steps:,} lockstep steps exceed tenant "
+                f"{tenant.name!r}'s budget of "
+                f"{tenant.max_steps_per_job:,}",
+                code="REPRO-R103",
+                context={"quota": "steps", "tenant": tenant.name,
+                         "limit": tenant.max_steps_per_job,
+                         "estimate": steps},
+            )
+        return cells
+
+    @staticmethod
+    def _parse(request: JobRequest):
+        from repro.frontend import parse_c_source
+
+        return parse_c_source(
+            request.source,
+            extra_macros=dict(request.macros),
+            filename=request.filename,
+        )
+
+    @staticmethod
+    def _sweep_for(request: JobRequest) -> WhatIfSweep:
+        return WhatIfSweep(
+            paper_machine(num_cores=request.cores),
+            use_predictor=not request.exact,
+            predictor_runs=request.predictor_runs,
+            mode=request.mode,
+        )
+
+    def _enqueue(self, job: ServiceJob, front: bool = False) -> None:
+        with self._cond:
+            self._jobs[job.id] = job
+            if front:
+                self._pending.appendleft(job.id)
+            else:
+                self._pending.append(job.id)
+            self._m_queued.set(len(self._pending))
+            self._cond.notify()
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str, tenant: TenantConfig | None = None) -> ServiceJob | None:
+        """The job, or ``None`` if unknown / owned by another tenant."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        if tenant is not None and job.tenant != tenant.name:
+            return None
+        return job
+
+    def jobs(self) -> list[ServiceJob]:
+        with self._cond:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str, tenant: TenantConfig | None = None) -> ServiceJob | None:
+        """Request cancellation; immediate for queued jobs, at the next
+        batch boundary for running ones.  Returns the job or ``None``."""
+        job = self.get(job_id, tenant)
+        if job is None:
+            return None
+        job.cancel_event.set()
+        with self._cond:
+            if job.status == "queued":
+                try:
+                    self._pending.remove(job.id)
+                except ValueError:
+                    pass
+                self._m_queued.set(len(self._pending))
+                self._finish(job, "cancelled")
+        return job
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _next_job(self) -> ServiceJob | None:
+        with self._cond:
+            while not self._pending and not self._draining:
+                self._cond.wait(timeout=0.2)
+                if not self._pending:
+                    return None
+            if self._draining or not self._pending:
+                return None
+            job = self._jobs[self._pending.popleft()]
+            self._m_queued.set(len(self._pending))
+            if job.terminal:  # cancelled while queued
+                return None
+            job._set_status("running")
+            self._m_running.inc(1)
+            return job
+
+    def _worker(self) -> None:
+        while not self._draining:
+            job = self._next_job()
+            if job is None:
+                continue
+            try:
+                self._run_job(job)
+            except ReproError as exc:
+                job.append_row({"type": "diagnostic", **exc.to_dict()})
+                self._finish(job, "failed", error=exc.to_dict())
+            except Exception as exc:  # noqa: BLE001 - never kill the worker
+                logger.exception("job %s died unexpectedly", job.id)
+                self._finish(job, "failed", error={
+                    "code": "REPRO-X000",
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+            finally:
+                self._m_running.inc(-1)
+
+    def _finish(self, job: ServiceJob, status: str,
+                error: dict | None = None) -> None:
+        job._set_status(status, error=error)
+        self._m_jobs.labels(tenant=job.tenant, status=status).inc()
+        if job.started_at is not None and job.finished_at is not None:
+            self._m_job_seconds.observe(job.finished_at - job.started_at)
+
+    def _park(self, job: ServiceJob) -> None:
+        """Drain hit mid-job: back to the queue, front position."""
+        job.requeues += 1
+        job._set_status("queued")
+        with self._cond:
+            self._pending.appendleft(job.id)
+            self._m_queued.set(len(self._pending))
+        logger.info("job %s parked by drain (requeue #%d)",
+                    job.id, job.requeues)
+
+    def _run_job(self, job: ServiceJob) -> None:
+        """Evaluate one job's grid in batches through the shared engine."""
+        request = job.request
+        policy = FailurePolicy(
+            keep_going=True, max_failure_rate=request.max_failure_rate
+        )
+        try:
+            kernels = self._parse(request)
+        except ReproError as exc:
+            # The submit-time parse succeeded, so this is rare (a parse
+            # of a restored job after a restart, with the bug fixed in
+            # neither); surface it as the job's terminal error.
+            job.append_row({"type": "diagnostic", **exc.to_dict()})
+            self._finish(job, "failed", error=exc.to_dict())
+            return
+        sweep = self._sweep_for(request)
+        budget = request.budget()
+        t0 = time.monotonic()
+        with span("service.job", job=job.id, tenant=job.tenant):
+            for kernel in kernels:
+                cell_jobs = sweep.point_jobs(
+                    kernel.nest, request.threads, request.chunks,
+                    budget=budget,
+                )
+                for start in range(0, len(cell_jobs), self.batch_cells):
+                    if self._draining:
+                        self._park(job)
+                        return
+                    if job.cancel_event.is_set():
+                        self._finish(job, "cancelled")
+                        return
+                    batch = cell_jobs[start:start + self.batch_cells]
+                    try:
+                        self._run_batch(job, kernel.name, batch, policy)
+                    except CircuitOpenError as exc:
+                        job.append_row(
+                            {"type": "diagnostic", **exc.to_dict()}
+                        )
+                        self._summarize(job, policy, t0, status="failed",
+                                        error=exc.to_dict())
+                        return
+        if job.cancel_event.is_set():
+            self._finish(job, "cancelled")
+            return
+        self._summarize(job, policy, t0, status="done")
+
+    def _run_batch(self, job: ServiceJob, kernel_name: str, batch,
+                   policy: FailurePolicy) -> None:
+        def _on_outcome(outcome) -> None:
+            spec = outcome.job.spec
+            cell = {
+                "kernel": kernel_name,
+                "threads": spec.get("threads"),
+                "chunk": spec.get("chunk"),
+            }
+            if outcome.ok:
+                point = SweepPoint.from_dict(outcome.result)
+                row = {
+                    "type": "cell",
+                    **cell,
+                    "fs_cases": point.fs_cases,
+                    "fs_cycles": point.fs_cycles,
+                    "wall_cycles": point.wall_cycles,
+                    "fs_share": point.fs_share,
+                    "fidelity": point.fidelity,
+                    "from_cache": outcome.from_cache,
+                }
+                if point.degradation is not None:
+                    row["degradation"] = point.degradation
+                job.append_row(row)
+                with job._cond:
+                    job.cells_done += 1
+                    if outcome.from_cache:
+                        job.cells_cached += 1
+                self._m_cells.labels(status="done").inc()
+                if outcome.from_cache:
+                    self._m_cells.labels(status="from_cache").inc()
+                policy.record_success()
+            else:
+                cancelled = outcome.error_code == JobCancelledError.code
+                report = FailureReport.from_outcome(
+                    outcome, kind="service.cell", point=cell
+                )
+                job.append_row({
+                    "type": "diagnostic",
+                    **cell,
+                    "code": report.code,
+                    "message": report.message,
+                    "attempts": report.attempts,
+                })
+                with job._cond:
+                    job.cells_failed += 1
+                self._m_cells.labels(
+                    status="cancelled" if cancelled else "failed"
+                ).inc()
+                if not cancelled:
+                    # Cancellations are back-pressure, not failures:
+                    # they must not trip the circuit breaker.
+                    policy.record_failure(report)
+
+        with self._engine_lock:
+            self.engine.run(
+                batch,
+                on_outcome=_on_outcome,
+                should_stop=job.cancel_event.is_set,
+            )
+
+    def _summarize(self, job: ServiceJob, policy: FailurePolicy,
+                   t0: float, status: str,
+                   error: dict | None = None) -> None:
+        best = None
+        best_wall = None
+        for row in job.rows():
+            if row.get("type") == "cell" and (
+                best_wall is None or row["wall_cycles"] < best_wall
+            ):
+                best_wall = row["wall_cycles"]
+                best = {k: row[k] for k in
+                        ("kernel", "threads", "chunk", "wall_cycles")}
+        summary: dict[str, Any] = {
+            "type": "summary",
+            "job": job.id,
+            "status": status,
+            "cells": {
+                "total": job.cells_total,
+                "done": job.cells_done,
+                "failed": job.cells_failed,
+                "from_cache": job.cells_cached,
+            },
+            "failures": len(policy.failures),
+            "elapsed_s": round(time.monotonic() - t0, 6),
+        }
+        if best is not None:
+            summary["best"] = best
+        job.append_row(summary)
+        self._finish(job, status, error=error)
+
+    # -- persistence ---------------------------------------------------------
+
+    def queue_state(self) -> dict:
+        """JSON-able snapshot of every job still waiting to run."""
+        with self._cond:
+            queued = [
+                self._jobs[job_id].persist_doc()
+                for job_id in self._pending
+                if not self._jobs[job_id].terminal
+            ]
+        return {"version": _QUEUE_STATE_VERSION, "jobs": queued}
+
+    def save_state(self, path: str | os.PathLike | None = None) -> Path | None:
+        """Atomically persist :meth:`queue_state` (drain survivors)."""
+        target = Path(path) if path else self.state_path
+        if target is None:
+            return None
+        state = self.queue_state()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=".queue-", suffix=".json"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(state, fh, indent=1)
+        os.replace(tmp, target)
+        logger.info(
+            "queue state: %d job(s) persisted to %s",
+            len(state["jobs"]), target,
+        )
+        return target
+
+    def load_state(self, path: str | os.PathLike | None = None) -> int:
+        """Re-queue jobs persisted by an earlier drain; returns count.
+
+        Jobs whose tenant no longer exists are dropped with a warning
+        (quota identity is gone); everything else re-enters the queue in
+        its persisted order.  The consumed state file is removed so a
+        crash loop cannot double-queue.
+        """
+        target = Path(path) if path else self.state_path
+        if target is None or not target.is_file():
+            return 0
+        try:
+            state = json.loads(target.read_text(encoding="utf-8"))
+            if state.get("version") != _QUEUE_STATE_VERSION:
+                raise ValueError(f"unknown version {state.get('version')!r}")
+            docs = state["jobs"]
+        except (ValueError, KeyError, OSError) as exc:
+            logger.warning("ignoring unreadable queue state %s: %s",
+                           target, exc)
+            return 0
+        restored = 0
+        for doc in docs:
+            tenant_name = str(doc.get("tenant", ""))
+            if tenant_name not in self.tenants.tenants:
+                logger.warning(
+                    "dropping persisted job %s: tenant %r no longer exists",
+                    doc.get("id"), tenant_name,
+                )
+                continue
+            try:
+                request = JobRequest.from_dict(doc["request"])
+                cells = self._admit_grid(
+                    self.tenants.tenants[tenant_name], request
+                )
+            except (ReproError, KeyError) as exc:
+                logger.warning("dropping persisted job %s: %s",
+                               doc.get("id"), exc)
+                continue
+            job = ServiceJob(
+                tenant=tenant_name,
+                request=request,
+                cells_total=cells,
+                job_id=str(doc.get("id")) or None,
+                created_at=doc.get("created_at"),
+            )
+            job.requeues = int(doc.get("requeues", 0))
+            self._enqueue(job)
+            restored += 1
+        try:
+            target.unlink()
+        except OSError:
+            pass
+        if restored:
+            logger.info("restored %d job(s) from %s", restored, target)
+        return restored

@@ -1,0 +1,262 @@
+"""Multi-tenancy: API keys, admission quotas and token-bucket rates.
+
+A *tenant* is one API-key-holding consumer of the analysis service.
+Tenants are declared in a JSON file (``repro-fs serve
+--tenants-file``)::
+
+    {"tenants": [
+        {"name": "alice", "api_key": "sk-alice",
+         "max_queued_jobs": 4, "max_cells_per_job": 2000,
+         "max_steps_per_job": 50000000,
+         "rate_per_s": 5.0, "burst": 10},
+        {"name": "public", "api_key": null}
+    ]}
+
+A tenant with ``"api_key": null`` accepts unauthenticated requests —
+ship exactly one of those (or none, to require keys for everything).
+Without a tenants file the service runs single-tenant with the
+:func:`TenantRegistry.default` ``public`` tenant.
+
+Admission control happens in :meth:`repro.service.queue.JobQueue.submit`
+against three per-tenant guards, each surfacing a stable
+``REPRO-R10x`` resource error (HTTP 429):
+
+* ``max_queued_jobs`` — queued + running jobs (``REPRO-R101``);
+* ``rate_per_s``/``burst`` — a :class:`TokenBucket` per tenant
+  (``REPRO-R102``);
+* ``max_cells_per_job`` / ``max_steps_per_job`` — grid size and the
+  :func:`repro.resilience.budget.estimate_cost` pre-run step estimate
+  summed over the grid (``REPRO-R103``), so an oversized sweep is
+  rejected in microseconds, before any cell runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.resilience.errors import UsageError
+
+__all__ = ["TenantConfig", "TenantRegistry", "TokenBucket"]
+
+#: Ceilings applied when a tenants file omits a field (and used by the
+#: key-less default tenant).
+DEFAULT_MAX_QUEUED_JOBS = 16
+DEFAULT_MAX_CELLS_PER_JOB = 100_000
+DEFAULT_RATE_PER_S = 20.0
+DEFAULT_BURST = 40
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter (thread-safe, monotonic clock).
+
+    ``rate_per_s`` tokens accrue per second up to ``burst``; each
+    admission takes one.  ``clock`` is injectable for tests.
+
+    >>> bucket = TokenBucket(rate_per_s=1.0, burst=2)
+    >>> bucket.try_acquire(), bucket.try_acquire(), bucket.try_acquire()
+    (True, True, False)
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock=time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise UsageError("rate_per_s must be positive")
+        if burst < 1:
+            raise UsageError("burst must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate_per_s
+            )
+            self._last = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (racy; for metrics/diagnostics only)."""
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's identity and admission limits."""
+
+    name: str
+    #: ``None`` makes this the key-less tenant serving unauthenticated
+    #: requests; otherwise the exact ``X-Api-Key`` value.
+    api_key: str | None = None
+    max_queued_jobs: int = DEFAULT_MAX_QUEUED_JOBS
+    max_cells_per_job: int = DEFAULT_MAX_CELLS_PER_JOB
+    #: Cap on the summed pre-run lockstep-step estimate of a job's grid
+    #: (``None`` = unlimited).  Computed by ``estimate_cost`` — pure
+    #: trip-count arithmetic, no model execution.
+    max_steps_per_job: int | None = None
+    rate_per_s: float = DEFAULT_RATE_PER_S
+    burst: int = DEFAULT_BURST
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise UsageError("tenant name must be non-empty",
+                             code="REPRO-U102")
+        if self.max_queued_jobs < 1 or self.max_cells_per_job < 1:
+            raise UsageError(
+                f"tenant {self.name!r}: quotas must be >= 1",
+                code="REPRO-U102",
+            )
+        if self.max_steps_per_job is not None and self.max_steps_per_job < 1:
+            raise UsageError(
+                f"tenant {self.name!r}: max_steps_per_job must be >= 1",
+                code="REPRO-U102",
+            )
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TenantConfig":
+        if not isinstance(doc, Mapping):
+            raise UsageError(
+                f"tenant entry must be an object, got {type(doc).__name__}",
+                code="REPRO-U102",
+            )
+        unknown = set(doc) - {
+            "name", "api_key", "max_queued_jobs", "max_cells_per_job",
+            "max_steps_per_job", "rate_per_s", "burst",
+        }
+        if unknown:
+            raise UsageError(
+                f"tenant entry has unknown fields: {sorted(unknown)}",
+                code="REPRO-U102",
+            )
+        try:
+            return cls(
+                name=str(doc.get("name", "")),
+                api_key=(
+                    None if doc.get("api_key") is None
+                    else str(doc["api_key"])
+                ),
+                max_queued_jobs=int(
+                    doc.get("max_queued_jobs", DEFAULT_MAX_QUEUED_JOBS)
+                ),
+                max_cells_per_job=int(
+                    doc.get("max_cells_per_job", DEFAULT_MAX_CELLS_PER_JOB)
+                ),
+                max_steps_per_job=(
+                    None if doc.get("max_steps_per_job") is None
+                    else int(doc["max_steps_per_job"])
+                ),
+                rate_per_s=float(doc.get("rate_per_s", DEFAULT_RATE_PER_S)),
+                burst=int(doc.get("burst", DEFAULT_BURST)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise UsageError(
+                f"malformed tenant entry {doc.get('name', '?')!r}: {exc}",
+                code="REPRO-U102",
+            ) from exc
+
+
+class TenantRegistry:
+    """API-key → tenant lookup plus per-tenant rate buckets."""
+
+    def __init__(self, tenants: Iterable[TenantConfig]) -> None:
+        self.tenants: dict[str, TenantConfig] = {}
+        self._by_key: dict[str, TenantConfig] = {}
+        self._keyless: TenantConfig | None = None
+        for tenant in tenants:
+            if tenant.name in self.tenants:
+                raise UsageError(
+                    f"duplicate tenant name {tenant.name!r}",
+                    code="REPRO-U102",
+                )
+            self.tenants[tenant.name] = tenant
+            if tenant.api_key is None:
+                if self._keyless is not None:
+                    raise UsageError(
+                        "at most one tenant may omit api_key "
+                        f"({self._keyless.name!r} and {tenant.name!r} both do)",
+                        code="REPRO-U102",
+                    )
+                self._keyless = tenant
+            else:
+                if tenant.api_key in self._by_key:
+                    raise UsageError(
+                        f"duplicate api_key across tenants "
+                        f"({tenant.name!r})",
+                        code="REPRO-U102",
+                    )
+                self._by_key[tenant.api_key] = tenant
+        if not self.tenants:
+            raise UsageError("tenants file declares no tenants",
+                             code="REPRO-U102")
+        self._buckets: dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_per_s, t.burst)
+            for t in self.tenants.values()
+        }
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "TenantRegistry":
+        """Single key-less ``public`` tenant (no ``--tenants-file``)."""
+        return cls([TenantConfig(name="public", api_key=None)])
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TenantRegistry":
+        """Load a tenants JSON file; malformed input is ``REPRO-U102``."""
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise UsageError(
+                f"cannot read tenants file {path}: {exc}",
+                code="REPRO-U102",
+            ) from exc
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            raise UsageError(
+                f"tenants file {path} is not valid JSON: {exc}",
+                code="REPRO-U102",
+            ) from exc
+        if not isinstance(doc, dict) or not isinstance(
+            doc.get("tenants"), list
+        ):
+            raise UsageError(
+                f"tenants file {path} must be an object with a "
+                "'tenants' array",
+                code="REPRO-U102",
+            )
+        return cls(TenantConfig.from_dict(t) for t in doc["tenants"])
+
+    # -- lookup --------------------------------------------------------------
+
+    def authenticate(self, api_key: str | None) -> TenantConfig | None:
+        """The tenant for ``api_key`` (``None`` = no key supplied),
+        or ``None`` when the key is unknown / keys are required."""
+        if api_key:
+            return self._by_key.get(api_key)
+        return self._keyless
+
+    def bucket(self, tenant: TenantConfig) -> TokenBucket:
+        """The tenant's admission-rate bucket."""
+        return self._buckets[tenant.name]
+
+    def __len__(self) -> int:
+        return len(self.tenants)

@@ -1,0 +1,149 @@
+"""Prometheus text-exposition export (``repro.obs.prometheus``)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import PROMETHEUS_CONTENT_TYPE, to_prometheus, write_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import _fmt
+
+
+def _parse_samples(text: str) -> dict[str, float]:
+    """name{labels} -> value for every non-comment line."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        metric, _, value = line.rpartition(" ")
+        out[metric] = float(value)
+    return out
+
+
+class TestScalars:
+    def test_counter_and_gauge_render(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs by status").labels(status="ok").inc(3)
+        reg.gauge("queue_depth", "queued jobs").set(7)
+        text = to_prometheus(reg)
+        assert "# HELP jobs_total jobs by status" in text
+        assert "# TYPE jobs_total counter" in text
+        assert "# TYPE queue_depth gauge" in text
+        samples = _parse_samples(text)
+        assert samples['jobs_total{status="ok"}'] == 3
+        assert samples["queue_depth"] == 7
+
+    def test_unlabeled_counter_has_no_braces(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "h").inc()
+        samples = _parse_samples(to_prometheus(reg))
+        assert samples == {"hits_total": 1.0}
+
+    def test_declared_but_never_sampled_family_skipped(self):
+        reg = MetricsRegistry()
+        reg.counter("never_used_total", "declared only")
+        assert "never_used_total" not in to_prometheus(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("weird_total", "w").labels(
+            path='a"b\\c\nnext'
+        ).inc()
+        text = to_prometheus(reg)
+        assert 'path="a\\"b\\\\c\\nnext"' in text
+
+    def test_metric_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.total", "w").inc()
+        text = to_prometheus(reg)
+        assert "weird_name_total 1" in text
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_end_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", "latency",
+                             buckets=(0.1, 1.0, float("inf")))
+        for v in (0.05, 0.5, 0.5, 10.0):
+            hist.observe(v)
+        samples = _parse_samples(to_prometheus(reg))
+        assert samples['lat_seconds_bucket{le="0.1"}'] == 1
+        assert samples['lat_seconds_bucket{le="1"}'] == 3
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["lat_seconds_count"] == 4
+        assert samples["lat_seconds_sum"] == pytest.approx(11.05)
+
+    def test_inf_bucket_added_when_bounds_lack_it(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h_seconds", "h", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(5.0)  # beyond every explicit bound
+        text = to_prometheus(reg)
+        assert text.count('le="+Inf"') == 1
+        samples = _parse_samples(text)
+        assert samples['h_seconds_bucket{le="1"}'] == 1
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 2
+
+    def test_labeled_histogram_keeps_le_last(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "d_seconds", "d", buckets=(1.0, float("inf"))
+        ).labels(kind="x").observe(0.5)
+        text = to_prometheus(reg)
+        assert 'd_seconds_bucket{kind="x",le="1"} 1' in text
+        assert 'd_seconds_sum{kind="x"} 0.5' in text
+
+
+class TestValueFormatting:
+    def test_integers_stay_integral(self):
+        assert _fmt(3.0) == "3"
+        assert _fmt(-2.0) == "-2"
+
+    def test_floats_round_trip(self):
+        assert float(_fmt(0.25)) == 0.25
+
+    def test_specials(self):
+        assert _fmt(float("nan")) == "NaN"
+        assert _fmt(float("inf")) == "+Inf"
+        assert _fmt(float("-inf")) == "-Inf"
+        assert not math.isfinite(float("inf"))
+
+
+class TestExportIntegration:
+    def test_content_type_constant(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_write_metrics_prom_suffix(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("written_total", "w").inc(2)
+        out = tmp_path / "metrics.prom"
+        write_metrics(out, registry=reg)
+        text = out.read_text(encoding="utf-8")
+        assert "# TYPE written_total counter" in text
+        assert "written_total 2" in text
+
+    def test_every_line_is_well_formed(self):
+        # Render the real process registry after some traffic and make
+        # sure every line parses as comment or `name{labels} value`.
+        import re
+
+        from repro.obs import get_registry
+
+        get_registry().counter("smoke_total", "s").labels(a="b").inc()
+        get_registry().histogram("smoke_seconds", "s").observe(0.01)
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+            r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+        )
+        for line in to_prometheus().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert sample_re.match(line), line
