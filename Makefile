@@ -6,7 +6,7 @@ PP      := PYTHONPATH=src
 BENCHD  := .bench
 
 .PHONY: test test-fast lint bench-smoke bench-overhead bench-sweep \
-        bench-model bench-model-quick service-smoke clean
+        bench-model bench-model-quick service-smoke chaos-smoke clean
 
 test:
 	$(PP) $(PY) -m pytest -q
@@ -64,6 +64,14 @@ service-smoke:
 	mkdir -p $(BENCHD)
 	$(PP) REPRO_CACHE_DIR=$(BENCHD)/svc-cache $(PY) benchmarks/service_smoke.py \
 	  --out $(BENCHD)/SERVICE_smoke.json
+
+# Chaos soak: SIGKILL the journaled daemon 5 times mid-sweep and prove
+# zero lost and zero duplicated result rows across crash-recovery
+# (docs/SERVICE.md "Operations & failure modes").
+chaos-smoke:
+	mkdir -p $(BENCHD)
+	$(PP) $(PY) benchmarks/chaos_soak.py --kills 5 \
+	  --out $(BENCHD)/CHAOS_soak.json
 
 # Guard the <5% disabled-overhead budget on the model's hot path.
 bench-overhead:

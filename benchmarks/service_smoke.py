@@ -64,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
             f"http://127.0.0.1:{args.port}", timeout_s=120
         )
         health = client.wait_ready(timeout_s=30)
-        assert health["status"] == "ok", health
+        assert health["status"] == "ready", health
 
         source = _heat_source()
         grid = {"threads": [2, 4], "chunks": [1, 4]}

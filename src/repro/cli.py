@@ -438,6 +438,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         use_cache=not args.no_cache,
         timeout_s=args.timeout,
+        journal_dir=args.journal_dir,
+        quarantine_after=args.quarantine_after,
+        max_queue_depth=args.max_queue_depth,
     )
     return serve(config)
 
@@ -566,6 +569,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the result store (every cell recomputes)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-cell wall-clock timeout in the engine pool")
+    p.add_argument("--journal-dir", default=None,
+                   help="write-ahead journal directory: admissions, "
+                        "result rows and terminal states become "
+                        "crash-durable (fsync'd before publication) and "
+                        "the next boot resumes mid-sweep — survives "
+                        "SIGKILL, unlike --state-file")
+    p.add_argument("--quarantine-after", type=int, default=3,
+                   metavar="N",
+                   help="quarantine a job (REPRO-E105) after it crashes "
+                        "worker processes N times; 0 disables "
+                        "(default 3)")
+    p.add_argument("--max-queue-depth", type=int, default=0, metavar="N",
+                   help="shed new submissions with 503 + Retry-After "
+                        "(REPRO-E106) while N or more jobs are queued; "
+                        "0 = unbounded (default)")
     p.set_defaults(func=cmd_serve)
     return parser
 

@@ -167,6 +167,10 @@ class WorkerPool:
             "engine_worker_crashes_total",
             "worker-process deaths observed by the pool",
         )
+        self._rebuilds_total = reg.counter(
+            "engine_pool_rebuilds_total",
+            "executor rebuilds after a broken or abandoned process pool",
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -371,12 +375,14 @@ class WorkerPool:
                         )
                     inflight.clear()
                     retry.extend(queue)
+                    self._rebuilds_total.inc()
                     self._shutdown_now(executor)
                     return retry
                 except BrokenProcessPool:
                     broken = True
                 if broken and not inflight:
                     retry.extend(queue)
+                    self._rebuilds_total.inc()
                     self._shutdown_now(executor)
                     return retry
         finally:

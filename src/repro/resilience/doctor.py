@@ -295,6 +295,71 @@ void doctor_probe(void) {
 """
 
 
+def _check_crash_recovery() -> str:
+    """Crash durability: journal append/replay round-trip, torn-tail
+    tolerance, idempotent re-application, and a quarantine dry run."""
+    from pathlib import Path
+
+    from repro.engine import Engine
+    from repro.service.journal import Journal
+    from repro.service.queue import JobQueue, JobRequest, ServiceJob
+    from repro.service.tenants import TenantRegistry
+
+    with tempfile.TemporaryDirectory(prefix="repro-doctor-crash-") as root:
+        # 1. append → replay round-trips a job with stable row offsets
+        journal = Journal(Path(root) / "journal")
+        rows = [{"type": "cell", "kernel": "k", "threads": 2, "chunk": 1},
+                {"type": "cell", "kernel": "k", "threads": 2, "chunk": 2}]
+        journal.record_admit("j1", "doctor", {"source": "x"}, 2, 1.0)
+        journal.record_rows("j1", 0, rows[:1])
+        journal.record_rows("j1", 1, rows[1:])
+        journal.record_crashes("j1", 1)
+        ledger = journal.replay().get("j1")
+        if ledger is None or ledger.rows != rows or ledger.crashes != 1:
+            raise AssertionError("journal append/replay round-trip lost data")
+
+        # 2. a duplicated tail record replays idempotently
+        journal.record_rows("j1", 1, rows[1:])
+        if journal.replay()["j1"].rows != rows:
+            raise AssertionError("duplicated journal tail was re-applied")
+
+        # 3. a torn tail (truncated final record) is tolerated
+        journal.close()
+        seg = journal.active_path
+        raw = seg.read_bytes()
+        seg.write_bytes(raw[:-7])  # chop mid-record: a crash mid-write
+        torn = Journal(Path(root) / "journal")
+        replayed = torn.replay().get("j1")
+        if replayed is None or replayed.rows != rows:
+            raise AssertionError("torn journal tail corrupted earlier rows")
+        if not torn.last_replay.torn_tail:
+            raise AssertionError("torn tail not detected as such")
+
+        # 4. quarantine dry run: a job over the crash threshold fails
+        #    terminally with REPRO-E105 and the queue survives
+        registry = TenantRegistry.default()
+        queue = JobQueue(registry, Engine(jobs=1, use_cache=False),
+                         concurrency=1, quarantine_after=2)
+        tenant = next(iter(registry.tenants.values()))
+        job = ServiceJob(tenant.name,
+                         JobRequest(source=_SERVICE_KERNEL,
+                                    threads=(2,), chunks=(1,)),
+                         cells_total=1)
+        job.crashes = 2
+        if not queue._maybe_quarantine(job):
+            raise AssertionError("poison job over threshold not quarantined")
+        if job.status != "failed" or (job.error or {}).get("code") != \
+                "REPRO-E105":
+            raise AssertionError(
+                f"quarantine produced {job.status}/{job.error}, "
+                "expected failed/REPRO-E105"
+            )
+        if queue._maybe_quarantine(job) is not True:
+            raise AssertionError("quarantine is not idempotent")
+    return ("journal round-trips, tolerates torn tails, replays "
+            "idempotently; poison jobs quarantine as REPRO-E105")
+
+
 _CHECKS: tuple[tuple[str, Callable[[], str]], ...] = (
     ("error-codes", _check_error_codes),
     ("taxonomy-compat", _check_taxonomy),
@@ -304,6 +369,7 @@ _CHECKS: tuple[tuple[str, Callable[[], str]], ...] = (
     ("result-store", _check_store),
     ("partial-results", _check_partial),
     ("service-plumbing", _check_service),
+    ("crash-recovery", _check_crash_recovery),
 )
 
 

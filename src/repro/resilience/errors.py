@@ -54,8 +54,10 @@ __all__ = [
     "FaultInjectedError",
     "JobCancelledError",
     "ModelError",
+    "PoisonJobError",
     "QuotaExceededError",
     "ReproError",
+    "ServiceOverloadedError",
     "SourceSpan",
     "StoreError",
     "UsageError",
@@ -376,6 +378,37 @@ class JobCancelledError(EngineError):
 
     code = register_code(
         "REPRO-E104", "job cancelled by shutdown drain or client request"
+    )
+
+
+class PoisonJobError(EngineError):
+    """A job was quarantined after repeatedly crashing worker processes.
+
+    Raised by the service's supervisor when one job's cells keep
+    killing engine workers: instead of readmitting the job forever
+    (each crash costs a worker restart and stalls sibling tenants), the
+    queue marks it terminally failed with this stable code.  ``context``
+    carries the observed ``crashes`` and the ``limit`` that tripped.
+    The worker pool itself survives — only the poison job stops.
+    """
+
+    code = register_code(
+        "REPRO-E105", "poison job quarantined after repeated worker crashes"
+    )
+
+
+class ServiceOverloadedError(EngineError):
+    """Admission was shed because the service is degraded/overloaded.
+
+    Maps to HTTP 503 with a ``Retry-After`` header: the request was
+    well-formed and within quota, but the service is protecting itself
+    (queue depth, memory pressure, or supervisor-detected degradation)
+    and wants the client to come back later.  ``context`` carries the
+    shed ``reason`` and ``retry_after_s``.
+    """
+
+    code = register_code(
+        "REPRO-E106", "service overloaded or degraded; admission shed"
     )
 
 

@@ -28,6 +28,14 @@ Sites (instrumented probes)
     ``store.get``        before a result-store read (``corrupt``
                          garbles the entry on disk first)
     ``store.put``        before a result-store write
+    ``journal.append``   before a service-journal record is framed
+                         (:meth:`repro.service.journal.Journal.append`)
+    ``journal.fsync``    before the journal's fsync syscall
+    ``worker.heartbeat`` each queue-worker loop iteration — a ``raise``
+                         kills the worker thread, exercising the
+                         supervisor's restart path
+    ``queue.admit``      start of :meth:`repro.service.queue.JobQueue.
+                         submit` (label: tenant name)
 
 Actions
     ``raise``    raise a structured error for the site's layer

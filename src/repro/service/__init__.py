@@ -7,20 +7,31 @@ the sweeps through one shared, memoizing
 while they compute, and exposes its own health on a Prometheus
 ``/metrics`` endpoint.
 
+PR-8 hardening: crash-durable, self-healing operation — a write-ahead
+job journal with checkpoint/resume (``journal.py``), a ``starting →
+ready → degraded → draining`` health state machine with load shedding
+(``health.py``), worker supervision with poison-job quarantine
+(``REPRO-E105``), and disconnect-safe client streaming (``?from=N``).
+
 Layout::
 
     tenants.py   API keys, quotas, token-bucket rate limits
-    queue.py     admission control + worker threads + drain persistence
+    queue.py     admission control + workers + supervision + recovery
+    journal.py   fsync'd, checksummed write-ahead journal segments
+    health.py    the health state machine feeding /healthz + shedding
     api.py       ThreadingHTTPServer routes, REPRO-* → HTTP mapping
-    client.py    stdlib urllib client (scripts, CI smoke, tests)
-    daemon.py    boot/serve/SIGTERM-drain lifecycle
+    client.py    stdlib urllib client (retry/backoff, stream resume)
+    daemon.py    boot/recover/serve/SIGTERM-drain lifecycle
 
-See ``docs/SERVICE.md`` for the API reference and runbook.
+See ``docs/SERVICE.md`` for the API reference and the operations &
+failure-modes runbook.
 """
 
 from repro.service.api import STATUS_BY_EXIT, make_server
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.daemon import ServeConfig, build_queue, serve
+from repro.service.health import HealthMonitor
+from repro.service.journal import Journal, JobLedger
 from repro.service.queue import JobQueue, JobRequest, ServiceJob
 from repro.service.tenants import TenantConfig, TenantRegistry, TokenBucket
 
@@ -32,6 +43,9 @@ __all__ = [
     "ServeConfig",
     "build_queue",
     "serve",
+    "HealthMonitor",
+    "Journal",
+    "JobLedger",
     "JobQueue",
     "JobRequest",
     "ServiceJob",

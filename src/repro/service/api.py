@@ -2,14 +2,29 @@
 
 Endpoints (all JSON unless noted)::
 
-    GET    /healthz                     liveness + drain state
+    GET    /healthz                     health state machine document
     GET    /metrics                     Prometheus text exposition
     POST   /v1/jobs                     submit a job  → 202 {id, ...}
     GET    /v1/jobs                     this tenant's jobs
     GET    /v1/jobs/{id}                poll one job's status
     GET    /v1/jobs/{id}/results        all rows so far (JSON array)
     GET    /v1/jobs/{id}/results?stream=1   live NDJSON (chunked)
+    GET    /v1/jobs/{id}/results?stream=1&from=N   resume from row N
     DELETE /v1/jobs/{id}                cancel  → 202
+
+``/healthz`` reports the ``starting → ready → degraded → draining``
+state machine (:mod:`repro.service.health`): 200 while the instance
+serves traffic (``ready``/``degraded``/``draining`` — existing streams
+keep flowing through a drain), 503 + ``Retry-After`` during
+``starting`` (journal replay in progress; job state not yet
+authoritative).  Back-pressure responses (429 rate limits, 503
+shed/drain) all carry ``Retry-After``.
+
+``?from=N`` on the results endpoint skips the first N rows — row
+offsets are stable across daemon crashes (see
+:mod:`repro.service.journal`), so a client that saw N rows before a
+disconnect resumes with ``?from=N`` and receives every row exactly
+once.
 
 Authentication: ``X-Api-Key: <key>`` or ``Authorization: Bearer
 <key>``; requests without a key land on the key-less tenant when the
@@ -56,6 +71,9 @@ STATUS_BY_EXIT = {2: 400, 3: 422, 4: 429, 5: 503}
 
 _MAX_BODY_BYTES = 4 << 20  # 4 MiB of kernel source is plenty
 
+#: Default Retry-After (seconds) when the error context names none.
+_RETRY_AFTER_DEFAULT = {429: 1, 503: 5}
+
 
 class ServiceServer(ThreadingHTTPServer):
     """``ThreadingHTTPServer`` carrying the queue + drain flag."""
@@ -93,12 +111,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         ).labels(method=method, route=route, status=str(status)).inc()
 
     def _send_json(
-        self, status: int, doc: Any, route: str, method: str
+        self, status: int, doc: Any, route: str, method: str,
+        headers: dict | None = None,
     ) -> None:
         body = (json.dumps(doc, indent=1) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         try:
             self.wfile.write(body)
@@ -120,7 +141,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
     ) -> None:
         status = STATUS_BY_EXIT.get(exc.exit_code, 500)
         doc = exc.to_dict()
-        self._send_json(status, {"error": doc}, route, method)
+        headers = None
+        if status in _RETRY_AFTER_DEFAULT:
+            # Back-pressure responses tell the client when to come
+            # back; the error context can carry a site-specific hint.
+            context = getattr(exc, "context", None) or {}
+            retry_s = context.get(
+                "retry_after_s", _RETRY_AFTER_DEFAULT[status]
+            )
+            try:
+                retry_s = max(1, int(float(retry_s) + 0.999))
+            except (TypeError, ValueError):
+                retry_s = _RETRY_AFTER_DEFAULT[status]
+            headers = {"Retry-After": str(retry_s)}
+        self._send_json(status, {"error": doc}, route, method,
+                        headers=headers)
 
     def _tenant(self) -> TenantConfig | None:
         key = self.headers.get("X-Api-Key")
@@ -152,17 +187,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
         if url.path == "/healthz":
-            self._send_json(200, {
-                "status": "draining" if self.server.draining.is_set()
-                else "ok",
-                "tenants": len(self.queue.tenants),
-                "queued": sum(
-                    1 for j in self.queue.jobs() if j.status == "queued"
-                ),
-                "running": sum(
-                    1 for j in self.queue.jobs() if j.status == "running"
-                ),
-            }, "/healthz", "GET")
+            self._healthz()
         elif url.path == "/metrics":
             self._metrics()
         elif parts[:1] == ["v1"] and parts[1:2] == ["jobs"]:
@@ -176,7 +201,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
             elif len(parts) == 4 and parts[3] == "results":
                 q = parse_qs(url.query)
                 stream = q.get("stream", ["0"])[0] not in ("0", "", "false")
-                self._job_results(tenant, parts[2], stream=stream)
+                try:
+                    start = max(0, int(q.get("from", ["0"])[0]))
+                except ValueError:
+                    self._send_error_doc(
+                        400, "REPRO-U101",
+                        "query parameter 'from' must be an integer",
+                        "/v1/jobs/{id}/results", "GET",
+                    )
+                    return
+                self._job_results(tenant, parts[2], stream=stream,
+                                  start=start)
             else:
                 self._send_error_doc(
                     404, "REPRO-U101", f"no such route {url.path!r}",
@@ -258,6 +293,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- handlers ------------------------------------------------------------
 
+    def _healthz(self) -> None:
+        """The health state machine document.
+
+        200 whenever the instance serves traffic — including
+        ``degraded`` (shedding happens at admission, not here) and
+        ``draining`` (existing streams must keep flowing) — and 503 +
+        ``Retry-After`` only for ``starting``, when journal replay has
+        not yet made job state authoritative.
+        """
+        doc = self.queue.health.doc()
+        if self.server.draining.is_set():
+            doc["status"] = "draining"
+        doc.update({
+            "tenants": len(self.queue.tenants),
+            "queued": sum(
+                1 for j in self.queue.jobs() if j.status == "queued"
+            ),
+            "running": sum(
+                1 for j in self.queue.jobs() if j.status == "running"
+            ),
+        })
+        if doc["status"] == "starting":
+            self._send_json(503, doc, "/healthz", "GET",
+                            headers={"Retry-After": "1"})
+        else:
+            self._send_json(200, doc, "/healthz", "GET")
+
     def _metrics(self) -> None:
         body = to_prometheus().encode("utf-8")
         self.send_response(200)
@@ -289,7 +351,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._send_json(200, job.status_doc(), "/v1/jobs/{id}", "GET")
 
     def _job_results(
-        self, tenant: TenantConfig, job_id: str, stream: bool
+        self, tenant: TenantConfig, job_id: str, stream: bool,
+        start: int = 0,
     ) -> None:
         job = self.queue.get(job_id, tenant)
         if job is None:
@@ -300,7 +363,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         if not stream:
             self._send_json(
-                200, {"id": job.id, "status": job.status, "rows": job.rows()},
+                200, {"id": job.id, "status": job.status,
+                      "from": start, "rows": job.rows()[start:]},
                 "/v1/jobs/{id}/results", "GET",
             )
             return
@@ -315,7 +379,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         sent = 0
         try:
             for row in job.stream(
-                should_abort=self.server.draining.is_set
+                should_abort=self.server.draining.is_set, start=start
             ):
                 line = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
                 self.wfile.write(f"{len(line):x}\r\n".encode("ascii"))

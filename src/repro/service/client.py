@@ -11,16 +11,26 @@ smoke job never hand-roll ``urllib`` calls::
         print(row["type"], row)
     final = client.wait(job["id"])           # poll until terminal
 
+Resilience: idempotent **GET** requests retry on connection failures
+and 503 back-pressure with exponential backoff + deterministic-free
+jitter (POST/DELETE are never retried — submission is not idempotent),
+and :meth:`stream` survives disconnects — including a daemon SIGKILL +
+restart — by reconnecting with ``?from=N`` at the last row offset it
+saw, so callers observe every row exactly once.  503 responses honour
+the server's ``Retry-After`` header when present.
+
 Server-side ``REPRO-*`` rejections surface as
-:class:`ServiceClientError` carrying the HTTP status and the
-structured error document, so callers can branch on
+:class:`ServiceClientError` carrying the HTTP status, the structured
+error document and any ``Retry-After`` hint, so callers can branch on
 ``exc.code``/``exc.status`` exactly like the CLI branches on exit
 codes.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -28,31 +38,59 @@ from typing import Any, Iterator, Mapping, Sequence
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
+#: Network-level failures worth retrying on idempotent requests.  Note
+#: ``urllib.error.HTTPError`` is an ``OSError`` subclass — it must be
+#: caught first wherever both can fire.
+_RETRYABLE = (
+    urllib.error.URLError,
+    ConnectionError,
+    http.client.HTTPException,
+    OSError,
+)
+
 
 class ServiceClientError(Exception):
     """A non-2xx response, carrying the server's structured error."""
 
-    def __init__(self, status: int, error: Mapping[str, Any] | None):
+    def __init__(
+        self,
+        status: int,
+        error: Mapping[str, Any] | None,
+        retry_after_s: float | None = None,
+    ):
         self.status = status
         self.error = dict(error or {})
         #: The stable ``REPRO-*`` diagnostic code, when the server sent one.
         self.code = str(self.error.get("code", ""))
+        #: Parsed ``Retry-After`` header on 429/503 responses, if any.
+        self.retry_after_s = retry_after_s
         message = self.error.get("message", "no error document")
         super().__init__(f"HTTP {status} [{self.code or '?'}]: {message}")
 
 
 class ServiceClient:
-    """HTTP client for one service endpoint (and optionally one tenant)."""
+    """HTTP client for one service endpoint (and optionally one tenant).
+
+    ``retries``/``backoff_s``/``backoff_max_s`` govern the idempotent
+    retry loop: attempt *k* sleeps ``min(backoff_s * 2**(k-1),
+    backoff_max_s)`` plus up to 25% jitter.
+    """
 
     def __init__(
         self,
         base_url: str,
         api_key: str | None = None,
         timeout_s: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.1,
+        backoff_max_s: float = 2.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.api_key = api_key
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
 
     # -- plumbing ------------------------------------------------------------
 
@@ -70,15 +108,41 @@ class ServiceClient:
             self.base_url + path, data=data, headers=headers, method=method
         )
 
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.backoff_s * (2 ** (attempt - 1)), self.backoff_max_s)
+        return base + random.uniform(0.0, base * 0.25)
+
     def _json(
         self, method: str, path: str, body: Mapping[str, Any] | None = None
     ) -> dict:
-        req = self._request(method, path, body)
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raise self._wrap(exc) from exc
+        """One request → parsed JSON; GETs retry, writes never do."""
+        idempotent = method == "GET"
+        attempt = 0
+        while True:
+            req = self._request(method, path, body)
+            try:
+                with urllib.request.urlopen(
+                    req, timeout=self.timeout_s
+                ) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                err = self._wrap(exc)
+                if (
+                    idempotent and err.status == 503
+                    and attempt < self.retries
+                ):
+                    attempt += 1
+                    delay = self._backoff(attempt)
+                    if err.retry_after_s is not None:
+                        delay = min(err.retry_after_s, self.backoff_max_s)
+                    time.sleep(delay)
+                    continue
+                raise err from exc
+            except _RETRYABLE:
+                if not idempotent or attempt >= self.retries:
+                    raise
+                attempt += 1
+                time.sleep(self._backoff(attempt))
 
     @staticmethod
     def _wrap(exc: urllib.error.HTTPError) -> ServiceClientError:
@@ -87,12 +151,19 @@ class ServiceClient:
             error = doc.get("error")
         except (ValueError, OSError):
             error = None
-        return ServiceClientError(exc.code, error)
+        retry_after: float | None = None
+        raw = exc.headers.get("Retry-After") if exc.headers else None
+        if raw is not None:
+            try:
+                retry_after = float(raw)
+            except ValueError:
+                retry_after = None
+        return ServiceClientError(exc.code, error, retry_after)
 
     # -- API -----------------------------------------------------------------
 
     def healthz(self) -> dict:
-        """The service's liveness document."""
+        """The service's health state machine document."""
         return self._json("GET", "/healthz")
 
     def submit(
@@ -106,7 +177,9 @@ class ServiceClient:
 
         ``options`` passes through any other :class:`JobRequest` field
         (``cores``, ``mode``, ``exact``, ``macros``, ``deadline_s``,
-        ``max_iters``, ...).
+        ``max_iters``, ...).  Never retried — submission is not
+        idempotent; on a 429/503 the raised error carries
+        ``retry_after_s`` for the caller's own loop.
         """
         body: dict[str, Any] = {"source": source, **options}
         if threads is not None:
@@ -123,22 +196,65 @@ class ServiceClient:
         """This tenant's jobs, oldest first."""
         return self._json("GET", "/v1/jobs")["jobs"]
 
-    def results(self, job_id: str) -> dict:
-        """All rows produced so far (non-streaming snapshot)."""
-        return self._json("GET", f"/v1/jobs/{job_id}/results")
+    def results(self, job_id: str, from_offset: int = 0) -> dict:
+        """Rows produced so far (non-streaming snapshot).
 
-    def stream(self, job_id: str) -> Iterator[dict]:
+        ``from_offset`` skips rows already seen (server-side ``?from``).
+        """
+        path = f"/v1/jobs/{job_id}/results"
+        if from_offset:
+            path += f"?from={from_offset}"
+        return self._json("GET", path)
+
+    def stream(
+        self,
+        job_id: str,
+        from_offset: int = 0,
+        retries: int | None = None,
+    ) -> Iterator[dict]:
         """``GET .../results?stream=1`` — yield NDJSON rows as they
-        arrive, ending when the job reaches a terminal state."""
-        req = self._request("GET", f"/v1/jobs/{job_id}/results?stream=1")
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                for raw in resp:
-                    line = raw.strip()
-                    if line:
-                        yield json.loads(line.decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raise self._wrap(exc) from exc
+        arrive, ending when the job reaches a terminal state.
+
+        Disconnect-safe: on a dropped connection (server restart,
+        SIGKILL, network blip) the stream reconnects with ``?from=N``
+        at the last row offset it delivered, after exponential backoff.
+        Row offsets are crash-stable on the server, so every row is
+        yielded exactly once even across a daemon crash + recovery.
+
+        ``retries`` bounds *consecutive* failed reconnect attempts
+        (default: the client's ``retries``); any successfully delivered
+        row resets the count.  Synthetic ``interrupted`` rows (server
+        drain markers) are yielded but do not advance the offset — they
+        are not stored rows.
+        """
+        budget = self.retries if retries is None else retries
+        seen = from_offset
+        failures = 0
+        while True:
+            req = self._request(
+                "GET", f"/v1/jobs/{job_id}/results?stream=1&from={seen}"
+            )
+            try:
+                with urllib.request.urlopen(
+                    req, timeout=self.timeout_s
+                ) as resp:
+                    for raw in resp:
+                        line = raw.strip()
+                        if not line:
+                            continue
+                        row = json.loads(line.decode("utf-8"))
+                        if row.get("type") != "interrupted":
+                            seen += 1
+                            failures = 0
+                        yield row
+                return
+            except urllib.error.HTTPError as exc:
+                raise self._wrap(exc) from exc
+            except _RETRYABLE:
+                failures += 1
+                if failures > budget:
+                    raise
+                time.sleep(self._backoff(failures))
 
     def cancel(self, job_id: str) -> dict:
         """``DELETE /v1/jobs/{id}``."""
@@ -161,12 +277,20 @@ class ServiceClient:
             time.sleep(poll_s)
 
     def wait_ready(self, timeout_s: float = 15.0, poll_s: float = 0.1) -> dict:
-        """Block until ``/healthz`` answers (daemon boot helper)."""
+        """Block until ``/healthz`` answers ``ready``/``degraded``/
+        ``draining`` (daemon boot helper).  A 503 ``starting`` answer —
+        journal replay still running — keeps polling like a connection
+        failure does."""
         deadline = time.monotonic() + timeout_s
         last: Exception | None = None
         while time.monotonic() < deadline:
             try:
                 return self.healthz()
+            except ServiceClientError as exc:
+                if exc.status != 503:
+                    raise
+                last = exc
+                time.sleep(poll_s)
             except (urllib.error.URLError, ConnectionError, OSError) as exc:
                 last = exc
                 time.sleep(poll_s)

@@ -5,26 +5,32 @@
 1. load tenants (``--tenants-file`` or the key-less ``public`` default),
 2. build the shared :class:`~repro.engine.Engine` (one result store →
    cross-tenant warm cache),
-3. restore any queue state persisted by a previous drain
-   (:meth:`JobQueue.load_state`),
-4. start the queue workers and the ``ThreadingHTTPServer`` (HTTP runs
-   on a background thread; the main thread parks on a shutdown event).
+3. recover durable state — with ``--journal-dir``, replay the
+   write-ahead journal (:meth:`JobQueue.recover`): unfinished jobs are
+   re-admitted with their already-streamed rows restored at the same
+   offsets, so a client resuming with ``?from=N`` sees every row
+   exactly once even after a SIGKILL; without a journal, fall back to
+   the legacy drain state file (:meth:`JobQueue.load_state`),
+4. start the queue workers + supervisor (health flips ``starting →
+   ready``) and the ``ThreadingHTTPServer`` (HTTP runs on a background
+   thread; the main thread parks on a shutdown event).
 
 Shutdown contract (the part ops scripts rely on): the **first**
 SIGTERM or SIGINT flips the service into draining mode —
 
 * ``/healthz`` reports ``draining`` and new submissions answer 503
-  (``REPRO-E104``),
+  (``REPRO-E104``) with ``Retry-After``,
 * streaming readers are released with an ``interrupted`` row,
 * in-flight sweep batches run to completion; running jobs are then
   parked back into the queue,
-* queue state is persisted atomically to ``--state-file``,
+* queue state is persisted (journal when configured, else
+  ``--state-file``),
 * the process exits **0**.
 
-A restart with the same ``--state-file`` re-queues the parked jobs,
-and because every finished cell lives in the content-addressed store,
-re-execution is served almost entirely from cache — drains are cheap
-by construction.
+A SIGKILL (or OOM kill, or power loss) skips all of that — which is
+exactly what the journal exists for: the next boot replays it and
+resumes mid-sweep from the last durable batch.  Crashes are *supposed*
+to be survivable; ``make chaos-smoke`` proves it in a kill-9 loop.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine import Engine
+from repro.service.health import HealthMonitor
+from repro.service.journal import Journal
 from repro.service.queue import JobQueue
 from repro.service.tenants import TenantRegistry
 from repro.util import get_logger
@@ -56,12 +64,23 @@ class ServeConfig:
     concurrency: int = 2
     batch_cells: int = 16
     tenants_file: str | None = None
-    #: Queue-state file for drain/restart round trips.
+    #: Queue-state file for drain/restart round trips (legacy path;
+    #: superseded by ``journal_dir`` when both are given).
     state_file: str | None = None
     #: Result-store override; ``None`` = the shared default cache dir.
     store_dir: str | None = None
     use_cache: bool = True
     timeout_s: float | None = None
+    #: Write-ahead journal directory.  Set → crash-durable operation:
+    #: admissions/rows/terminal states are fsync'd before publication
+    #: and replayed on boot.
+    journal_dir: str | None = None
+    #: Worker-process crashes a single job may cause before it is
+    #: quarantined with ``REPRO-E105`` (0 disables).
+    quarantine_after: int = 3
+    #: Queued-job ceiling before admission sheds with 503 ``REPRO-E106``
+    #: (0 = unbounded).
+    max_queue_depth: int = 0
 
     def tenants(self) -> TenantRegistry:
         if self.tenants_file:
@@ -70,7 +89,7 @@ class ServeConfig:
 
 
 def build_queue(config: ServeConfig) -> JobQueue:
-    """Tenants + engine + queue, wired but not yet started."""
+    """Tenants + engine + journal + queue, wired but not yet started."""
     from repro.engine import ResultStore
 
     store = None
@@ -82,12 +101,17 @@ def build_queue(config: ServeConfig) -> JobQueue:
         store=store,
         timeout_s=config.timeout_s,
     )
+    journal = Journal(config.journal_dir) if config.journal_dir else None
     return JobQueue(
         config.tenants(),
         engine,
         concurrency=config.concurrency,
         batch_cells=config.batch_cells,
         state_path=config.state_file,
+        journal=journal,
+        health=HealthMonitor(),
+        quarantine_after=config.quarantine_after,
+        max_queue_depth=config.max_queue_depth,
     )
 
 
@@ -104,17 +128,24 @@ def serve(config: ServeConfig, ready=None, stop_event=None) -> int:
     from repro.service.api import make_server
 
     queue = build_queue(config)
-    restored = queue.load_state()
-    if restored:
-        logger.info("restored %d drained job(s) from %s",
-                    restored, config.state_file)
-    queue.start()
+    if queue.journal is not None:
+        restored = queue.recover()
+        if restored:
+            logger.info("recovered %d journaled job(s) from %s",
+                        restored, config.journal_dir)
+    else:
+        restored = queue.load_state()
+        if restored:
+            logger.info("restored %d drained job(s) from %s",
+                        restored, config.state_file)
+    queue.start()  # health: starting → ready
     server = make_server(config.host, config.port, queue)
     host, port = server.server_address[:2]
     logger.info(
         "repro-fs service listening on %s:%d (%d tenant(s), "
-        "%d engine worker(s), %d queue worker(s))",
+        "%d engine worker(s), %d queue worker(s)%s)",
         host, port, len(queue.tenants), config.workers, config.concurrency,
+        ", journaled" if queue.journal is not None else "",
     )
 
     shutdown = stop_event if stop_event is not None else threading.Event()

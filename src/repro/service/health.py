@@ -1,0 +1,117 @@
+"""Service health state machine: ``starting → ready → degraded → draining``.
+
+PR 7's ``/healthz`` was a constant — useful for "is the port open",
+useless for "should the load balancer send traffic here".  This module
+gives the daemon a real state machine:
+
+* ``starting`` — journal replay / recovery still running; admission
+  refused (503) because job state is not yet authoritative.
+* ``ready`` — normal operation.
+* ``degraded`` — the supervisor or queue flagged trouble (journal
+  write failures, repeated worker restarts, queue depth past the
+  configured ceiling).  Existing jobs keep running and results keep
+  streaming, but *new* admission is shed with 503 + ``Retry-After``
+  so the process backs pressure up instead of falling over.
+* ``draining`` — SIGTERM received; no admission, finish what's queued.
+
+States are derived, not stored: ``draining`` and ``starting`` are
+explicit phases, while ``degraded`` is simply "any degradation reason
+currently set".  Reasons are named strings (``journal-errors``,
+``queue-pressure``, ``worker-restarts``, …) so ``/healthz`` can say
+*why* and operators can grep the runbook in docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping
+
+__all__ = ["HealthMonitor", "STARTING", "READY", "DEGRADED", "DRAINING"]
+
+STARTING = "starting"
+READY = "ready"
+DEGRADED = "degraded"
+DRAINING = "draining"
+
+#: States that should answer HTTP 200 on /healthz.  ``degraded`` stays
+#: 200 because the instance is still serving existing jobs — shedding
+#: happens at admission, not at the health probe.
+SERVING_STATES = (READY, DEGRADED)
+
+
+class HealthMonitor:
+    """Thread-safe health state shared by queue, supervisor and API."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phase = STARTING
+        self._reasons: dict[str, str] = {}
+        self._since = time.time()
+
+    # -- phase transitions ---------------------------------------------------
+
+    def mark_ready(self) -> None:
+        with self._lock:
+            if self._phase == STARTING:
+                self._phase = READY
+                self._since = time.time()
+
+    def mark_draining(self) -> None:
+        with self._lock:
+            if self._phase != DRAINING:
+                self._phase = DRAINING
+                self._since = time.time()
+
+    # -- degradation reasons -------------------------------------------------
+
+    def set_degraded(self, reason: str, detail: str = "") -> None:
+        """Flag a named degradation reason (idempotent)."""
+        with self._lock:
+            self._reasons[reason] = detail
+
+    def clear_degraded(self, reason: str) -> None:
+        with self._lock:
+            self._reasons.pop(reason, None)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._phase in (STARTING, DRAINING):
+                return self._phase
+            return DEGRADED if self._reasons else READY
+
+    @property
+    def serving(self) -> bool:
+        return self.state in SERVING_STATES
+
+    @property
+    def accepting(self) -> bool:
+        """Whether *new* jobs should be admitted right now."""
+        return self.state == READY
+
+    def reasons(self) -> Mapping[str, str]:
+        with self._lock:
+            return dict(self._reasons)
+
+    def doc(self) -> dict:
+        """The /healthz body fragment for this monitor."""
+        with self._lock:
+            state = (
+                self._phase
+                if self._phase in (STARTING, DRAINING)
+                else (DEGRADED if self._reasons else READY)
+            )
+            return {
+                "status": state,
+                "since": self._since,
+                "reasons": [
+                    {"reason": k, "detail": v}
+                    for k, v in sorted(self._reasons.items())
+                ],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HealthMonitor(state={self.state!r})"

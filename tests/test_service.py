@@ -343,7 +343,8 @@ class TestHTTP:
 
     def test_healthz_and_metrics(self, service):
         health = service.healthz()
-        assert health["status"] == "ok" and health["tenants"] == 2
+        assert health["status"] == "ready" and health["tenants"] == 2
+        assert health["reasons"] == []
         text = service.metrics()
         assert "# TYPE service_requests_total counter" in text
         assert service.metric_value(
