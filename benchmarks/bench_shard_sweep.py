@@ -1,0 +1,256 @@
+"""Sharded / two-tier / incremental sweep benchmark (``make bench-sweep-sharded``).
+
+Four claims, one report (default ``BENCH_shards.json``):
+
+1. **shard invariance** — the same what-if grid run at ``--shards 1``,
+   ``2`` and ``4`` produces byte-identical point lists *and*
+   byte-identical result-store contents (same keys, same result docs)
+   as the serial uncached baseline;
+2. **cold scaling** — at 4 shards the cold pass beats 1 shard by >= 2x
+   (asserted only on boxes with >= 4 usable cores and outside
+   ``--quick`` mode; wall times are recorded regardless);
+3. **warm memory tier** — a re-run through the same engine is served
+   >= 95% from the in-memory tier with **zero** pool dispatches;
+4. **incremental manifest** — after "editing" one of two kernels, the
+   manifest marks exactly the edited kernel stale: only its cells
+   recompute, the untouched kernel's cells are skipped outright.
+
+Run:  REPRO_CACHE_DIR=/tmp/c python benchmarks/bench_shard_sweep.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.engine import (
+    Engine,
+    Manifest,
+    MemCache,
+    ResultStore,
+    ReuseReport,
+    ShardedEngine,
+    default_cache_dir,
+    nest_digest,
+)
+from repro.kernels import heat_diffusion, linear_regression
+from repro.machine import paper_machine
+from repro.model import WhatIfSweep
+from repro.obs import get_registry
+
+SHARD_COUNTS = (1, 2, 4)
+MIN_COLD_SPEEDUP = 2.0
+MIN_WARM_MEM_FRACTION = 0.95
+
+
+def _counter(name: str) -> float:
+    return get_registry().snapshot()["counters"].get(name, 0.0)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _points_doc(result) -> str:
+    """Canonical byte form of a landscape (the identity under test)."""
+    return json.dumps([p.to_dict() for p in result.points], sort_keys=True)
+
+
+def _store_contents(store: ResultStore) -> dict[str, dict]:
+    """key -> result doc for every entry (created_at timestamps excluded
+    by construction: ``get`` returns only the result payload)."""
+    return {
+        path.stem: store.get(path.stem) for path in store._entries()
+    }
+
+
+def run(quick: bool, out: str) -> int:
+    machine = paper_machine()
+    if quick:
+        kernel = linear_regression(8, tasks=96, total_points=192)
+        threads, chunks = (2, 4), (1, 2, 4)
+        predictor_runs = 4
+    else:
+        # Heavy enough (~130 ms/point) that per-cell compute dominates
+        # pool startup — the regime where the cold-scaling gate means
+        # something.
+        kernel = linear_regression(8, tasks=480, total_points=1920)
+        threads, chunks = (2, 4, 8), (1, 2, 4, 8, 16, 32)
+        predictor_runs = 8
+    sweep = WhatIfSweep(machine, predictor_runs=predictor_runs)
+    failures: list[str] = []
+    report: dict = {
+        "quick": quick,
+        "cores": _usable_cores(),
+        "grid": {"threads": threads, "chunks": chunks},
+    }
+
+    # -- 1. serial uncached baseline: the reference bytes --------------------
+    t0 = time.perf_counter()
+    baseline = sweep.sweep(
+        kernel.nest, threads=threads, chunks=chunks,
+        engine=Engine(jobs=1, use_cache=False),
+    )
+    baseline_s = time.perf_counter() - t0
+    baseline_doc = _points_doc(baseline)
+    n = len(baseline.points)
+    report["points"] = n
+    report["baseline_serial_uncached_s"] = round(baseline_s, 4)
+    print(f"[bench-shards] baseline jobs=1 no-cache "
+          f"{baseline_s:.2f}s ({n} points)")
+
+    # -- 2. cold pass per shard count (fresh store each) ----------------------
+    root = default_cache_dir()
+    cold_s: dict[int, float] = {}
+    stores: dict[int, ResultStore] = {}
+    engines: dict[int, ShardedEngine] = {}
+    contents: dict[int, dict] = {}
+    for shards in SHARD_COUNTS:
+        store = ResultStore(root / f"bench-shard-{shards}")
+        store.clear()
+        engine = ShardedEngine(
+            shards=shards, jobs_per_shard=1, store=store,
+            mem_cache=MemCache(),
+        )
+        t0 = time.perf_counter()
+        result = sweep.sweep(
+            kernel.nest, threads=threads, chunks=chunks, engine=engine
+        )
+        wall = time.perf_counter() - t0
+        cold_s[shards] = wall
+        stores[shards] = store
+        engines[shards] = engine
+        contents[shards] = _store_contents(store)
+        if _points_doc(result) != baseline_doc:
+            failures.append(f"shards={shards}: points differ from baseline")
+        if result.reuse.computed != n:
+            failures.append(
+                f"shards={shards}: cold pass reused "
+                f"{result.reuse.reused}/{n} cells (expected 0)"
+            )
+        print(f"[bench-shards] cold shards={shards} {wall:.2f}s")
+    report["cold_s"] = {str(s): round(w, 4) for s, w in cold_s.items()}
+    for shards in SHARD_COUNTS[1:]:
+        if contents[shards] != contents[SHARD_COUNTS[0]]:
+            failures.append(
+                f"shards={shards}: store contents differ from shards=1"
+            )
+    if not contents[SHARD_COUNTS[0]]:
+        failures.append("shards=1 store is empty after the cold pass")
+
+    cores = _usable_cores()
+    speedup = cold_s[1] / cold_s[4] if cold_s[4] else float("inf")
+    report["cold_speedup_4_shards"] = round(speedup, 2)
+    gate_speedup = not quick and cores >= 4
+    report["speedup_gate_enforced"] = gate_speedup
+    if gate_speedup and speedup < MIN_COLD_SPEEDUP:
+        failures.append(
+            f"cold speedup at 4 shards {speedup:.2f}x < "
+            f"{MIN_COLD_SPEEDUP:.1f}x ({cores} cores)"
+        )
+    elif not gate_speedup:
+        print(f"[bench-shards] speedup gate skipped "
+              f"(quick={quick}, cores={cores}); measured {speedup:.2f}x")
+
+    # -- 3. warm pass: memory tier only, zero pool dispatches ----------------
+    engine = engines[SHARD_COUNTS[-1]]
+    mem0 = _counter("engine_memcache_hits_total")
+    miss0 = _counter("engine_cache_misses_total")
+    t0 = time.perf_counter()
+    warm = sweep.sweep(
+        kernel.nest, threads=threads, chunks=chunks, engine=engine
+    )
+    warm_s = time.perf_counter() - t0
+    mem_hits = _counter("engine_memcache_hits_total") - mem0
+    dispatches = _counter("engine_cache_misses_total") - miss0
+    mem_fraction = warm.reuse.mem_hits / n if n else 0.0
+    report["warm_s"] = round(warm_s, 4)
+    report["warm_mem_hits"] = int(mem_hits)
+    report["warm_mem_fraction"] = round(mem_fraction, 4)
+    report["warm_pool_dispatches"] = int(dispatches)
+    print(f"[bench-shards] warm {warm_s:.3f}s  mem hits "
+          f"{mem_hits:.0f}/{n}  pool dispatches {dispatches:.0f}")
+    if _points_doc(warm) != baseline_doc:
+        failures.append("warm pass points differ from baseline")
+    if mem_fraction < MIN_WARM_MEM_FRACTION:
+        failures.append(
+            f"warm memory-tier fraction {mem_fraction:.0%} < "
+            f"{MIN_WARM_MEM_FRACTION:.0%}"
+        )
+    if dispatches:
+        failures.append(f"warm pass dispatched {dispatches:.0f} jobs "
+                        "to the pool (expected 0)")
+
+    # -- 4. incremental manifest: only the edited kernel recomputes ----------
+    other = heat_diffusion(rows=6, cols=130)
+    edited = heat_diffusion(rows=6, cols=258)  # the "edit": new digest
+    manifest = Manifest()
+    manifest.update("bench://other.c", other.nest.name, nest_digest(other.nest))
+    manifest.update("bench://edited.c", edited.nest.name, "pre-edit-digest")
+    reuse = ReuseReport()
+    recomputed = []
+    for path, k in (("bench://other.c", other), ("bench://edited.c", edited)):
+        digest = nest_digest(k.nest)
+        grid = sweep.feasible_grid(k.nest, threads, chunks)
+        if manifest.unchanged(path, k.nest.name, digest):
+            reuse.skip(len(grid))
+            continue
+        recomputed.append(path)
+        result = sweep.sweep(
+            k.nest, threads=threads, chunks=chunks,
+            engine=Engine(jobs=1, use_cache=False),
+        )
+        reuse.merge(result.reuse)
+    report["incremental"] = {
+        "recomputed": recomputed,
+        "reuse": reuse.to_dict(),
+    }
+    print(f"[bench-shards] incremental: recomputed {recomputed}; "
+          f"{reuse.one_line()}")
+    if recomputed != ["bench://edited.c"]:
+        failures.append(
+            f"incremental recomputed {recomputed} "
+            "(expected only the edited kernel)"
+        )
+    if reuse.skipped_unchanged == 0 or reuse.computed == 0:
+        failures.append("incremental reuse report missing skip/compute split")
+
+    report["summary"] = {
+        "identical_across_shards": all(
+            "points differ" not in f and "store contents" not in f
+            for f in failures
+        ),
+        "cold_speedup_4_shards": report["cold_speedup_4_shards"],
+        "warm_mem_fraction": report["warm_mem_fraction"],
+        "incremental_ok": recomputed == ["bench://edited.c"],
+        "ok": not failures,
+    }
+    report["failures"] = failures
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"[bench-shards] wrote {out}")
+    if failures:
+        for failure in failures:
+            print(f"[bench-shards] FAILED: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid; skip the cold-scaling gate "
+                             "(CI shard-smoke mode)")
+    parser.add_argument("--out", default="BENCH_shards.json")
+    args = parser.parse_args(argv)
+    return run(args.quick, args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,6 +122,11 @@ class ExperimentSuite(SupplementaryMixin):
         )
         self.sim = MulticoreSimulator(self.machine)
         self.total_model = TotalCostModel(self.machine)
+        # Refreshed by run_all(): provenance of the last suite run
+        # (computed vs served-from-cache per driver).
+        from repro.engine.incremental import ReuseReport
+
+        self.last_reuse = ReuseReport()
 
     # -- Tables I-III: measured vs modeled FS overhead -------------------------
 
@@ -439,17 +444,26 @@ class ExperimentSuite(SupplementaryMixin):
         :class:`~repro.resilience.partial.FailurePolicy`, failed
         drivers are isolated into ``policy.failures`` and the rest of
         the suite completes.
+
+        ``self.last_reuse`` is refreshed with a per-driver
+        :class:`~repro.engine.incremental.ReuseReport` (engine runs
+        classify each driver by cache tier; serial runs count them all
+        as computed) — the runner embeds it in the suite summary.
         """
+        from repro.engine.incremental import ReuseReport, reuse_from_outcomes
         from repro.resilience.errors import ReproError
         from repro.resilience.partial import FailureReport
 
         if engine is not None:
             jobs = self.experiment_jobs()
             if policy is None:
-                docs = engine.run_strict(jobs)
+                outcomes = engine.run(jobs)
+                docs = [outcome.unwrap() for outcome in outcomes]
+                self.last_reuse = reuse_from_outcomes(outcomes)
                 return [ExperimentResult.from_dict(doc) for doc in docs]
             out: list[ExperimentResult] = []
-            for outcome in engine.run(jobs):
+            outcomes = engine.run(jobs)
+            for outcome in outcomes:
                 if outcome.ok:
                     out.append(ExperimentResult.from_dict(outcome.result))
                     policy.record_success()
@@ -459,6 +473,7 @@ class ExperimentSuite(SupplementaryMixin):
                             outcome, kind="experiment.driver"
                         )
                     )
+            self.last_reuse = reuse_from_outcomes(outcomes)
             return out
         out = []
         for name in DRIVER_ORDER:
@@ -480,6 +495,10 @@ class ExperimentSuite(SupplementaryMixin):
                     continue
             logger.info("%s done in %.1fs", res.experiment, res.elapsed_seconds)
             out.append(res)
+        self.last_reuse = ReuseReport(
+            total=len(DRIVER_ORDER), computed=len(out),
+            failed=len(DRIVER_ORDER) - len(out),
+        )
         return out
 
 

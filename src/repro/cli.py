@@ -42,8 +42,13 @@ Every analysis subcommand also accepts ``--profile TRACE.json`` /
 ``REPRO_METRICS`` environment variables) — see docs/OBSERVABILITY.md —
 plus the batch-engine flags ``--jobs N`` (worker processes; sweep and
 experiments fan out, and ``--jobs N`` output is byte-identical to
-``--jobs 1``) and ``--no-cache`` (skip the result store) — see
-docs/ENGINE.md.
+``--jobs 1``), ``--shards N`` (partition the batch across N
+independent pools — ``--jobs`` becomes workers *per shard*),
+``--mem-cache-mb MB`` (in-memory result tier in front of the store;
+0 disables) and ``--no-cache`` (skip both cache tiers).  ``sweep``
+additionally takes ``--since-manifest [MANIFEST.json]`` for
+incremental re-analysis: only kernels whose nest digests moved since
+the recorded manifest are recomputed — see docs/ENGINE.md.
 
 Resilience flags (docs/RESILIENCE.md): ``--deadline SECONDS`` /
 ``--max-iters N`` build a :class:`repro.resilience.Budget` for every
@@ -120,10 +125,19 @@ def _model_kwargs(args: argparse.Namespace) -> dict:
 def _add_engine_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                    help="worker processes for batch evaluation (default 1 "
-                        "= serial; results are identical either way)")
+                        "= serial; per shard when --shards > 1; results "
+                        "are identical either way)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the batch by job key across N "
+                        "independent worker pools (default 1; results "
+                        "are byte-identical for any shard count)")
+    p.add_argument("--mem-cache-mb", type=int, default=64, metavar="MB",
+                   help="in-memory result-cache budget in MiB, consulted "
+                        "before the disk store (0 disables; default 64)")
     p.add_argument("--no-cache", action="store_true",
-                   help="skip the on-disk result cache ($REPRO_CACHE_DIR "
-                        "or ~/.cache/repro)")
+                   help="skip the result cache — both the memory tier and "
+                        "the on-disk store ($REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
@@ -178,12 +192,16 @@ def _print_failures(policy: FailurePolicy) -> None:
 
 
 def _engine_from(args: argparse.Namespace):
-    """Build an :class:`repro.engine.Engine` from the common CLI flags."""
-    from repro.engine import Engine
+    """Build the engine the ``--jobs/--shards/--mem-cache-mb`` flags ask
+    for (a plain :class:`repro.engine.Engine`, or a
+    :class:`repro.engine.ShardedEngine` when ``--shards > 1``)."""
+    from repro.engine import make_engine
 
-    return Engine(
+    return make_engine(
         jobs=getattr(args, "jobs", 1),
+        shards=getattr(args, "shards", 1),
         use_cache=not getattr(args, "no_cache", False),
+        mem_cache_mb=getattr(args, "mem_cache_mb", 64),
     )
 
 
@@ -197,11 +215,13 @@ def _macros(defines: list[str]) -> dict[str, int]:
     return out
 
 
-def _load_kernels(
+def _load_kernel_files(
     args: argparse.Namespace, policy: FailurePolicy | None = None
 ):
-    """Parse every input file into kernels.
+    """Parse every input file into ``(path, kernel)`` pairs.
 
+    The path rides along so incremental consumers (``sweep
+    --since-manifest``) can key the digest manifest per source file.
     Without a ``policy`` any frontend failure propagates (strict, the
     single-file commands).  With a keep-going policy, a file that fails
     to parse becomes one isolated :class:`FailureReport` and the other
@@ -209,7 +229,7 @@ def _load_kernels(
     unparsable kernel produces the rest of the landscape plus a
     structured failure, not a dead run.
     """
-    kernels = []
+    pairs = []
     for path in args.file:
         try:
             with open(path, encoding="utf-8") as fh:
@@ -217,8 +237,11 @@ def _load_kernels(
         except OSError as exc:
             raise SystemExit(f"{path}: {exc.strerror or exc}") from exc
         try:
-            kernels.extend(
-                parse_c_source(source, extra_macros=_macros(args.define))
+            pairs.extend(
+                (path, kernel)
+                for kernel in parse_c_source(
+                    source, extra_macros=_macros(args.define)
+                )
             )
         except ReproError as exc:
             if policy is None:
@@ -229,10 +252,17 @@ def _load_kernels(
                 ),
                 cause=exc,
             )
-    if not kernels and not (policy is not None and policy.failures):
+    if not pairs and not (policy is not None and policy.failures):
         names = ", ".join(args.file)
         raise SystemExit(f"{names}: no OpenMP parallel for loops found")
-    return kernels
+    return pairs
+
+
+def _load_kernels(
+    args: argparse.Namespace, policy: FailurePolicy | None = None
+):
+    """Parse every input file into kernels (paths dropped)."""
+    return [kernel for _, kernel in _load_kernel_files(args, policy=policy)]
 
 
 def _threads_for(args: argparse.Namespace, kernel) -> int:
@@ -318,6 +348,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     for res in results:
         print(res.to_text())
         print()
+    if suite.last_reuse.total:
+        print(f"reuse: {suite.last_reuse.one_line()}")
     _print_failures(policy)
     return 0 if results else 1
 
@@ -361,6 +393,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import Manifest, default_manifest_path, nest_digest
+    from repro.engine.incremental import ReuseReport
     from repro.model import WhatIfSweep
 
     machine = paper_machine(num_cores=args.cores)
@@ -374,10 +408,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     engine = _engine_from(args)
     budget = _budget_from(args)
     policy = _policy_from(args)
+    manifest = manifest_path = None
+    if args.since_manifest is not None:
+        manifest_path = args.since_manifest or str(default_manifest_path())
+        # A missing/corrupt manifest degrades to a full sweep (with a
+        # warning), never an error — load() cannot raise.
+        manifest = Manifest.load(manifest_path)
+        if manifest.warning:
+            print(f"warning: {manifest.warning}", file=sys.stderr)
     produced = 0
-    for k in _load_kernels(args, policy=policy):
+    reuse = ReuseReport()
+    for path, k in _load_kernel_files(args, policy=policy):
+        file_key = os.path.abspath(path)
+        digest = nest_digest(k.nest)
+        if manifest is not None and manifest.unchanged(
+            file_key, k.nest.name, digest
+        ):
+            cells = len(sweep.feasible_grid(k.nest, threads, chunks))
+            reuse.skip(cells)
+            produced += cells
+            print(f"kernel {k.name}: unchanged since manifest "
+                  f"({cells} cells skipped)")
+            continue
         result = sweep.sweep(k.nest, threads=threads, chunks=chunks,
                              engine=engine, budget=budget, policy=policy)
+        reuse.merge(result.reuse)
         produced += len(result.points)
         print(f"kernel {k.name}: {len(result.points)} configurations")
         print(f"{'threads':>8} | {'chunk':>6} | {'FS cases':>10} | "
@@ -392,6 +447,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             best = result.best()
             print(f"best: {best.threads} threads, "
                   f"schedule(static,{best.chunk})")
+        if manifest is not None and not result.failures:
+            manifest.update(file_key, k.nest.name, digest)
+    if manifest is not None and produced:
+        manifest.save(manifest_path)
+        print(f"manifest -> {manifest_path}")
+    if reuse.total:
+        print(f"reuse: {reuse.one_line()}")
     _print_failures(policy)
     # Keep-going semantics: a partial landscape is a successful run.
     # Only a sweep that produced *nothing* is a failure.
@@ -431,6 +493,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        shards=args.shards,
+        mem_cache_mb=args.mem_cache_mb,
         concurrency=args.concurrency,
         batch_cells=args.batch_cells,
         tenants_file=args.tenants_file,
@@ -446,14 +510,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    from repro.engine import ResultStore
+    from repro.engine import ResultStore, shared_memcache
 
     store = ResultStore(args.dir) if args.dir else ResultStore()
+    tier = args.tier
     if args.cache_op == "stats":
-        print(store.stats().to_text())
+        if tier in ("disk", "all"):
+            print("[disk tier]")
+            print(store.stats().to_text())
+        if tier in ("mem", "all"):
+            if tier == "all":
+                print()
+            print("[memory tier] (this process)")
+            print(shared_memcache().stats().to_text())
     elif args.cache_op == "clear":
-        dropped = store.clear()
-        print(f"removed {dropped:,} cache entries from {store.root}")
+        if tier in ("disk", "all"):
+            dropped = store.clear()
+            print(f"removed {dropped:,} disk cache entries from {store.root}")
+        if tier in ("mem", "all"):
+            dropped = shared_memcache().clear()
+            print(f"removed {dropped:,} memory-tier entries (this process)")
     return 0
 
 
@@ -501,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=None,
                    help="cache root (default $REPRO_CACHE_DIR or "
                         "~/.cache/repro)")
+    p.add_argument("--tier", choices=("mem", "disk", "all"), default="all",
+                   help="which cache tier to inspect/clear: the "
+                        "in-process memory LRU, the on-disk store, or "
+                        "both (default all)")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
@@ -530,6 +610,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="request the full exact model per point instead of "
                         "the regression predictor (degrades down the "
                         "ladder under --max-iters/--deadline)")
+    p.add_argument("--since-manifest", nargs="?", const="", default=None,
+                   metavar="MANIFEST.json",
+                   help="incremental mode: skip kernels whose nest digests "
+                        "match the manifest recorded by the previous sweep, "
+                        "then rewrite it (default path: "
+                        "$REPRO_CACHE_DIR/manifest.json); a missing or "
+                        "corrupt manifest falls back to a full sweep with "
+                        "a warning")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -550,7 +638,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="TCP port; 0 picks an ephemeral one (default 8377)")
     p.add_argument("--workers", type=int, default=2,
                    help="engine worker processes for sweep cells "
-                        "(default 2)")
+                        "(default 2; per shard when --shards > 1)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition sweep batches by job key across N "
+                        "independent worker pools (default 1)")
+    p.add_argument("--mem-cache-mb", type=int, default=64, metavar="MB",
+                   help="shared in-memory result tier in MiB — the "
+                        "cross-tenant warm cache (0 disables; default 64)")
     p.add_argument("--concurrency", type=int, default=2,
                    help="jobs progressing concurrently (default 2)")
     p.add_argument("--batch-cells", type=int, default=16,

@@ -15,11 +15,23 @@ Typical use::
     sweep = WhatIfSweep(machine)
     result = sweep.sweep(nest, engine=engine)   # parallel, memoized
 
+Scaling layers on top of the core engine:
+
+* :mod:`repro.engine.memcache` — an in-memory LRU tier in front of the
+  store (two-tier cache; ``--mem-cache-mb``);
+* :mod:`repro.engine.shards` — :class:`~repro.engine.shards.ShardedEngine`
+  partitions a batch across N independent pools by job key
+  (``--shards``); :func:`~repro.engine.shards.make_engine` builds the
+  right engine from the CLI flags;
+* :mod:`repro.engine.incremental` — source-digest manifests for
+  ``--since-manifest`` plus the :class:`~repro.engine.incremental.ReuseReport`
+  ``reuse`` block embedded in sweep/experiment summaries.
+
 Consumers wired through the engine: ``WhatIfSweep.sweep``,
 ``ExperimentSuite.run_all``, ``repro.analysis.sensitivity.sensitivity``
 and the ``repro sweep`` / ``repro experiments`` CLI commands (flags
-``--jobs N`` / ``--no-cache``; maintenance via ``repro cache
-{stats,clear}``).  See ``docs/ENGINE.md``.
+``--jobs N`` / ``--shards N`` / ``--mem-cache-mb`` / ``--no-cache``;
+maintenance via ``repro cache {stats,clear}``).  See ``docs/ENGINE.md``.
 """
 
 from repro.engine.job import (
@@ -37,8 +49,22 @@ from repro.engine.keys import (
     nest_digest,
     stable_hash,
 )
+from repro.engine.incremental import (
+    MANIFEST_SCHEMA_VERSION,
+    Manifest,
+    ReuseReport,
+    default_manifest_path,
+    reuse_from_outcomes,
+)
+from repro.engine.memcache import (
+    DEFAULT_MEM_CACHE_MB,
+    MemCache,
+    MemCacheStats,
+    shared_memcache,
+)
 from repro.engine.pool import JobOutcome, WorkerPool, cancelled_outcome
 from repro.engine.scheduler import Engine, default_jobs
+from repro.engine.shards import ShardedEngine, make_engine, shard_of
 from repro.engine.store import (
     STORE_SCHEMA_VERSION,
     ResultStore,
@@ -63,6 +89,18 @@ __all__ = [
     "WorkerPool",
     "Engine",
     "default_jobs",
+    "MANIFEST_SCHEMA_VERSION",
+    "Manifest",
+    "ReuseReport",
+    "default_manifest_path",
+    "reuse_from_outcomes",
+    "DEFAULT_MEM_CACHE_MB",
+    "MemCache",
+    "MemCacheStats",
+    "shared_memcache",
+    "ShardedEngine",
+    "make_engine",
+    "shard_of",
     "STORE_SCHEMA_VERSION",
     "ResultStore",
     "StoreStats",

@@ -54,6 +54,12 @@ class JobOutcome:
     records the error string of every *non-final* attempt, so a report
     can show "crashed twice, then timed out" rather than just the
     terminal state.
+
+    ``cache_tier`` records *where* a ``from_cache`` result came from:
+    ``"mem"`` (in-memory LRU tier), ``"disk"`` (the on-disk store) or
+    ``"dedupe"`` (an intra-batch alias of a job computed in the same
+    batch); ``None`` for executed jobs.  Reuse reports
+    (:mod:`repro.engine.incremental`) aggregate it per sweep.
     """
 
     job: Job
@@ -64,6 +70,7 @@ class JobOutcome:
     from_cache: bool = False
     error_code: str | None = None
     retry_history: tuple[str, ...] = ()
+    cache_tier: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -141,6 +148,12 @@ class WorkerPool:
     backoff_s:
         Linear backoff unit: attempt ``k`` sleeps ``k * backoff_s``
         before resubmission.
+    inline:
+        Whether ``workers <= 1`` may execute in the calling process
+        (the default, and the deterministic reference path).  A sharded
+        engine sets ``inline=False`` so even a one-worker shard runs in
+        a real subprocess — N single-worker shards then occupy N cores
+        instead of contending for the caller's GIL.
     """
 
     def __init__(
@@ -149,6 +162,7 @@ class WorkerPool:
         timeout_s: float | None = None,
         retries: int = 2,
         backoff_s: float = 0.05,
+        inline: bool = True,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -158,6 +172,7 @@ class WorkerPool:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.inline = inline
         self._closing = threading.Event()
         reg = get_registry()
         self._retries_total = reg.counter(
@@ -247,7 +262,7 @@ class WorkerPool:
                 for outcome in outcomes:
                     on_outcome(outcome)
             return outcomes
-        if self.workers <= 1:
+        if self.workers <= 1 and self.inline:
             return self._run_inline(jobs, on_outcome)
         return self._run_pool(jobs, on_outcome)
 

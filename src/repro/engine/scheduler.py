@@ -17,7 +17,9 @@ Flow of :meth:`Engine.run`::
 Observability (PR-1 layer): the engine maintains
 
 * ``engine_jobs_total{status=completed|failed}`` counters,
-* ``engine_cache_hits_total`` / ``engine_cache_misses_total``,
+* ``engine_cache_hits_total`` / ``engine_cache_misses_total`` (either
+  tier; the memory tier additionally keeps its own
+  ``engine_memcache_*`` counters — see :mod:`repro.engine.memcache`),
 * ``engine_job_seconds`` histogram (per executed job),
 * ``engine_pool_utilization`` gauge — executed-job busy-time divided by
   ``workers × batch wall time`` of the last batch,
@@ -33,6 +35,7 @@ import time
 from typing import Callable, Sequence
 
 from repro.engine.job import Job
+from repro.engine.memcache import MemCache
 from repro.engine.pool import JobOutcome, WorkerPool, cancelled_outcome
 from repro.resilience.errors import JobCancelledError
 from repro.engine.store import ResultStore
@@ -63,8 +66,16 @@ class Engine:
     store:
         Override the store (tests point this at a tmp dir); defaults to
         the shared ``$REPRO_CACHE_DIR`` location.
+    mem_cache:
+        Optional in-memory LRU tier (:class:`~repro.engine.memcache.MemCache`)
+        consulted *before* the store; disk hits are promoted into it and
+        computed results are written through to both tiers.  ``None``
+        (default) keeps the historical single-tier behaviour.
     timeout_s / retries:
         Per-job failure budget, forwarded to :class:`WorkerPool`.
+    inline:
+        Forwarded to :class:`WorkerPool` — set ``False`` to force even
+        a one-worker pool into a subprocess (the sharded engine does).
     """
 
     def __init__(
@@ -72,18 +83,21 @@ class Engine:
         jobs: int = 1,
         use_cache: bool = True,
         store: ResultStore | None = None,
+        mem_cache: MemCache | None = None,
         timeout_s: float | None = None,
         retries: int = 2,
         backoff_s: float = 0.05,
+        inline: bool = True,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.use_cache = use_cache
         self.store = store if store is not None else (
             ResultStore() if use_cache else None
         )
+        self.mem_cache = mem_cache if use_cache else None
         self.pool = WorkerPool(
             workers=self.jobs, timeout_s=timeout_s, retries=retries,
-            backoff_s=backoff_s,
+            backoff_s=backoff_s, inline=inline,
         )
         reg = get_registry()
         self._jobs_total = reg.counter(
@@ -102,6 +116,28 @@ class Engine:
             "engine_pool_utilization",
             "busy-fraction of the worker pool over the last batch",
         )
+
+    # -- cache tiers --------------------------------------------------------
+
+    def _lookup(self, key: str) -> tuple[dict | None, str | None]:
+        """Two-tier cache lookup: ``(result, tier)`` or ``(None, None)``.
+
+        Memory first (O(1), no deserialize), then disk; a disk hit is
+        promoted into the memory tier so its next lookup is free.
+        """
+        if not self.use_cache:
+            return None, None
+        if self.mem_cache is not None:
+            cached = self.mem_cache.get(key)
+            if cached is not None:
+                return cached, "mem"
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                if self.mem_cache is not None:
+                    self.mem_cache.put(key, cached, promoted=True)
+                return cached, "disk"
+        return None, None
 
     # -- public -------------------------------------------------------------
 
@@ -151,13 +187,12 @@ class Engine:
                     if key in owners:
                         continue
                     owners[key] = i
-                    cached = self.store.get(key) if (
-                        self.use_cache and self.store is not None
-                    ) else None
+                    cached, tier = self._lookup(key)
                     if cached is not None:
                         self._hits.inc()
                         outcomes[i] = JobOutcome(
-                            job, result=cached, attempts=0, from_cache=True
+                            job, result=cached, attempts=0, from_cache=True,
+                            cache_tier=tier,
                         )
                         if on_outcome is not None:
                             on_outcome(outcomes[i])
@@ -191,23 +226,26 @@ class Engine:
                     else:
                         status = "failed"
                     self._jobs_total.labels(status=status).inc()
-                    if (
-                        outcome.ok
-                        and self.use_cache
-                        and self.store is not None
-                    ):
-                        try:
-                            self.store.put(
-                                outcome.job.key(), outcome.result,
-                                kind=outcome.job.kind, label=outcome.job.label,
-                            )
-                        except StoreError as exc:
-                            # A failed cache write degrades re-run speed,
-                            # never the result already in hand.
-                            logger.warning(
-                                "cache write skipped for %s: %s",
-                                outcome.job.describe(), exc,
-                            )
+                    if outcome.ok and self.use_cache:
+                        key = outcome.job.key()
+                        if self.mem_cache is not None:
+                            # Write-through: a warm re-run in this
+                            # process never touches the disk tier.
+                            self.mem_cache.put(key, outcome.result)
+                        if self.store is not None:
+                            try:
+                                self.store.put(
+                                    key, outcome.result,
+                                    kind=outcome.job.kind,
+                                    label=outcome.job.label,
+                                )
+                            except StoreError as exc:
+                                # A failed cache write degrades re-run
+                                # speed, never the result in hand.
+                                logger.warning(
+                                    "cache write skipped for %s: %s",
+                                    outcome.job.describe(), exc,
+                                )
                     if on_outcome is not None:
                         on_outcome(outcome)
 
@@ -232,6 +270,7 @@ class Engine:
                     job, result=owner.result, error=owner.error,
                     attempts=0, from_cache=True,
                     error_code=owner.error_code,
+                    cache_tier=owner.cache_tier or "dedupe",
                 )
                 if on_outcome is not None:
                     on_outcome(outcomes[i])

@@ -1,0 +1,315 @@
+"""Sharded sweep scheduler: partition one batch across N worker pools.
+
+A single :class:`~repro.engine.scheduler.Engine` drives one
+``ProcessPoolExecutor``.  That is plenty for a 48-point landscape; a
+10⁶-cell what-if grid wants every core the box has *and* a partition
+function that will later span hosts.  :class:`ShardedEngine` provides
+both:
+
+* jobs are partitioned by :func:`shard_of` — a pure function of the
+  job's content-addressed ``stable_hash`` key, so the same job always
+  lands on the same shard regardless of batch composition or shard
+  *count* changes re-balancing everything deterministically.  This is
+  the seam for a future cross-host scheduler: replace "shard index →
+  local pool" with "shard index → socket" and nothing above changes;
+* each shard is an independent :class:`Engine` (own
+  :class:`~repro.engine.pool.WorkerPool`, ``inline=False`` so even
+  one-worker shards occupy a real core) sharing **one** result store
+  and **one** optional memory tier, so cross-shard cache reuse is free;
+* the merge is deterministic: outcomes return in input order, making
+  sharded output byte-identical to the serial engine (each cell's
+  evaluation is already deterministic — the shard layer adds no
+  ordering dependence).
+
+Because duplicate keys hash to the same shard, the per-shard in-batch
+dedupe *is* the global dedupe.
+
+Observability: ``engine_shard_jobs_total{shard=N}`` counters,
+``engine_shard_utilization{shard=N}`` gauges (executed-job busy time ÷
+shard wall time) and an ``engine_shard_imbalance`` gauge
+(``max/mean − 1`` of per-shard job counts; 0 = perfectly balanced).
+
+:func:`make_engine` is the one-stop factory the CLI, runner and service
+use to turn ``--jobs/--shards/--mem-cache-mb`` into the right engine.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.engine.job import Job
+from repro.engine.memcache import DEFAULT_MEM_CACHE_MB, MemCache
+from repro.engine.pool import JobOutcome
+from repro.engine.scheduler import Engine
+from repro.engine.store import ResultStore
+from repro.obs import get_registry, span
+from repro.util import get_logger
+
+__all__ = ["ShardedEngine", "make_engine", "shard_of"]
+
+logger = get_logger(__name__)
+
+
+def shard_of(key: str, shards: int) -> int:
+    """The shard owning cache key ``key`` among ``shards`` partitions.
+
+    Pure and stable: derived from the leading 64 bits of the SHA-256
+    job key, so any process (or, later, any host) computes the same
+    placement without coordination.
+    """
+    if shards <= 1:
+        return 0
+    return int(key[:16], 16) % shards
+
+
+class ShardedEngine:
+    """N independent engines behind one deterministic partition.
+
+    Parameters
+    ----------
+    shards:
+        Partition count; each shard gets its own worker pool.
+    jobs_per_shard:
+        Worker processes per shard (total parallelism is
+        ``shards × jobs_per_shard``).
+    store / mem_cache / use_cache:
+        Shared across every shard — one content-addressed disk store,
+        one optional memory tier.
+    inline:
+        ``False`` (default) keeps one-worker shards in subprocesses so
+        N shards really use N cores.  Tests flip it to ``True`` for
+        cheap thread-parallel inline execution.
+    timeout_s / retries / backoff_s:
+        Per-job failure budgets, forwarded to every shard's pool.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        jobs_per_shard: int = 1,
+        use_cache: bool = True,
+        store: ResultStore | None = None,
+        mem_cache: MemCache | None = None,
+        timeout_s: float | None = None,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        inline: bool = False,
+    ) -> None:
+        self.shards = max(1, int(shards))
+        self.jobs_per_shard = max(1, int(jobs_per_shard))
+        self.use_cache = use_cache
+        if store is None and use_cache:
+            store = ResultStore()
+        self.store = store if use_cache else None
+        self.mem_cache = mem_cache if use_cache else None
+        self.engines = [
+            Engine(
+                jobs=self.jobs_per_shard,
+                use_cache=use_cache,
+                store=self.store,
+                mem_cache=self.mem_cache,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+                inline=inline,
+            )
+            for _ in range(self.shards)
+        ]
+        reg = get_registry()
+        self._shard_jobs = reg.counter(
+            "engine_shard_jobs_total", "jobs dispatched per shard"
+        )
+        self._shard_util = reg.gauge(
+            "engine_shard_utilization",
+            "executed-job busy time / shard wall time, last batch",
+        )
+        self._imbalance = reg.gauge(
+            "engine_shard_imbalance",
+            "max/mean - 1 of per-shard job counts over the last batch "
+            "(0 = perfectly balanced)",
+        )
+
+    # -- facade -------------------------------------------------------------
+
+    @property
+    def jobs(self) -> int:
+        """Total worker processes across every shard (Engine-compatible)."""
+        return self.shards * self.jobs_per_shard
+
+    @property
+    def pools(self) -> list:
+        """Every shard's :class:`~repro.engine.pool.WorkerPool`."""
+        return [engine.pool for engine in self.engines]
+
+    def partition(self, jobs: Sequence[Job]) -> list[list[int]]:
+        """Input indices per shard, preserving input order inside each."""
+        buckets: list[list[int]] = [[] for _ in range(self.shards)]
+        for i, job in enumerate(jobs):
+            buckets[shard_of(job.key(), self.shards)].append(i)
+        return buckets
+
+    # -- public -------------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        on_outcome: Callable[[JobOutcome], None] | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> list[JobOutcome]:
+        """Execute a batch across every shard; outcomes in input order.
+
+        ``on_outcome`` fires from shard threads under one lock (so
+        callers can keep non-thread-safe accumulators), once per input
+        job.  ``should_stop`` is polled by every shard — cancellation
+        semantics match :meth:`Engine.run`.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        buckets = self.partition(jobs)
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        cb_lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        locked_cb = None
+        if on_outcome is not None:
+            def locked_cb(outcome: JobOutcome) -> None:
+                with cb_lock:
+                    on_outcome(outcome)
+
+        def run_shard(shard: int, indices: list[int]) -> None:
+            try:
+                ran = self.engines[shard].run(
+                    [jobs[i] for i in indices],
+                    on_outcome=locked_cb,
+                    should_stop=should_stop,
+                )
+                for i, outcome in zip(indices, ran):
+                    outcomes[i] = outcome
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with cb_lock:
+                    errors.append(exc)
+
+        active = [
+            (shard, indices)
+            for shard, indices in enumerate(buckets)
+            if indices
+        ]
+        with span(
+            "engine.shard_run",
+            n_jobs=len(jobs),
+            shards=len(active),
+            workers=self.jobs,
+        ):
+            import time
+
+            t0 = time.perf_counter()
+            threads = []
+            for shard, indices in active:
+                self._shard_jobs.labels(shard=shard).inc(len(indices))
+                thread = threading.Thread(
+                    target=run_shard,
+                    args=(shard, indices),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                threads.append(thread)
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = max(time.perf_counter() - t0, 1e-9)
+        if errors:
+            raise errors[0]
+        assert all(o is not None for o in outcomes)
+        self._publish_batch_metrics(buckets, outcomes, wall)
+        return outcomes  # type: ignore[return-value]
+
+    def run_strict(self, jobs: Sequence[Job]) -> list[dict]:
+        """Like :meth:`run` but unwraps results, raising on any failure."""
+        return [outcome.unwrap() for outcome in self.run(jobs)]
+
+    def close(self, drain: bool = True) -> None:
+        """Drain every shard's pool (idempotent, any thread)."""
+        for engine in self.engines:
+            engine.close(drain=drain)
+
+    def reopen(self) -> None:
+        """Clear a previous drain on every shard's pool."""
+        for engine in self.engines:
+            engine.pool.reopen()
+
+    # -- metrics ------------------------------------------------------------
+
+    def _publish_batch_metrics(
+        self,
+        buckets: list[list[int]],
+        outcomes: list[JobOutcome | None],
+        wall: float,
+    ) -> None:
+        counts = [len(indices) for indices in buckets]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        self._imbalance.set(max(counts) / mean - 1.0 if mean else 0.0)
+        for shard, indices in enumerate(buckets):
+            busy = sum(
+                outcomes[i].duration_s
+                for i in indices
+                if outcomes[i] is not None and not outcomes[i].from_cache
+            )
+            denom = wall * self.jobs_per_shard
+            self._shard_util.labels(shard=shard).set(
+                min(busy / denom, 1.0) if denom else 0.0
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine(shards={self.shards}, "
+            f"jobs_per_shard={self.jobs_per_shard}, "
+            f"use_cache={self.use_cache})"
+        )
+
+
+def make_engine(
+    jobs: int = 1,
+    shards: int = 1,
+    use_cache: bool = True,
+    store: ResultStore | None = None,
+    mem_cache: MemCache | None = None,
+    mem_cache_mb: int = DEFAULT_MEM_CACHE_MB,
+    timeout_s: float | None = None,
+    retries: int = 2,
+    backoff_s: float = 0.05,
+):
+    """Build the engine the ``--jobs/--shards/--mem-cache-mb`` flags ask for.
+
+    * ``shards <= 1`` → a plain :class:`Engine` with ``jobs`` workers;
+    * ``shards > 1`` → a :class:`ShardedEngine` with ``jobs`` workers
+      *per shard* (``--jobs 2 --shards 4`` = 8 worker processes);
+    * ``mem_cache_mb > 0`` (default 64) puts a fresh
+      :class:`~repro.engine.memcache.MemCache` of that byte budget in
+      front of the store; ``0`` disables the memory tier.  Pass an
+      explicit ``mem_cache`` (e.g. :func:`~repro.engine.memcache.shared_memcache`)
+      to share a tier across engines — the service does.
+    """
+    if mem_cache is None and use_cache and mem_cache_mb and mem_cache_mb > 0:
+        mem_cache = MemCache(max_bytes=int(mem_cache_mb) * 2**20)
+    if shards <= 1:
+        return Engine(
+            jobs=jobs,
+            use_cache=use_cache,
+            store=store,
+            mem_cache=mem_cache,
+            timeout_s=timeout_s,
+            retries=retries,
+            backoff_s=backoff_s,
+        )
+    return ShardedEngine(
+        shards=shards,
+        jobs_per_shard=jobs,
+        use_cache=use_cache,
+        store=store,
+        mem_cache=mem_cache,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+    )

@@ -65,7 +65,13 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class StoreStats:
-    """Aggregate view of one store (``repro cache stats``)."""
+    """Aggregate view of one store (``repro cache stats``).
+
+    ``bytes_read`` / ``bytes_written`` are *cumulative process-lifetime*
+    I/O counters (mirrored to ``engine_store_bytes_read_total`` /
+    ``engine_store_bytes_written_total`` on ``/metrics``), not a disk
+    walk — they are what cache-efficiency dashboards divide by.
+    """
 
     path: str
     schema: int
@@ -73,6 +79,8 @@ class StoreStats:
     total_bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     oldest_age_s: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
 
     def to_text(self) -> str:
         lines = [
@@ -85,6 +93,12 @@ class StoreStats:
             lines.append(f"  {kind:<22} {self.by_kind[kind]:,}")
         if self.entries:
             lines.append(f"oldest entry    : {self.oldest_age_s:,.0f}s ago")
+        lines.append(
+            f"bytes read      : {self.bytes_read:,} (this process)"
+        )
+        lines.append(
+            f"bytes written   : {self.bytes_written:,} (this process)"
+        )
         return "\n".join(lines)
 
 
@@ -115,6 +129,14 @@ class ResultStore:
         )
         self._evicted = reg.counter(
             "engine_cache_evicted_total", "cache entries pruned by max_entries"
+        )
+        self._bytes_read = reg.counter(
+            "engine_store_bytes_read_total",
+            "bytes deserialized from the on-disk result store",
+        )
+        self._bytes_written = reg.counter(
+            "engine_store_bytes_written_total",
+            "bytes serialized into the on-disk result store",
         )
 
     # -- paths --------------------------------------------------------------
@@ -160,6 +182,7 @@ class ResultStore:
         except OSError as exc:  # pragma: no cover - exotic FS errors
             logger.warning("cache read failed for %s: %s", path, exc)
             return None
+        self._bytes_read.inc(len(raw))
         try:
             doc = json.loads(raw)
             if (
@@ -207,6 +230,7 @@ class ResultStore:
             path.write_bytes(b"\x00torn write\xff")
             return
         last_error: OSError | None = None
+        text = json.dumps(doc, separators=(",", ":"), allow_nan=True)
         for attempt in range(2):
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
@@ -215,7 +239,7 @@ class ResultStore:
                 )
                 try:
                     with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                        json.dump(doc, fh, separators=(",", ":"), allow_nan=True)
+                        fh.write(text)
                     os.replace(tmp, path)
                 except BaseException:
                     try:
@@ -238,6 +262,7 @@ class ResultStore:
                 f"cannot persist cache entry {key[:12]}…: {last_error}",
                 context={"key": key, "path": str(path)},
             ) from last_error
+        self._bytes_written.inc(len(text))
         if self.max_entries is not None:
             self.prune(self.max_entries)
 
@@ -291,7 +316,12 @@ class ResultStore:
 
     def stats(self) -> StoreStats:
         """Walk the store and aggregate entry counts/sizes/kinds."""
-        stats = StoreStats(path=str(self.root), schema=STORE_SCHEMA_VERSION)
+        stats = StoreStats(
+            path=str(self.root),
+            schema=STORE_SCHEMA_VERSION,
+            bytes_read=int(self._bytes_read.value),
+            bytes_written=int(self._bytes_written.value),
+        )
         now = time.time()
         oldest: float | None = None
         for path in self._entries():

@@ -21,10 +21,11 @@ round-trip exactly (floats round-trip losslessly through JSON).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.costmodels import TotalCostModel
+from repro.engine.incremental import ReuseReport, reuse_from_outcomes
 from repro.ir.loops import ParallelLoopNest
 from repro.machine import MachineConfig
 from repro.model.fsmodel import FalseSharingModel
@@ -124,11 +125,18 @@ class SweepResult:
     grid-point failure when the sweep ran under a keep-going
     :class:`~repro.resilience.partial.FailurePolicy`; it is empty for
     strict (legacy) sweeps, which raise instead.
+
+    ``reuse`` classifies every cell by provenance (memory tier, disk
+    tier, in-batch dedupe, fresh compute); serial sweeps report all
+    cells as computed.  It feeds the ``reuse`` block of sweep summaries.
     """
 
     nest_name: str
     points: tuple[SweepPoint, ...]
     failures: tuple[FailureReport, ...] = ()
+    #: Provenance, not identity: a cache-served landscape equals its
+    #: freshly computed twin, so reuse stays out of ==.
+    reuse: ReuseReport = field(default_factory=ReuseReport, compare=False)
 
     @property
     def degraded_points(self) -> tuple[SweepPoint, ...]:
@@ -424,16 +432,21 @@ class WhatIfSweep:
         if engine is not None:
             jobs = self.point_jobs(nest, threads, chunks, budget=budget)
             if policy is None:
-                results = engine.run_strict(jobs)
+                outcomes = engine.run(jobs)
+                results = [outcome.unwrap() for outcome in outcomes]
                 points = tuple(SweepPoint.from_dict(doc) for doc in results)
                 _account_fallbacks(points)
                 logger.debug(
                     "what-if sweep on %s: %d points via engine (jobs=%d)",
                     nest.name, len(points), engine.jobs,
                 )
-                return SweepResult(nest_name=nest.name, points=points)
+                return SweepResult(
+                    nest_name=nest.name, points=points,
+                    reuse=reuse_from_outcomes(outcomes),
+                )
             points_list: list[SweepPoint] = []
-            for outcome in engine.run(jobs):
+            outcomes = engine.run(jobs)
+            for outcome in outcomes:
                 if outcome.ok:
                     points_list.append(SweepPoint.from_dict(outcome.result))
                     policy.record_success()
@@ -453,6 +466,7 @@ class WhatIfSweep:
                 nest_name=nest.name,
                 points=tuple(points_list),
                 failures=tuple(policy.failures),
+                reuse=reuse_from_outcomes(outcomes),
             )
         points_list = []
         failures: tuple[FailureReport, ...] = ()
@@ -480,5 +494,10 @@ class WhatIfSweep:
             nest.name, len(points_list), len(failures),
         )
         return SweepResult(
-            nest_name=nest.name, points=tuple(points_list), failures=failures
+            nest_name=nest.name, points=tuple(points_list), failures=failures,
+            reuse=ReuseReport(
+                total=len(points_list) + len(failures),
+                computed=len(points_list),
+                failed=len(failures),
+            ),
         )

@@ -40,7 +40,7 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.engine import Engine
+from repro.engine import make_engine
 from repro.service.health import HealthMonitor
 from repro.service.journal import Journal
 from repro.service.queue import JobQueue
@@ -58,8 +58,15 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 8377
-    #: Engine worker processes (sweep cells run here).
+    #: Engine worker processes (sweep cells run here); per shard when
+    #: ``shards > 1``.
     workers: int = 2
+    #: Partition engine batches by job key across this many independent
+    #: worker pools (1 = the classic single-pool engine).
+    shards: int = 1
+    #: In-memory result-tier budget in MiB, shared across every
+    #: shard/tenant (0 disables the memory tier).
+    mem_cache_mb: int = 64
     #: Queue worker threads (jobs progressing concurrently).
     concurrency: int = 2
     batch_cells: int = 16
@@ -95,10 +102,22 @@ def build_queue(config: ServeConfig) -> JobQueue:
     store = None
     if config.store_dir:
         store = ResultStore(Path(config.store_dir))
-    engine = Engine(
+    mem_cache = None
+    if config.use_cache and config.mem_cache_mb > 0:
+        # The process-wide shared tier: every shard — and therefore
+        # every tenant's warm cells — reads the same memory LRU.
+        from repro.engine import shared_memcache
+
+        mem_cache = shared_memcache(
+            max_bytes=config.mem_cache_mb * 2**20
+        )
+    engine = make_engine(
         jobs=config.workers,
+        shards=config.shards,
         use_cache=config.use_cache,
         store=store,
+        mem_cache=mem_cache,
+        mem_cache_mb=config.mem_cache_mb,
         timeout_s=config.timeout_s,
     )
     journal = Journal(config.journal_dir) if config.journal_dir else None
@@ -143,8 +162,9 @@ def serve(config: ServeConfig, ready=None, stop_event=None) -> int:
     host, port = server.server_address[:2]
     logger.info(
         "repro-fs service listening on %s:%d (%d tenant(s), "
-        "%d engine worker(s), %d queue worker(s)%s)",
-        host, port, len(queue.tenants), config.workers, config.concurrency,
+        "%d engine worker(s) in %d shard(s), %d queue worker(s)%s)",
+        host, port, len(queue.tenants), queue.engine.jobs, config.shards,
+        config.concurrency,
         ", journaled" if queue.journal is not None else "",
     )
 

@@ -274,6 +274,10 @@ class ServiceJob:
         self.cells_done = 0
         self.cells_failed = 0
         self.cells_cached = 0
+        # Cache-tier breakdown of the cached cells ("mem" / "disk" /
+        # "dedupe") — the summary's reuse block.
+        self.cells_mem = 0
+        self.cells_disk = 0
         self.cancel_event = threading.Event()
         self._rows: list[dict] = []
         self._cond = threading.Condition()
@@ -334,6 +338,7 @@ class ServiceJob:
         with self._cond:
             self._rows = list(rows)
             self.cells_done = self.cells_failed = self.cells_cached = 0
+            self.cells_mem = self.cells_disk = 0
             self.completed_cells = set()
             for row in self._rows:
                 key = _cell_key(row)
@@ -344,6 +349,11 @@ class ServiceJob:
                     self.cells_done += 1
                     if row.get("from_cache"):
                         self.cells_cached += 1
+                        tier = row.get("cache_tier")
+                        if tier == "mem":
+                            self.cells_mem += 1
+                        elif tier == "disk":
+                            self.cells_disk += 1
                 else:
                     self.cells_failed += 1
             self._cond.notify_all()
@@ -494,6 +504,10 @@ class JobQueue:
             "service_cells_total",
             "sweep cells evaluated by the service, by terminal status",
         )
+        self._m_cache_tier = reg.counter(
+            "service_cells_cache_tier_total",
+            "cached sweep cells by serving tier (mem/disk/dedupe)",
+        )
         self._m_rejections = reg.counter(
             "service_rejections_total",
             "jobs rejected at admission, by quota guard",
@@ -643,11 +657,16 @@ class JobQueue:
             )
         else:
             self.health.clear_degraded("worker-stalled")
-        pool = getattr(self.engine, "pool", None)
-        if pool is not None and pool.closing and not self._draining:
-            logger.warning("supervisor reopening engine pool closed "
-                           "outside a drain")
-            pool.reopen()
+        # Single-pool Engine exposes .pool; ShardedEngine exposes .pools.
+        pools = getattr(self.engine, "pools", None)
+        if pools is None:
+            pool = getattr(self.engine, "pool", None)
+            pools = [pool] if pool is not None else []
+        for pool in pools:
+            if pool.closing and not self._draining:
+                logger.warning("supervisor reopening engine pool closed "
+                               "outside a drain")
+                pool.reopen()
 
     def _recover_worker_job(self, worker_name: str) -> None:
         """A worker thread died; salvage the job it was executing."""
@@ -1103,6 +1122,8 @@ class JobQueue:
                     "fidelity": point.fidelity,
                     "from_cache": outcome.from_cache,
                 }
+                if outcome.from_cache and outcome.cache_tier:
+                    row["cache_tier"] = outcome.cache_tier
                 if point.degradation is not None:
                     row["degradation"] = point.degradation
                 publish(row)
@@ -1110,9 +1131,16 @@ class JobQueue:
                     job.cells_done += 1
                     if outcome.from_cache:
                         job.cells_cached += 1
+                        if outcome.cache_tier == "mem":
+                            job.cells_mem += 1
+                        elif outcome.cache_tier == "disk":
+                            job.cells_disk += 1
                 self._m_cells.labels(status="done").inc()
                 if outcome.from_cache:
                     self._m_cells.labels(status="from_cache").inc()
+                    self._m_cache_tier.labels(
+                        tier=outcome.cache_tier or "disk"
+                    ).inc()
                 policy.record_success()
             else:
                 cancelled = outcome.error_code == JobCancelledError.code
@@ -1175,6 +1203,16 @@ class JobQueue:
                 best_wall = row["wall_cycles"]
                 best = {k: row[k] for k in
                         ("kernel", "threads", "chunk", "wall_cycles")}
+        from repro.engine.incremental import ReuseReport
+
+        reuse = ReuseReport(
+            total=job.cells_done + job.cells_failed,
+            computed=job.cells_done - job.cells_cached,
+            mem_hits=job.cells_mem,
+            disk_hits=job.cells_disk,
+            deduped=job.cells_cached - job.cells_mem - job.cells_disk,
+            failed=job.cells_failed,
+        )
         summary: dict[str, Any] = {
             "type": "summary",
             "job": job.id,
@@ -1185,6 +1223,7 @@ class JobQueue:
                 "failed": job.cells_failed,
                 "from_cache": job.cells_cached,
             },
+            "reuse": reuse.to_dict(),
             "failures": len(policy.failures),
             "elapsed_s": round(time.monotonic() - t0, 6),
         }

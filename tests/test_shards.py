@@ -1,0 +1,212 @@
+"""Tests for :mod:`repro.engine.shards` — partitioned batch scheduling.
+
+The headline property (a satellite of the sharded-sweep work): running
+the same batch at ``--shards 1``, ``2`` and ``8`` produces identical
+result sets *and* identical result-store contents — sharding is an
+execution detail, never an identity one.  Around it: the pure
+:func:`~repro.engine.shards.shard_of` placement function, deterministic
+input-order merging, error propagation, per-shard metrics, the
+``on_outcome`` locking contract and the :func:`make_engine` factory the
+CLI/runner/service share.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    Engine,
+    Job,
+    MemCache,
+    ResultStore,
+    ShardedEngine,
+    make_engine,
+    shard_of,
+)
+from repro.obs import get_registry
+from repro.resilience.errors import EngineError
+
+
+def echo_job(value, label="echo") -> Job:
+    return Job("engine.test.echo", {"value": value}, label=label)
+
+
+def _store_contents(store: ResultStore) -> dict:
+    return {path.stem: store.get(path.stem) for path in store._entries()}
+
+
+def _inline_sharded(shards: int, store: ResultStore, **kw) -> ShardedEngine:
+    """Thread-parallel sharded engine (no subprocesses) for fast tests."""
+    return ShardedEngine(shards=shards, store=store, mem_cache=MemCache(),
+                         inline=True, **kw)
+
+
+class TestShardOf:
+    def test_pure_and_in_range(self):
+        keys = [echo_job(i).key() for i in range(64)]
+        for shards in (1, 2, 3, 8):
+            placed = [shard_of(k, shards) for k in keys]
+            assert placed == [shard_of(k, shards) for k in keys]
+            assert all(0 <= s < shards for s in placed)
+
+    def test_single_shard_owns_everything(self):
+        assert shard_of("f" * 64, 1) == 0
+        assert shard_of("0" * 64, 0) == 0
+
+    def test_spreads_across_shards(self):
+        keys = [echo_job(i).key() for i in range(256)]
+        used = {shard_of(k, 8) for k in keys}
+        assert used == set(range(8))
+
+
+class TestPartition:
+    def test_preserves_input_order_within_buckets(self, tmp_path):
+        engine = _inline_sharded(4, ResultStore(tmp_path))
+        jobs = [echo_job(i) for i in range(32)]
+        buckets = engine.partition(jobs)
+        assert sorted(i for b in buckets for i in b) == list(range(32))
+        for bucket in buckets:
+            assert bucket == sorted(bucket)
+
+    def test_duplicate_keys_share_a_shard(self, tmp_path):
+        engine = _inline_sharded(8, ResultStore(tmp_path))
+        jobs = [echo_job("same", label=f"dup{i}") for i in range(6)]
+        buckets = engine.partition(jobs)
+        assert sum(1 for b in buckets if b) == 1
+
+
+class TestShardedRun:
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(st.integers(min_value=0, max_value=9), max_size=24))
+    def test_shard_count_never_changes_results_or_store(
+        self, tmp_path_factory, values
+    ):
+        """--shards 1/2/8 → identical result sets, identical stores."""
+        jobs = [echo_job(v, label=f"j{i}") for i, v in enumerate(values)]
+        docs, stores = [], []
+        root = tmp_path_factory.mktemp("shard-prop")
+        for shards in (1, 2, 8):
+            store = ResultStore(root / f"s{shards}")
+            store.clear()  # hypothesis reuses the dir across examples
+            outcomes = _inline_sharded(shards, store).run(jobs)
+            assert [o.job.label for o in outcomes] == [j.label for j in jobs]
+            docs.append(json.dumps([o.result for o in outcomes],
+                                   sort_keys=True))
+            stores.append(_store_contents(store))
+        assert docs[0] == docs[1] == docs[2]
+        assert stores[0] == stores[1] == stores[2]
+
+    def test_outcomes_merge_in_input_order(self, tmp_path):
+        engine = _inline_sharded(4, ResultStore(tmp_path))
+        jobs = [echo_job(i) for i in range(16)]
+        outcomes = engine.run(jobs)
+        assert [o.result["value"] for o in outcomes] == list(range(16))
+
+    def test_empty_batch(self, tmp_path):
+        assert _inline_sharded(2, ResultStore(tmp_path)).run([]) == []
+
+    def test_duplicate_jobs_dedupe_within_the_batch(self, tmp_path):
+        engine = _inline_sharded(8, ResultStore(tmp_path))
+        outcomes = engine.run(
+            [echo_job("same", label=f"d{i}") for i in range(4)]
+        )
+        computed = [o for o in outcomes if not o.from_cache]
+        deduped = [o for o in outcomes if o.cache_tier == "dedupe"]
+        assert len(computed) == 1 and len(deduped) == 3
+
+    def test_failure_surfaces_per_job_not_per_batch(self, tmp_path):
+        engine = _inline_sharded(4, ResultStore(tmp_path), retries=0)
+        bad = Job("engine.test.fail", {"message": "kaput"})
+        outcomes = engine.run([echo_job("ok"), bad])
+        assert outcomes[0].ok
+        assert not outcomes[1].ok and "kaput" in outcomes[1].error
+
+    def test_run_strict_raises_on_failure(self, tmp_path):
+        engine = _inline_sharded(2, ResultStore(tmp_path), retries=0)
+        with pytest.raises(EngineError):
+            engine.run_strict([Job("engine.test.fail", {"message": "no"})])
+
+    def test_on_outcome_fires_once_per_job(self, tmp_path):
+        engine = _inline_sharded(4, ResultStore(tmp_path))
+        seen = []  # plain list: the callback lock must make this safe
+        jobs = [echo_job(i) for i in range(12)]
+        engine.run(jobs, on_outcome=lambda o: seen.append(o.job.label))
+        assert sorted(seen) == sorted(j.label for j in jobs)
+
+    def test_shards_share_one_store_and_memory_tier(self, tmp_path):
+        store = ResultStore(tmp_path)
+        engine = ShardedEngine(shards=4, store=store, mem_cache=MemCache(),
+                               inline=True)
+        cold = engine.run([echo_job(i) for i in range(8)])
+        assert all(not o.from_cache for o in cold)
+        warm = engine.run([echo_job(i) for i in range(8)])
+        assert all(o.cache_tier == "mem" for o in warm)
+        for shard in engine.engines:
+            assert shard.store is store
+            assert shard.mem_cache is engine.mem_cache
+
+    def test_close_and_reopen(self, tmp_path):
+        engine = _inline_sharded(2, ResultStore(tmp_path))
+        engine.run([echo_job(1)])
+        engine.close()
+        engine.close()  # idempotent
+        engine.reopen()
+        assert engine.run([echo_job(2)])[0].ok
+
+
+class TestShardMetrics:
+    def test_per_shard_counters_and_imbalance(self, tmp_path):
+        engine = _inline_sharded(4, ResultStore(tmp_path))
+        jobs = [echo_job(i) for i in range(32)]
+        before = get_registry().snapshot()["counters"]
+        engine.run(jobs)
+        snap = get_registry().snapshot()
+        dispatched = sum(
+            value - before.get(key, 0.0)
+            for key, value in snap["counters"].items()
+            if key.startswith("engine_shard_jobs_total{")
+        )
+        assert dispatched == len(jobs)
+        imbalance = snap["gauges"]["engine_shard_imbalance"]
+        assert imbalance >= 0.0
+        utils = [
+            value for key, value in snap["gauges"].items()
+            if key.startswith("engine_shard_utilization{")
+        ]
+        assert utils and all(0.0 <= u <= 1.0 for u in utils)
+
+
+class TestMakeEngine:
+    def test_single_shard_builds_plain_engine(self, tmp_path):
+        engine = make_engine(jobs=2, shards=1, store=ResultStore(tmp_path))
+        assert isinstance(engine, Engine)
+        assert engine.jobs == 2
+
+    def test_multi_shard_builds_sharded_engine(self, tmp_path):
+        engine = make_engine(jobs=2, shards=4, store=ResultStore(tmp_path))
+        assert isinstance(engine, ShardedEngine)
+        assert engine.jobs == 8  # jobs are per shard
+        engine.close(drain=False)
+
+    def test_mem_cache_mb_sizes_the_memory_tier(self, tmp_path):
+        engine = make_engine(store=ResultStore(tmp_path), mem_cache_mb=8)
+        assert engine.mem_cache is not None
+        assert engine.mem_cache.max_bytes == 8 * 2**20
+
+    def test_mem_cache_mb_zero_disables_the_tier(self, tmp_path):
+        engine = make_engine(store=ResultStore(tmp_path), mem_cache_mb=0)
+        assert engine.mem_cache is None
+
+    def test_explicit_mem_cache_wins(self, tmp_path):
+        mem = MemCache(max_entries=3)
+        engine = make_engine(store=ResultStore(tmp_path), mem_cache=mem,
+                             mem_cache_mb=64)
+        assert engine.mem_cache is mem
+
+    def test_no_cache_disables_both_tiers(self):
+        engine = make_engine(use_cache=False, shards=2)
+        assert engine.store is None and engine.mem_cache is None
+        engine.close(drain=False)
