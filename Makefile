@@ -70,18 +70,25 @@ bench-sweep-sharded-quick:
 	  assert doc['summary']['ok'], doc['failures']; \
 	  print('bench-sweep-sharded-quick OK:', json.dumps(doc['summary']))"
 
-# Fast-path FS simulation benchmark (docs/PERFORMANCE.md): vectorized
-# detector vs scalar reference plus the exact steady-state early exit.
-# Writes BENCH_model.json; exits nonzero if the ≥10× micro / ≥50×
-# large-grid targets regress or any engine pair disagrees.
+# Engine-tier FS simulation benchmark (docs/PERFORMANCE.md): jit /
+# fast / auto tiers vs scalar reference plus the exact steady-state
+# early exit and optional segment parallelism.  Writes
+# BENCH_model.json; exits nonzero if the ≥10× micro / ≥50× large-grid
+# targets regress or any engine pair disagrees.  Tune with e.g.
+#   make bench-model ENGINE=jit SIMJOBS=4
+ENGINE  ?= all
+SIMJOBS ?= 1
 bench-model:
-	$(PP) $(PY) benchmarks/bench_model_fastpath.py --out BENCH_model.json
+	$(PP) $(PY) benchmarks/bench_model_fastpath.py --out BENCH_model.json \
+	  --engine $(ENGINE) --sim-jobs $(SIMJOBS)
 
-# CI-sized variant: seconds instead of minutes, looser targets.
+# CI-sized variant: seconds instead of minutes, looser targets
+# (equivalence-only for the jit/parallel tiers).
 bench-model-quick:
 	mkdir -p $(BENCHD)
 	$(PP) $(PY) benchmarks/bench_model_fastpath.py --quick \
-	  --out $(BENCHD)/BENCH_model.json
+	  --out $(BENCHD)/BENCH_model.json --engine $(ENGINE) \
+	  --sim-jobs $(SIMJOBS)
 
 # Boot the analysis service daemon, drive the full client contract
 # (submit, NDJSON stream, warm-cache re-submit, /metrics counters) and

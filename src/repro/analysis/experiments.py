@@ -97,11 +97,15 @@ class ExperimentSuite(SupplementaryMixin):
         ``"full"`` or ``"tiny"`` (see module docstring).
     detector_engine:
         Detector engine for every modeled table/figure: ``"auto"``
-        (default — vectorized fast path where applicable), ``"fast"``
-        or ``"reference"``.  All engines produce bit-identical tables;
-        the knob exists for benchmarking and cross-checking.
+        (default — vectorized fast path where applicable), ``"jit"``,
+        ``"fast"`` or ``"reference"``.  All engines produce
+        bit-identical tables; the knob exists for benchmarking and
+        cross-checking.
     steady_state:
         Enable the exact steady-state early exit (default ``True``).
+    sim_jobs:
+        Segment-parallel simulation workers per analysis (default
+        ``1``; see :mod:`repro.model.simparallel`).  Result-invariant.
     """
 
     def __init__(
@@ -110,6 +114,7 @@ class ExperimentSuite(SupplementaryMixin):
         scale: str = "full",
         detector_engine: str = "auto",
         steady_state: bool = True,
+        sim_jobs: int = 1,
     ) -> None:
         if scale not in SCALES:
             raise ValueError(f"unknown scale {scale!r}; use one of {set(SCALES)}")
@@ -117,8 +122,10 @@ class ExperimentSuite(SupplementaryMixin):
         self.scale = SCALES[scale]
         self.detector_engine = detector_engine
         self.steady_state = steady_state
+        self.sim_jobs = sim_jobs
         self.model = FalseSharingModel(
-            self.machine, engine=detector_engine, steady_state=steady_state
+            self.machine, engine=detector_engine, steady_state=steady_state,
+            sim_jobs=sim_jobs,
         )
         self.sim = MulticoreSimulator(self.machine)
         self.total_model = TotalCostModel(self.machine)
@@ -410,6 +417,7 @@ class ExperimentSuite(SupplementaryMixin):
             "machine": self.machine,
             "detector_engine": self.detector_engine,
             "steady_state": self.steady_state,
+            "sim_jobs": self.sim_jobs,
         }
         jobs = []
         for name in drivers if drivers is not None else DRIVER_ORDER:
@@ -536,5 +544,6 @@ def run_experiment_job(job) -> dict:
         scale=str(job.spec["scale"]),
         detector_engine=str(job.payload.get("detector_engine", "auto")),
         steady_state=bool(job.payload.get("steady_state", True)),
+        sim_jobs=int(job.payload.get("sim_jobs", 1)),
     )
     return suite.run_driver(str(job.spec["driver"])).to_dict()

@@ -104,14 +104,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 
 def _add_model_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--engine", choices=("auto", "fast", "reference"),
+    p.add_argument("--engine", choices=("auto", "jit", "fast", "reference"),
                    default="auto", dest="detector_engine",
-                   help="FS detector engine (default auto: the "
-                        "vectorized fast path with scalar fallback; all "
-                        "engines produce bit-identical results)")
+                   help="FS detector engine (default auto: JIT tier when "
+                        "numba is installed, else the vectorized fast path, "
+                        "with scalar fallback for tiny traces; all engines "
+                        "produce bit-identical results)")
     p.add_argument("--no-steady-state", action="store_true",
                    help="disable the exact steady-state early exit "
                         "(slower on large grids; identical results)")
+    p.add_argument("--sim-jobs", type=int, default=1, metavar="N",
+                   help="segment-parallel simulation workers per analysis "
+                        "(default 1 = serial; results are bit-identical "
+                        "for any worker count)")
 
 
 def _model_kwargs(args: argparse.Namespace) -> dict:
@@ -119,6 +124,7 @@ def _model_kwargs(args: argparse.Namespace) -> dict:
     return {
         "engine": getattr(args, "detector_engine", "auto"),
         "steady_state": not getattr(args, "no_steady_state", False),
+        "sim_jobs": getattr(args, "sim_jobs", 1),
     }
 
 
@@ -342,7 +348,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     kwargs = _model_kwargs(args)
     suite = ExperimentSuite(scale=args.scale,
                             detector_engine=kwargs["engine"],
-                            steady_state=kwargs["steady_state"])
+                            steady_state=kwargs["steady_state"],
+                            sim_jobs=kwargs["sim_jobs"])
     policy = _policy_from(args)
     results = list(suite.run_all(engine=_engine_from(args), policy=policy))
     for res in results:
@@ -402,7 +409,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     sweep = WhatIfSweep(machine, use_predictor=not args.exact,
                         predictor_runs=args.runs, mode=args.mode,
                         detector_engine=kwargs["engine"],
-                        steady_state=kwargs["steady_state"])
+                        steady_state=kwargs["steady_state"],
+                        sim_jobs=kwargs["sim_jobs"])
     threads = tuple(int(t) for t in args.threads_list.split(","))
     chunks = tuple(int(c) for c in args.chunks_list.split(","))
     engine = _engine_from(args)
@@ -505,6 +513,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal_dir,
         quarantine_after=args.quarantine_after,
         max_queue_depth=args.max_queue_depth,
+        detector_engine=args.detector_engine,
+        sim_jobs=args.sim_jobs,
     )
     return serve(config)
 
@@ -678,6 +688,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shed new submissions with 503 + Retry-After "
                         "(REPRO-E106) while N or more jobs are queued; "
                         "0 = unbounded (default)")
+    p.add_argument("--engine", choices=("auto", "jit", "fast", "reference"),
+                   default="auto", dest="detector_engine",
+                   help="FS detector engine for sweep cells (default "
+                        "auto; results and cache keys are identical "
+                        "for every engine)")
+    p.add_argument("--sim-jobs", type=int, default=1, metavar="N",
+                   help="segment-parallel simulation workers per "
+                        "analysis (default 1; identical results)")
     p.set_defaults(func=cmd_serve)
     return parser
 

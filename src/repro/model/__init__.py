@@ -10,9 +10,12 @@ plus :mod:`~repro.model.regression` (the linear-regression FS predictor)
 and :mod:`~repro.model.cost` (Eq. 1 integration / Eq. 5 percentages).
 
 Performance machinery (docs/PERFORMANCE.md): step 4 has a vectorized
-NumPy twin (:mod:`~repro.model.fastdetect`, ``engine="fast"``) and an
-exact steady-state early exit (:mod:`~repro.model.steadystate`) — both
-bit-identical to the scalar reference detector.
+NumPy twin (:mod:`~repro.model.fastdetect`, ``engine="fast"``), an
+optional JIT-compiled tier (:mod:`~repro.model.jitdetect`,
+``engine="jit"``, guarded numba import), an exact steady-state early
+exit (:mod:`~repro.model.steadystate`), and segment-parallel
+simulation across worker processes (:mod:`~repro.model.simparallel`,
+``sim_jobs``) — all bit-identical to the scalar reference detector.
 """
 
 from repro.model.cost import (
@@ -25,6 +28,7 @@ from repro.model.cost import (
 from repro.model.detector import FSDetector, FSStats
 from repro.model.diagnostics import FSDiagnostics, HotLine, diagnose
 from repro.model.fastdetect import (
+    AUTO_REFERENCE_MAX_ACCESSES,
     ENGINES,
     FastFSDetector,
     make_detector,
@@ -35,6 +39,12 @@ from repro.model.fsmodel import (
     FSCycleRate,
     FSModelResult,
     VictimArray,
+)
+from repro.model.jitdetect import (
+    NUMBA_AVAILABLE,
+    JitFSDetector,
+    jit_available,
+    warmup_jit,
 )
 from repro.model.ownership import OwnershipBlock, OwnershipListGenerator
 from repro.model.regression import (
@@ -57,6 +67,11 @@ from repro.model.stackdist import (
     SHARED,
     StackDistanceAnalyzer,
 )
+from repro.model.simparallel import (
+    plan_segments,
+    segment_eligible,
+    simulate_segmented,
+)
 from repro.model.steadystate import (
     ShiftProfile,
     SteadyStateRunner,
@@ -75,10 +90,18 @@ __all__ = [
     "FSDiagnostics",
     "HotLine",
     "diagnose",
+    "AUTO_REFERENCE_MAX_ACCESSES",
     "ENGINES",
     "FastFSDetector",
+    "NUMBA_AVAILABLE",
+    "JitFSDetector",
+    "jit_available",
+    "warmup_jit",
     "make_detector",
     "resolve_engine",
+    "plan_segments",
+    "segment_eligible",
+    "simulate_segmented",
     "ShiftProfile",
     "SteadyStateRunner",
     "compute_shift_profile",

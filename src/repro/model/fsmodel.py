@@ -32,6 +32,7 @@ from repro.model.detector import FSDetector, FSStats
 from repro.model.fastdetect import make_detector, resolve_engine
 from repro.model.ownership import OwnershipListGenerator
 from repro.model.schedule import IterationSpace
+from repro.model.simparallel import segment_eligible, simulate_segmented
 from repro.model.steadystate import SteadyStateRunner, compute_shift_profile
 from repro.obs import get_registry, span
 from repro.resilience.budget import Budget, estimate_cost
@@ -202,6 +203,12 @@ class FalseSharingModel:
         Enable the exact steady-state early-exit (see
         :mod:`repro.model.steadystate`).  Only engages on full-loop
         analyses of eligible nests; also result-identical.
+    sim_jobs:
+        Worker processes for segment-parallel simulation (see
+        :mod:`repro.model.simparallel`).  ``1`` (default) keeps the
+        serial walk; higher values fan independent chunk-run segments
+        across cores with verified, bit-identical merging.  A pure
+        performance knob, kept out of result cache keys.
     """
 
     def __init__(
@@ -212,6 +219,7 @@ class FalseSharingModel:
         thread_order: tuple[int, ...] | None = None,
         engine: str = "auto",
         steady_state: bool = True,
+        sim_jobs: int = 1,
     ) -> None:
         self.machine = machine
         self.mode = mode
@@ -222,6 +230,9 @@ class FalseSharingModel:
         resolve_engine(engine, mode, 1)  # validate the knob eagerly
         self.engine = engine
         self.steady_state = steady_state
+        if sim_jobs < 1:
+            raise ModelError(f"sim_jobs must be >= 1, got {sim_jobs}")
+        self.sim_jobs = sim_jobs
 
     def analyze(
         self,
@@ -234,6 +245,7 @@ class FalseSharingModel:
         budget: Budget | None = None,
         engine: str | None = None,
         steady_state: bool | None = None,
+        sim_jobs: int | None = None,
     ) -> FSModelResult:
         """Run the full FS analysis.
 
@@ -267,6 +279,8 @@ class FalseSharingModel:
             Per-call override of the model's detector engine knob.
         steady_state:
             Per-call override of the steady-state early-exit flag.
+        sim_jobs:
+            Per-call override of the segment-parallel worker count.
 
         Notes
         -----
@@ -295,6 +309,7 @@ class FalseSharingModel:
                 nest, num_threads, max_chunk_runs, record_series, space,
                 budget,
                 engine=self.engine if engine is None else engine,
+                sim_jobs=self.sim_jobs if sim_jobs is None else sim_jobs,
                 steady_state=(
                     self.steady_state if steady_state is None else steady_state
                 ),
@@ -315,6 +330,7 @@ class FalseSharingModel:
         budget: Budget | None = None,
         engine: str = "auto",
         steady_state: bool = True,
+        sim_jobs: int = 1,
     ) -> FSModelResult:
         t0 = time.perf_counter()
         gen = OwnershipListGenerator(
@@ -325,18 +341,26 @@ class FalseSharingModel:
             block_steps=self.block_steps,
         )
         ispace: IterationSpace = gen.iteration_space
-        resolved_engine = resolve_engine(engine, self.mode, num_threads)
+
+        steps_per_run = ispace.steps_per_chunk_run
+        max_steps: int | None = None
+        if max_chunk_runs is not None:
+            max_steps = max_chunk_runs * steps_per_run
+        limit_steps = gen.enum.max_steps
+        if max_steps is not None:
+            limit_steps = min(limit_steps, max_steps)
+        # Trace-size hint for the "auto" crossover: tiny traces skip
+        # vectorization overhead and run on the reference path.
+        approx_accesses = limit_steps * len(gen.refs) * num_threads
+        resolved_engine = resolve_engine(
+            engine, self.mode, num_threads, accesses=approx_accesses
+        )
         detector = make_detector(
             resolved_engine,
             num_threads,
             self.machine.model_stack_lines,
             mode=self.mode,
         )
-
-        steps_per_run = ispace.steps_per_chunk_run
-        max_steps: int | None = None
-        if max_chunk_runs is not None:
-            max_steps = max_chunk_runs * steps_per_run
 
         runs_simulated = 0
         runs_extrapolated = 0
@@ -358,6 +382,22 @@ class FalseSharingModel:
                 )
         if steady_runner is not None:
             runs_simulated, runs_extrapolated, series = steady_runner.run()
+        elif sim_jobs > 1 and segment_eligible(
+            gen, detector.stack_lines, sim_jobs, limit_steps
+        ):
+            # Segment-parallel simulation: fan independent chunk-run
+            # segments across worker processes, splice verified results
+            # back bit-identically (see repro.model.simparallel).
+            series = simulate_segmented(
+                gen,
+                detector,
+                sim_jobs=sim_jobs,
+                engine=resolved_engine,
+                thread_order=self.thread_order,
+                max_steps=max_steps,
+                record_series=record_series,
+                budget=budget,
+            )
         elif record_series:
             # Align block emission to chunk-run boundaries so cumulative
             # counts are sampled exactly at run ends.

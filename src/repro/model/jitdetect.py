@@ -1,0 +1,659 @@
+"""JIT-compiled detector core: the ``engine="jit"`` tier.
+
+:class:`JitFSDetector` compiles the flattened lockstep event stream
+into a single native per-event loop with Numba ``@njit(cache=True)``.
+Where :class:`~repro.model.fastdetect.FastFSDetector` decomposes a
+block into per-line segments (and must fall back whenever evictions
+could interact with in-block accesses), the JIT kernel simply *is* the
+reference automaton — per-thread LRU stacks as doubly-linked slot
+arrays, int64 holder/writer bitmask directory, manual popcount FS
+accounting — executed event by event at native speed.  That makes it
+
+* **exact in every regime**: LRU thrashing, ``literal`` mode and
+  capacity-1 corner cases all run compiled instead of falling back to
+  the scalar Python path;
+* **bit-identical** to both other engines (asserted by the three-way
+  matrix in ``tests/test_fastdetect.py`` / ``tests/test_jitdetect.py``).
+
+Numba is an *optional* dependency.  The import is guarded: without it
+``jit_available()`` is False, ``resolve_engine("jit")`` transparently
+resolves to ``"fast"`` and nothing here is ever on a hot path — zero
+new hard dependencies.  The kernel body is deliberately written as
+nopython-compatible plain Python so its logic stays testable (and this
+module importable) on numba-less installs; tests force the
+interpreted kernel through :data:`_FORCE_PYTHON_KERNEL`.
+
+A compile failure (missing LLVM, unsupported numba version, broken
+cache dir) is *demoted*, never fatal: the first failing block logs
+``REPRO-M104``, bumps ``detector_jit_demotions_total`` and the
+detector permanently continues through the fast path.
+
+How a block runs
+----------------
+1. flatten the block to global-timestamp order (step-major, then
+   position in the thread order, then program order of references) —
+   exactly the reference interleaving;
+2. densify line ids: ``np.unique`` over the block's events ∪ every
+   resident stack line gives a compact ``[0, G)`` domain so the kernel
+   indexes flat arrays instead of hashing;
+3. run the compiled automaton: per-thread LRU stacks live in
+   ``(T, cap+1)`` linked slot arrays with an ``O(1)`` ``where[T, G]``
+   membership map; holders/writers are int64 bitmasks (``T ≤ 63``);
+4. scatter the final state back: stacks rebuild their ``OrderedDict``s
+   in LRU→MRU order, the holder/writer dicts are replaced wholesale
+   from the mask arrays (every line with a live bit is resident, hence
+   in the dense domain).
+
+``export_state``/``import_state`` on the base detector (added for the
+segment-parallel runner, :mod:`repro.model.simparallel`) round-trip
+exactly this stack representation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+import time
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.detector import FSDetector
+from repro.model.fastdetect import (
+    MAX_FAST_THREADS,
+    MIN_FAST_EVENTS,
+    FastFSDetector,
+)
+from repro.model.stackdist import MODIFIED, SHARED
+from repro.obs import get_registry, span
+from repro.util import get_logger
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "JitFSDetector",
+    "jit_available",
+    "jit_compile_seconds",
+    "warmup_jit",
+]
+
+logger = get_logger(__name__)
+
+
+def _numba_installed() -> bool:
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        return False
+
+
+#: Whether the optional ``numba`` package is importable.  Checked via
+#: ``find_spec`` so merely *resolving* an engine never pays numba's
+#: multi-second import; the real import is deferred to first compile.
+NUMBA_AVAILABLE = _numba_installed()
+
+#: The ``where[T, G]`` membership map is the kernel's only superlinear
+#: allocation; blocks whose ``T × (events + resident)`` footprint would
+#: exceed this many int32 cells route through the fast path instead
+#: (which subdivides on the step axis).
+MAX_WHERE_CELLS = 1 << 26
+
+#: Test escape hatch: force the interpreted (plain-Python) kernel so
+#: the automaton's logic is exercised on numba-less installs.  Never
+#: set in production — the interpreted kernel is *slower* than the
+#: fast path.
+_FORCE_PYTHON_KERNEL = False
+
+_KERNEL = None
+_KERNEL_FAILED: Exception | None = None
+_COMPILE_SECONDS: float | None = None
+_COMPILE_LOCK = threading.Lock()
+
+
+def _sim_events(
+    ev_line,
+    ev_thr,
+    ev_w,
+    T,
+    G,
+    cap,
+    invalidate,
+    init_lines,
+    init_mod,
+    init_sizes,
+    holders,
+    writers,
+    out_counts,
+    out_by_thread,
+    out_by_pair,
+    out_by_line,
+    out_lines,
+    out_mod,
+    out_sizes,
+):
+    """The detector automaton over a dense event stream (nopython-safe).
+
+    Mirrors ``FSDetector._process_one`` exactly, in both coherence
+    modes, including per-event LRU eviction.  ``out_counts`` receives
+    ``[fs, fs_read, fs_write, misses, invalidations, downgrades,
+    evictions]``; final stacks come back LRU→MRU in ``out_lines`` /
+    ``out_mod`` / ``out_sizes``; ``holders``/``writers`` end as the
+    final per-line bitmasks.
+    """
+    nslots = cap + 1
+    slot_line = np.zeros((T, nslots), dtype=np.int64)
+    slot_mod = np.zeros((T, nslots), dtype=np.uint8)
+    slot_prev = np.full((T, nslots), -1, dtype=np.int32)
+    slot_next = np.full((T, nslots), -1, dtype=np.int32)
+    head = np.full(T, -1, dtype=np.int32)  # LRU end
+    tail = np.full(T, -1, dtype=np.int32)  # MRU end
+    size = np.zeros(T, dtype=np.int64)
+    free_head = np.zeros(T, dtype=np.int32)
+    where = np.full((T, G), -1, dtype=np.int32)
+
+    for t in range(T):
+        for s in range(nslots - 1):
+            slot_next[t, s] = s + 1
+        slot_next[t, nslots - 1] = -1
+        free_head[t] = 0
+
+    # Seed the initial stacks (rows arrive LRU→MRU) and directory.
+    for t in range(T):
+        bit = np.int64(1) << t
+        for i in range(init_sizes[t]):
+            g = init_lines[t, i]
+            s = free_head[t]
+            free_head[t] = slot_next[t, s]
+            slot_line[t, s] = g
+            slot_mod[t, s] = init_mod[t, i]
+            slot_prev[t, s] = tail[t]
+            slot_next[t, s] = -1
+            if tail[t] >= 0:
+                slot_next[t, tail[t]] = s
+            else:
+                head[t] = s
+            tail[t] = s
+            where[t, g] = s
+            size[t] += 1
+            holders[g] |= bit
+            if init_mod[t, i] != 0:
+                writers[g] |= bit
+
+    fs_cases = 0
+    fs_read = 0
+    fs_write = 0
+    misses = 0
+    invalidations = 0
+    downgrades = 0
+    evictions = 0
+
+    for e in range(ev_line.shape[0]):
+        g = ev_line[e]
+        t = ev_thr[e]
+        w = ev_w[e]
+        bit = np.int64(1) << t
+        s_idx = where[t, g]
+        hit = s_idx >= 0
+        prev_mod = hit and slot_mod[t, s_idx] != 0
+
+        writers_mask = writers[g]
+        foreign = writers_mask & ~bit
+        if invalidate != 0:
+            count_fs = foreign != 0
+        else:  # literal: φ only on insertion into the own state
+            count_fs = (not hit) and foreign != 0
+        if count_fs:
+            n = 0
+            rem = foreign
+            while rem != 0:
+                low = rem & (-rem)
+                k = 0
+                v = low
+                while v > 1:
+                    v >>= 1
+                    k += 1
+                out_by_pair[k * T + t] += 1
+                n += 1
+                rem ^= low
+            fs_cases += n
+            if w:
+                fs_write += n
+            else:
+                fs_read += n
+            out_by_thread[t] += n
+            out_by_line[g] += n
+        if not hit:
+            misses += 1
+
+        # Pop the own copy (it re-enters at MRU below).
+        if hit:
+            p = slot_prev[t, s_idx]
+            nx = slot_next[t, s_idx]
+            if p >= 0:
+                slot_next[t, p] = nx
+            else:
+                head[t] = nx
+            if nx >= 0:
+                slot_prev[t, nx] = p
+            else:
+                tail[t] = p
+            slot_next[t, s_idx] = free_head[t]
+            free_head[t] = s_idx
+            where[t, g] = -1
+            size[t] -= 1
+
+        new_mod = False
+        if invalidate != 0:
+            if w:
+                # Invalidate every remote copy.
+                remote = holders[g] & ~bit
+                while remote != 0:
+                    low = remote & (-remote)
+                    k = 0
+                    v = low
+                    while v > 1:
+                        v >>= 1
+                        k += 1
+                    rs = where[k, g]
+                    p = slot_prev[k, rs]
+                    nx = slot_next[k, rs]
+                    if p >= 0:
+                        slot_next[k, p] = nx
+                    else:
+                        head[k] = nx
+                    if nx >= 0:
+                        slot_prev[k, nx] = p
+                    else:
+                        tail[k] = p
+                    slot_next[k, rs] = free_head[k]
+                    free_head[k] = rs
+                    where[k, g] = -1
+                    size[k] -= 1
+                    invalidations += 1
+                    remote ^= low
+                holders[g] = bit
+                writers[g] = bit
+                new_mod = True
+            else:
+                # Downgrade remote Modified copies to Shared.
+                if foreign != 0:
+                    rem = foreign
+                    while rem != 0:
+                        low = rem & (-rem)
+                        k = 0
+                        v = low
+                        while v > 1:
+                            v >>= 1
+                            k += 1
+                        rs = where[k, g]
+                        if rs >= 0:
+                            slot_mod[k, rs] = 0
+                        downgrades += 1
+                        rem ^= low
+                    writers[g] = writers_mask & ~foreign
+                holders[g] |= bit
+                new_mod = prev_mod
+        else:  # literal
+            holders[g] |= bit
+            if w:
+                writers[g] = writers_mask | bit
+                new_mod = True
+            else:
+                new_mod = prev_mod
+
+        # Insert at MRU.
+        s = free_head[t]
+        free_head[t] = slot_next[t, s]
+        slot_line[t, s] = g
+        slot_mod[t, s] = 1 if new_mod else 0
+        slot_prev[t, s] = tail[t]
+        slot_next[t, s] = -1
+        if tail[t] >= 0:
+            slot_next[t, tail[t]] = s
+        else:
+            head[t] = s
+        tail[t] = s
+        where[t, g] = s
+        size[t] += 1
+
+        if size[t] > cap:
+            hs = head[t]
+            evg = slot_line[t, hs]
+            nx = slot_next[t, hs]
+            head[t] = nx
+            if nx >= 0:
+                slot_prev[t, nx] = -1
+            else:
+                tail[t] = -1
+            slot_next[t, hs] = free_head[t]
+            free_head[t] = hs
+            where[t, evg] = -1
+            size[t] -= 1
+            holders[evg] &= ~bit
+            writers[evg] &= ~bit
+            evictions += 1
+
+    out_counts[0] = fs_cases
+    out_counts[1] = fs_read
+    out_counts[2] = fs_write
+    out_counts[3] = misses
+    out_counts[4] = invalidations
+    out_counts[5] = downgrades
+    out_counts[6] = evictions
+
+    for t in range(T):
+        i = 0
+        s = head[t]
+        while s >= 0:
+            out_lines[t, i] = slot_line[t, s]
+            out_mod[t, i] = slot_mod[t, s]
+            s = slot_next[t, s]
+            i += 1
+        out_sizes[t] = i
+
+
+def _demote(exc: Exception) -> None:
+    """Permanently demote the jit tier after a compile failure.
+
+    Demotion, not death: the fast path produces identical results, so
+    a broken numba install costs speed only.  ``REPRO-M104`` in the log
+    line is the stable handle operators grep for (docs/RESILIENCE.md).
+    """
+    global _KERNEL_FAILED
+    _KERNEL_FAILED = exc
+    get_registry().counter(
+        "detector_jit_demotions_total",
+        "jit-tier compile failures demoted to the fast engine",
+    ).inc()
+    logger.warning(
+        "REPRO-M104: jit kernel compilation failed (%s: %s); "
+        "demoting engine='jit' to 'fast' for this process",
+        type(exc).__name__, exc,
+    )
+
+
+def _get_kernel():
+    """The compiled kernel, the interpreted one (tests), or ``None``.
+
+    ``None`` means "use the fast path": numba missing, or a previous
+    compile failure demoted the tier.  Compilation itself is lazy and
+    happens on the first kernel *call* (see :func:`_call_kernel`); this
+    only builds the dispatcher.
+    """
+    global _KERNEL
+    if _FORCE_PYTHON_KERNEL:
+        return _sim_events
+    if _KERNEL is not None:
+        return _KERNEL
+    if not NUMBA_AVAILABLE or _KERNEL_FAILED is not None:
+        return None
+    with _COMPILE_LOCK:
+        if _KERNEL is not None:  # pragma: no cover - racing second caller
+            return _KERNEL
+        try:
+            import numba
+
+            _KERNEL = numba.njit(cache=True, nogil=True)(_sim_events)
+        except Exception as exc:  # pragma: no cover - needs broken numba
+            _demote(exc)
+            return None
+    return _KERNEL
+
+
+def _call_kernel(kernel, args) -> None:
+    """Invoke the kernel, timing the first (compiling) call."""
+    global _COMPILE_SECONDS
+    if kernel is _sim_events or _COMPILE_SECONDS is not None:
+        kernel(*args)
+        return
+    with _COMPILE_LOCK:
+        if _COMPILE_SECONDS is not None:
+            kernel(*args)
+            return
+        with span("detector.jit_compile"):
+            t0 = time.perf_counter()
+            kernel(*args)
+            _COMPILE_SECONDS = time.perf_counter() - t0
+        get_registry().gauge(
+            "detector_jit_compile_seconds",
+            "wall time of the jit kernel's first (compiling) call",
+        ).set(_COMPILE_SECONDS)
+
+
+def jit_available() -> bool:
+    """Whether ``engine="jit"`` would actually run compiled.
+
+    False when numba is not installed or a compile failure demoted the
+    tier; :func:`repro.model.fastdetect.resolve_engine` then resolves
+    ``"jit"`` to ``"fast"`` so callers never need to care.
+    """
+    if _FORCE_PYTHON_KERNEL:
+        return True
+    return NUMBA_AVAILABLE and _KERNEL_FAILED is None
+
+
+def jit_compile_seconds() -> float | None:
+    """Wall seconds the first (compiling) kernel call took, if any.
+
+    ``@njit(cache=True)`` persists the compiled artifact, so on a warm
+    cache this is milliseconds; benchmarks record it per row.
+    """
+    return _COMPILE_SECONDS
+
+
+def warmup_jit() -> float | None:
+    """Compile (or load from cache) the kernel on a trivial trace.
+
+    Returns the first-call wall seconds, or ``None`` when the jit tier
+    is unavailable.  Services call this at boot so the first tenant
+    request does not pay the compile; the doctor check calls it to
+    prove the toolchain works.
+    """
+    if not jit_available():
+        return None
+    det = JitFSDetector(2, 4)
+    trace = np.arange(2 * MIN_FAST_EVENTS, dtype=np.int64).reshape(-1, 2) % 7
+    det.process_block(
+        (trace, trace[::-1].copy()), np.array([True, False])
+    )
+    if not jit_available():  # demoted by the warmup itself
+        return None
+    return _COMPILE_SECONDS if not _FORCE_PYTHON_KERNEL else 0.0
+
+
+class JitFSDetector(FastFSDetector):
+    """Drop-in detector running blocks through the compiled automaton.
+
+    Inherits the full :class:`FastFSDetector` machinery — blocks the
+    kernel should not take (tiny blocks, >63 threads, oversized dense
+    domains, demoted tier) use the vectorized/scalar paths, so the
+    detector is safe to use unconditionally.  ``jit_blocks`` counts
+    blocks the kernel processed.
+    """
+
+    def __init__(
+        self, num_threads: int, stack_lines: int, mode: str = "invalidate"
+    ) -> None:
+        super().__init__(num_threads, stack_lines, mode=mode)
+        #: blocks processed by the compiled (or forced-python) kernel
+        self.jit_blocks = 0
+        self._jit_counter = get_registry().counter(
+            "detector_jit_blocks_total",
+            "lockstep blocks processed by the jit-compiled detector core",
+        ).labels(mode=mode)
+
+    def _process_block(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        thread_order: Sequence[int] | None = None,
+    ) -> None:
+        kernel = _get_kernel()
+        if kernel is None or self.num_threads > MAX_FAST_THREADS:
+            super()._process_block(thread_lines, write_mask, thread_order)
+            return
+        total = sum(m.size for m in thread_lines)
+        if total < MIN_FAST_EVENTS:
+            # Below the crossover the scalar loop beats any array setup.
+            super()._process_block(thread_lines, write_mask, thread_order)
+            return
+        resident = sum(len(st) for st in self._stacks)
+        if self.num_threads * (total + resident) > MAX_WHERE_CELLS:
+            # The dense membership map would not fit; the fast path
+            # subdivides along the step axis instead.
+            super()._process_block(thread_lines, write_mask, thread_order)
+            return
+        order = tuple(thread_order) if thread_order is not None else tuple(
+            range(self.num_threads)
+        )
+        if sorted(order) != list(range(self.num_threads)):
+            from repro.resilience.errors import ModelError
+
+            raise ModelError("thread_order must be a permutation of thread ids")
+        steps0, accesses0 = self.stats.steps, self.stats.accesses
+        try:
+            self._process_block_jit(thread_lines, write_mask, order, kernel)
+            self.jit_blocks += 1
+            self._jit_counter.inc()
+        except Exception as exc:
+            if _FORCE_PYTHON_KERNEL or _KERNEL_FAILED is not None:
+                raise
+            # A compile error surfaces on the first kernel call, before
+            # it touches any state; only the wrapper's step/access
+            # tallies precede it, so roll those back and rerun the
+            # whole block through the fast path.
+            _demote(exc)
+            self.stats.steps, self.stats.accesses = steps0, accesses0
+            super()._process_block(thread_lines, write_mask, thread_order)
+
+    # -- the kernel wrapper -------------------------------------------------
+
+    def _process_block_jit(
+        self,
+        thread_lines: Sequence[np.ndarray],
+        write_mask: np.ndarray,
+        order: tuple[int, ...],
+        kernel,
+    ) -> None:
+        stats = self.stats
+        T = self.num_threads
+        cap = self.stack_lines
+        writes = np.asarray(write_mask, dtype=bool)
+        R = int(writes.size)
+        n_steps = max((len(m) for m in thread_lines), default=0)
+        stats.steps += n_steps
+        if R == 0 or n_steps == 0:
+            return
+
+        # 1. Flatten to the reference interleaving: step-major, then
+        # position in the thread order, then program order.
+        order_arr = np.asarray(order, dtype=np.int64)
+        lines3 = np.empty((n_steps, T, R), dtype=np.int64)
+        valid = np.zeros((n_steps, T), dtype=bool)
+        for pos, t in enumerate(order):
+            mat = thread_lines[t]
+            k = len(mat)
+            if k:
+                lines3[:k, pos, :] = mat
+                valid[:k, pos] = True
+        ev_line = lines3.reshape(-1)
+        ev_thr = np.tile(np.repeat(order_arr, R), n_steps)
+        ev_w = np.tile(writes, T * n_steps)
+        if not valid.all():
+            mask = np.repeat(valid.reshape(-1), R)
+            ev_line = ev_line[mask]
+            ev_thr = ev_thr[mask]
+            ev_w = ev_w[mask]
+        stats.accesses += int(ev_line.size)
+        if ev_line.size == 0:
+            return
+
+        # 2. Dense line domain: events ∪ resident stack lines.
+        res = [
+            np.fromiter(st.keys(), np.int64, count=len(st))
+            for st in self._stacks
+            if st
+        ]
+        uniq = np.unique(
+            np.concatenate([ev_line] + res) if res else ev_line
+        )
+        G = int(uniq.size)
+        ev_g = np.searchsorted(uniq, ev_line).astype(np.int64)
+
+        init_lines = np.zeros((T, cap), dtype=np.int64)
+        init_mod = np.zeros((T, cap), dtype=np.uint8)
+        init_sizes = np.zeros(T, dtype=np.int64)
+        for t, st in enumerate(self._stacks):
+            n = len(st)
+            if n:
+                keys = np.fromiter(st.keys(), np.int64, count=n)
+                init_lines[t, :n] = np.searchsorted(uniq, keys)
+                init_mod[t, :n] = np.fromiter(
+                    (1 if v == MODIFIED else 0 for v in st.values()),
+                    np.uint8,
+                    count=n,
+                )
+            init_sizes[t] = n
+
+        holders = np.zeros(G, dtype=np.int64)
+        writers = np.zeros(G, dtype=np.int64)
+        out_counts = np.zeros(8, dtype=np.int64)
+        out_by_thread = np.zeros(T, dtype=np.int64)
+        out_by_pair = np.zeros(T * T, dtype=np.int64)
+        out_by_line = np.zeros(G, dtype=np.int64)
+        out_lines = np.zeros((T, cap), dtype=np.int64)
+        out_mod = np.zeros((T, cap), dtype=np.uint8)
+        out_sizes = np.zeros(T, dtype=np.int64)
+
+        # 3. Run the automaton.
+        _call_kernel(
+            kernel,
+            (
+                ev_g, ev_thr, ev_w,
+                np.int64(T), np.int64(G), np.int64(cap),
+                np.int64(1 if self.mode == "invalidate" else 0),
+                init_lines, init_mod, init_sizes,
+                holders, writers,
+                out_counts, out_by_thread, out_by_pair, out_by_line,
+                out_lines, out_mod, out_sizes,
+            ),
+        )
+
+        # 4. Scatter the results back.
+        stats.fs_cases += int(out_counts[0])
+        stats.fs_read_cases += int(out_counts[1])
+        stats.fs_write_cases += int(out_counts[2])
+        stats.misses += int(out_counts[3])
+        stats.invalidations += int(out_counts[4])
+        stats.downgrades += int(out_counts[5])
+        stats.evictions += int(out_counts[6])
+
+        ul = uniq.tolist()
+        by_thread = stats.fs_by_thread
+        for t in np.flatnonzero(out_by_thread).tolist():
+            by_thread[t] += int(out_by_thread[t])
+        by_line = stats.fs_by_line
+        for g in np.flatnonzero(out_by_line).tolist():
+            by_line[ul[g]] += int(out_by_line[g])
+        by_pair = stats.fs_by_pair
+        for v in np.flatnonzero(out_by_pair).tolist():
+            by_pair[(v // T, v % T)] += int(out_by_pair[v])
+
+        stacks = self._stacks
+        for t in range(T):
+            n = int(out_sizes[t])
+            if n:
+                keys = uniq[out_lines[t, :n]].tolist()
+                mods = out_mod[t, :n].tolist()
+                stacks[t] = OrderedDict(
+                    zip(keys, (MODIFIED if m else SHARED for m in mods))
+                )
+            else:
+                stacks[t] = OrderedDict()
+        # Every line with a live bit is resident in some stack, hence in
+        # the dense domain — replacing the dicts wholesale is exact
+        # (dropped entries all carried zero masks; reads default to 0).
+        self._holders = dict(zip(ul, holders.tolist()))
+        self._writers = dict(zip(ul, writers.tolist()))
+        self._mru_line = [None] * T
+        self._mru_mod = [False] * T

@@ -1,0 +1,450 @@
+"""Segment-parallel simulation: the detector itself across cores.
+
+The lockstep access stream from global step ``s`` onward is a pure
+function of ``s`` (:meth:`~repro.model.schedule.LockstepEnumerator.
+env_block` gives random access), and the detector's future behaviour is
+fully determined by its per-thread stacks.  So a chunk-run series
+splits into *segments* that are independent given a starting state —
+the structure PPT-Multicore exploits to scale analytical cache models —
+and the only problem is that segment ``i``'s true starting state is
+produced by segment ``i−1``.
+
+The runner solves that with **speculative cold starts + exact
+verification**, so parallelism never changes a single counter:
+
+1. every segment is fanned to a :class:`~repro.engine.pool.WorkerPool`
+   worker that simulates it from a *cold* (empty) detector;
+2. in the eviction regime the cold state converges to the true state:
+   once every stack has filled to capacity, the state is a function of
+   the recent access suffix, not of the start.  When a worker observes
+   all stacks full at a block boundary (its *determination point*), it
+   fingerprints the state, discards the speculative prefix counters,
+   and keeps exact stat deltas + its end state
+   (:meth:`~repro.model.detector.FSDetector.export_state`) from there;
+3. the parent merges segments **in input order**: it simulates each
+   segment's prefix serially from the true state up to the worker's
+   determination point, compares fingerprints, and on a match adopts
+   the worker's deltas and end state wholesale — bit-identical to
+   having simulated the rest itself.  A mismatch (or a worker that
+   never determined, or crashed) just re-simulates that segment
+   serially: correctness is unconditional, parallelism is the
+   optimistic case.
+
+Segment 0 needs no determination — its cold start *is* the true start.
+
+The ``--sim-jobs`` knob rides in job payloads only (never cache keys),
+like the detector-engine knob: results are invariant under it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.model.detector import FSDetector, FSStats
+from repro.model.fastdetect import make_detector
+from repro.model.ownership import OwnershipListGenerator
+from repro.obs import get_registry, span
+from repro.resilience.budget import Budget
+from repro.util import get_logger
+
+__all__ = [
+    "MIN_SEGMENT_RUNS",
+    "plan_segments",
+    "run_segment_job",
+    "segment_eligible",
+    "simulate_segmented",
+]
+
+logger = get_logger(__name__)
+
+#: Segments shorter than this many chunk runs are not worth a worker:
+#: the cold warm-up the parent must re-simulate serially would eat the
+#: whole segment.  ``plan_segments`` shrinks the segment count (down to
+#: "don't engage") rather than emit shorter segments.
+MIN_SEGMENT_RUNS = 16
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def plan_segments(
+    total_steps: int,
+    steps_per_run: int,
+    sim_jobs: int,
+    min_segment_runs: int = MIN_SEGMENT_RUNS,
+) -> list[tuple[int, int]]:
+    """Split ``[0, total_steps)`` into run-aligned segment bounds.
+
+    Aims for ``sim_jobs`` equal segments, shrinking the count so no
+    segment falls below ``min_segment_runs`` chunk runs.  Returns a
+    single segment (= "don't engage") when the work is too small.
+    """
+    if total_steps <= 0:
+        return []
+    spr = max(steps_per_run, 1)
+    runs = _ceil_div(total_steps, spr)
+    nseg = max(1, min(sim_jobs, runs // max(min_segment_runs, 1)))
+    if nseg < 2:
+        return [(0, total_steps)]
+    per = _ceil_div(runs, nseg)
+    bounds: list[tuple[int, int]] = []
+    r = 0
+    while r < runs:
+        r2 = min(r + per, runs)
+        bounds.append((r * spr, min(r2 * spr, total_steps)))
+        r = r2
+    return bounds
+
+
+def segment_eligible(
+    gen: OwnershipListGenerator,
+    stack_lines: int,
+    sim_jobs: int,
+    total_steps: int,
+) -> bool:
+    """Whether segment-parallel simulation can pay off here.
+
+    Requires ≥2 plannable segments and an eviction-regime working set
+    (total array lines exceeding the per-thread stack capacity) —
+    without eviction pressure the stacks never fill, no worker can
+    determine, and every segment would be re-simulated serially.
+    """
+    if sim_jobs < 2:
+        return False
+    spr = gen.iteration_space.steps_per_chunk_run
+    if len(plan_segments(total_steps, spr, sim_jobs)) < 2:
+        return False
+    total_lines = sum(
+        _ceil_div(arr.size_bytes(), gen.line_size)
+        for arr in gen.space.arrays()
+    )
+    return total_lines > stack_lines
+
+
+def _materialize(gen: OwnershipListGenerator, s0: int, s1: int) -> tuple:
+    """Per-thread line matrices for global steps ``[s0, s1)``.
+
+    Same span/counter contract as ``OwnershipListGenerator.blocks`` —
+    segment simulation materializes its own blocks for random access.
+    """
+    enum = gen.enum
+    with span("ownership.block", start_step=s0) as sp:
+        lines = tuple(
+            gen.lines_for_env(enum.env_block(t, s0, s1))
+            for t in range(gen.num_threads)
+        )
+        n_ids = sum(mat.size for mat in lines)
+        sp.set(line_ids=n_ids)
+    get_registry().counter(
+        "ownership_line_ids", "line ids generated by the ownership stage"
+    ).labels(kernel=gen.nest.name).inc(n_ids)
+    return lines
+
+
+def _stride_of(gen: OwnershipListGenerator, steps_per_run: int) -> int:
+    """Run-aligned processing stride (block batching, like steadystate)."""
+    spr = max(steps_per_run, 1)
+    return max(spr, (gen.enum.block_steps // spr) * spr)
+
+
+def _simulate_range(
+    gen: OwnershipListGenerator,
+    detector: FSDetector,
+    start: int,
+    stop: int,
+    thread_order: tuple[int, ...] | None,
+    steps_per_run: int,
+    series: list[int] | None,
+    budget: Budget | None,
+) -> None:
+    """Serially simulate global steps ``[start, stop)`` on ``detector``.
+
+    With ``series``, cumulative FS cases are sampled at every chunk-run
+    boundary — identical granularity to the serial record-series path.
+    """
+    if stop <= start:
+        return
+    stats = detector.stats
+    write_mask = gen.write_mask
+    stride = _stride_of(gen, steps_per_run)
+    for s0 in range(start, stop, stride):
+        if budget is not None:
+            budget.check_deadline(f"segmented analysis of {gen.nest.name}")
+        s1 = min(s0 + stride, stop)
+        lines = _materialize(gen, s0, s1)
+        if series is None:
+            detector.process_block(
+                lines, write_mask, thread_order=thread_order
+            )
+        else:
+            for off in range(0, s1 - s0, steps_per_run):
+                sub = tuple(m[off:off + steps_per_run] for m in lines)
+                detector.process_block(
+                    sub, write_mask, thread_order=thread_order
+                )
+                series.append(stats.fs_cases)
+
+
+def run_segment_job(job) -> dict:
+    """Engine runner for ``model.segment`` jobs (executes in a worker).
+
+    Simulates one segment from a cold detector, watching for the
+    determination point (all stacks at capacity at a run-aligned block
+    boundary).  Returns the determination step, the state fingerprint
+    there, exact stat deltas from determination to segment end, the
+    exported end state, and (optionally) the per-run FS series deltas —
+    everything the parent needs to splice the segment in bit-exactly.
+
+    ``determined_at`` is ``None`` when the stacks never filled; the
+    parent then re-simulates the whole segment serially.
+    """
+    p = job.payload
+    gen = OwnershipListGenerator(
+        p["nest"],
+        p["num_threads"],
+        line_size=p["line_size"],
+        space=p["space"],
+        block_steps=p["block_steps"],
+    )
+    detector = make_detector(
+        p["engine"], p["num_threads"], p["stack_lines"], mode=p["mode"]
+    )
+    seg_start, seg_stop = p["segment"]
+    spr = int(p["steps_per_run"])
+    thread_order = (
+        tuple(p["thread_order"]) if p["thread_order"] is not None else None
+    )
+    cap = detector.stack_lines
+    stats = detector.stats
+    stacks = detector._stacks
+    record_series = bool(p["record_series"])
+
+    determined_at: int | None = None
+    fingerprint: bytes | None = None
+    base: tuple | None = None
+    series: list[int] | None = None
+
+    def begin_capture(step: int) -> None:
+        nonlocal determined_at, fingerprint, base, series
+        determined_at = step
+        fingerprint = detector.state_fingerprint()
+        base = tuple(getattr(stats, n) for n in FSStats._SCALARS)
+        # Discard the speculative prefix's attribution outright; the
+        # parent re-simulates it from the true state.
+        stats.fs_by_thread = Counter()
+        stats.fs_by_line = Counter()
+        stats.fs_by_pair = Counter()
+        if record_series:
+            series = []
+
+    if seg_start == 0:
+        # Segment 0's cold start *is* the true start: capture from the
+        # beginning, fingerprint of the empty state included.
+        begin_capture(0)
+
+    stride = _stride_of(gen, spr)
+    for s0 in range(seg_start, seg_stop, stride):
+        s1 = min(s0 + stride, seg_stop)
+        lines = _materialize(gen, s0, s1)
+        if series is None:
+            detector.process_block(
+                lines, gen.write_mask, thread_order=thread_order
+            )
+        else:
+            for off in range(0, s1 - s0, spr):
+                sub = tuple(m[off:off + spr] for m in lines)
+                detector.process_block(
+                    sub, gen.write_mask, thread_order=thread_order
+                )
+                series.append(stats.fs_cases - base[0])
+        if (
+            determined_at is None
+            and s1 < seg_stop
+            and all(len(st) == cap for st in stacks)
+        ):
+            begin_capture(s1)
+
+    delta = None
+    if determined_at is not None:
+        delta = {
+            "scalars": {
+                n: getattr(stats, n) - b
+                for n, b in zip(FSStats._SCALARS, base)
+            },
+            "by_thread": dict(stats.fs_by_thread),
+            "by_line": dict(stats.fs_by_line),
+            "by_pair": dict(stats.fs_by_pair),
+        }
+    return {
+        "determined_at": determined_at,
+        "fingerprint": fingerprint,
+        "delta": delta,
+        "state": detector.export_state() if determined_at is not None else None,
+        "series": series,
+    }
+
+
+def _merge_delta(stats: FSStats, delta: dict) -> None:
+    for name, value in delta["scalars"].items():
+        setattr(stats, name, getattr(stats, name) + value)
+    stats.fs_by_thread.update(delta["by_thread"])
+    stats.fs_by_line.update(delta["by_line"])
+    stats.fs_by_pair.update(delta["by_pair"])
+
+
+def segment_jobs(
+    gen: OwnershipListGenerator,
+    detector: FSDetector,
+    bounds: Sequence[tuple[int, int]],
+    engine: str,
+    thread_order: tuple[int, ...] | None,
+    record_series: bool,
+) -> list:
+    """One ``model.segment`` job per segment, in step order.
+
+    The spec is identity/labeling only — segment results carry whole
+    detector states, so they go straight through the pool and never
+    enter the result store (and ``sim_jobs`` stays out of cache keys).
+    """
+    from repro.engine import Job
+
+    spr = gen.iteration_space.steps_per_chunk_run
+    payload_common = {
+        "nest": gen.nest,
+        "space": gen.space,
+        "num_threads": gen.num_threads,
+        "line_size": gen.line_size,
+        "block_steps": gen.enum.block_steps,
+        "stack_lines": detector.stack_lines,
+        "mode": detector.mode,
+        "engine": engine,
+        "thread_order": (
+            list(thread_order) if thread_order is not None else None
+        ),
+        "steps_per_run": spr,
+        "record_series": record_series,
+    }
+    jobs = []
+    for s0, s1 in bounds:
+        jobs.append(
+            Job(
+                kind="model.segment",
+                spec={
+                    "kernel": gen.nest.name,
+                    "threads": gen.num_threads,
+                    "mode": detector.mode,
+                    "segment": [s0, s1],
+                },
+                payload={**payload_common, "segment": (s0, s1)},
+                label=f"segment:{gen.nest.name}:{s0}-{s1}",
+            )
+        )
+    return jobs
+
+
+def simulate_segmented(
+    gen: OwnershipListGenerator,
+    detector: FSDetector,
+    *,
+    sim_jobs: int,
+    engine: str,
+    thread_order: tuple[int, ...] | None = None,
+    max_steps: int | None = None,
+    record_series: bool = False,
+    budget: Budget | None = None,
+    pool=None,
+    segment_bounds: Sequence[tuple[int, int]] | None = None,
+) -> list[int] | None:
+    """Run the whole analysis segment-parallel onto ``detector``.
+
+    Drop-in replacement for the serial block walk in
+    :meth:`~repro.model.fsmodel.FalseSharingModel._analyze`: on return
+    ``detector`` holds exactly the counters, breakdowns and end state a
+    serial walk would have produced (verified per segment, re-simulated
+    on any miss).  Returns the per-run cumulative FS series when
+    ``record_series``, else ``None``.
+
+    ``pool`` and ``segment_bounds`` are test seams: an inline
+    single-worker pool makes merges deterministic to step through, and
+    explicit bounds exercise arbitrary (run-aligned) split points.  The
+    deadline budget is enforced in the parent between blocks/segments;
+    workers are speculative and crash/fault-isolated by the pool (a
+    failed worker costs a serial re-simulation, never the result).
+    """
+    from repro.engine.pool import WorkerPool
+
+    spr = gen.iteration_space.steps_per_chunk_run
+    total = gen.enum.max_steps
+    if max_steps is not None:
+        total = min(total, max_steps)
+    bounds = (
+        [(int(a), int(b)) for a, b in segment_bounds]
+        if segment_bounds is not None
+        else plan_segments(total, spr, sim_jobs)
+    )
+    series: list[int] | None = [] if record_series else None
+    if not bounds:
+        return series
+    registry = get_registry()
+    applied_counter = registry.counter(
+        "detector_segments_parallel_total",
+        "simulation segments spliced in from parallel workers (verified)",
+    )
+    resim_counter = registry.counter(
+        "detector_segments_resim_total",
+        "simulation segments re-simulated serially (no determination, "
+        "fingerprint mismatch, or worker failure)",
+    )
+    if pool is None:
+        pool = WorkerPool(workers=sim_jobs, retries=1)
+    jobs = segment_jobs(
+        gen, detector, bounds, engine, thread_order, record_series
+    )
+    with span(
+        "model.simparallel",
+        kernel=gen.nest.name,
+        segments=len(bounds),
+        sim_jobs=sim_jobs,
+    ) as sp:
+        outcomes = pool.run(jobs)
+        applied = 0
+        for (s0, s1), outcome in zip(bounds, outcomes):
+            if budget is not None:
+                budget.check_deadline(
+                    f"segmented analysis of {gen.nest.name}"
+                )
+            res = outcome.result if outcome.ok else None
+            if res is None and outcome.error is not None:
+                logger.warning(
+                    "segment [%d, %d) worker failed (%s); re-simulating "
+                    "serially", s0, s1, outcome.error,
+                )
+            det_at = res["determined_at"] if res is not None else None
+            target = s1 if det_at is None else det_at
+            # Serial prefix from the true state up to the worker's
+            # determination point (empty for segment 0).
+            _simulate_range(
+                gen, detector, s0, target, thread_order, spr, series, budget
+            )
+            if det_at is not None:
+                if detector.state_fingerprint() == res["fingerprint"]:
+                    base_fs = detector.stats.fs_cases
+                    _merge_delta(detector.stats, res["delta"])
+                    detector.import_state(res["state"])
+                    if series is not None:
+                        series.extend(base_fs + d for d in res["series"])
+                    applied += 1
+                    applied_counter.inc()
+                    continue
+                logger.warning(
+                    "segment [%d, %d) fingerprint mismatch at step %d; "
+                    "re-simulating serially", s0, s1, det_at,
+                )
+            resim_counter.inc()
+            _simulate_range(
+                gen, detector, target, s1, thread_order, spr, series, budget
+            )
+        sp.set(applied=applied, resimulated=len(bounds) - applied)
+    return series

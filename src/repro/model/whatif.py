@@ -180,6 +180,7 @@ def evaluate_point(
     budget: Budget | None = None,
     detector_engine: str = "auto",
     steady_state: bool = True,
+    sim_jobs: int = 1,
 ) -> SweepPoint:
     """Evaluate one (threads, chunk) configuration.
 
@@ -190,8 +191,8 @@ def evaluate_point(
     the predictor samples a fixed prefix of chunk runs, not a random
     subset.
 
-    ``detector_engine`` and ``steady_state`` select the detector
-    implementation (see :class:`FalseSharingModel`).  Both knobs are
+    ``detector_engine``, ``steady_state`` and ``sim_jobs`` select the
+    detector implementation (see :class:`FalseSharingModel`).  All such knobs are
     *result-invariant* — every engine produces bit-identical counters —
     so they deliberately do **not** participate in the engine cache key
     (:meth:`WhatIfSweep.point_jobs` puts them in the job payload, not
@@ -205,7 +206,8 @@ def evaluate_point(
     :class:`SweepPoint` (``fidelity`` / ``degradation``).
     """
     model = FalseSharingModel(
-        machine, mode=mode, engine=detector_engine, steady_state=steady_state
+        machine, mode=mode, engine=detector_engine, steady_state=steady_state,
+        sim_jobs=sim_jobs,
     )
     total_model = TotalCostModel(machine)
     candidate = nest.with_chunk(chunk)
@@ -261,6 +263,7 @@ def run_point_job(job) -> dict:
         # reference-engine re-run and vice versa.
         detector_engine=str(job.payload.get("detector_engine", "auto")),
         steady_state=bool(job.payload.get("steady_state", True)),
+        sim_jobs=int(job.payload.get("sim_jobs", 1)),
     )
     return point.to_dict()
 
@@ -277,11 +280,14 @@ class WhatIfSweep:
     predictor_runs:
         Chunk runs sampled per point in predictor mode.
     detector_engine:
-        Detector engine per point: ``"auto"`` (default), ``"fast"`` or
-        ``"reference"``.  Result-invariant, so it never enters the
-        engine cache key.
+        Detector engine per point: ``"auto"`` (default), ``"jit"``,
+        ``"fast"`` or ``"reference"``.  Result-invariant, so it never
+        enters the engine cache key.
     steady_state:
         Enable the exact steady-state early exit (default ``True``).
+    sim_jobs:
+        Segment-parallel workers per point (default ``1``).  Also
+        result-invariant and payload-only.
     """
 
     def __init__(
@@ -292,15 +298,17 @@ class WhatIfSweep:
         mode: str = "invalidate",
         detector_engine: str = "auto",
         steady_state: bool = True,
+        sim_jobs: int = 1,
     ) -> None:
         self.machine = machine
         self.use_predictor = use_predictor
         self.predictor_runs = predictor_runs
         self.detector_engine = detector_engine
         self.steady_state = steady_state
+        self.sim_jobs = sim_jobs
         self.model = FalseSharingModel(
             machine, mode=mode, engine=detector_engine,
-            steady_state=steady_state,
+            steady_state=steady_state, sim_jobs=sim_jobs,
         )
         self.total_model = TotalCostModel(machine)
 
@@ -319,6 +327,7 @@ class WhatIfSweep:
             budget=budget,
             detector_engine=self.detector_engine,
             steady_state=self.steady_state,
+            sim_jobs=self.sim_jobs,
         )
 
     def _feasible(
@@ -369,8 +378,8 @@ class WhatIfSweep:
 
         digest = nest_digest(nest)
         machine_key = self.machine.to_key_dict()
-        # detector_engine / steady_state stay OUT of the spec (and
-        # therefore out of the cache key): all engines are
+        # detector_engine / steady_state / sim_jobs stay OUT of the
+        # spec (and therefore out of the cache key): all engines are
         # result-identical, so forking the key on them would only
         # defeat the result store.
         payload = {
@@ -378,6 +387,7 @@ class WhatIfSweep:
             "nest": nest,
             "detector_engine": self.detector_engine,
             "steady_state": self.steady_state,
+            "sim_jobs": self.sim_jobs,
         }
         budget_key = budget.to_key_dict() if budget is not None else {}
         jobs = []

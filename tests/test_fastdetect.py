@@ -9,10 +9,12 @@ from hypothesis import given, settings, strategies as st
 from repro.kernels import dft, heat_diffusion, linear_regression
 from repro.machine import paper_machine, tiny_machine
 from repro.model import (
+    AUTO_REFERENCE_MAX_ACCESSES,
     ENGINES,
     FalseSharingModel,
     FastFSDetector,
     FSDetector,
+    jit_available,
     make_detector,
     resolve_engine,
 )
@@ -74,8 +76,11 @@ class TestEngineResolution:
             resolve_engine("turbo", "invalidate", 4)
 
     def test_auto_prefers_fast_when_supported(self):
-        assert resolve_engine("auto", "invalidate", 8) == "fast"
-        assert resolve_engine("auto", "invalidate", MAX_FAST_THREADS) == "fast"
+        # With numba installed the auto ladder tops out at "jit"
+        # instead; both are the vectorized regime.
+        top = "jit" if jit_available() else "fast"
+        assert resolve_engine("auto", "invalidate", 8) == top
+        assert resolve_engine("auto", "invalidate", MAX_FAST_THREADS) == top
 
     def test_auto_falls_back_outside_support(self):
         assert resolve_engine("auto", "literal", 8) == "reference"
@@ -84,9 +89,32 @@ class TestEngineResolution:
             == "reference"
         )
 
+    def test_auto_crossover_tiny_traces_use_reference(self):
+        """Below the measured crossover, tiny traces skip the
+        vectorized machinery entirely (the 0.8× table-config fix)."""
+        tiny = AUTO_REFERENCE_MAX_ACCESSES - 1
+        big = AUTO_REFERENCE_MAX_ACCESSES
+        assert (
+            resolve_engine("auto", "invalidate", 8, accesses=tiny)
+            == "reference"
+        )
+        top = "jit" if jit_available() else "fast"
+        assert resolve_engine("auto", "invalidate", 8, accesses=big) == top
+        # The hint only informs "auto": explicit choices are honoured.
+        assert (
+            resolve_engine("fast", "invalidate", 8, accesses=tiny) == "fast"
+        )
+
     def test_explicit_choice_honoured(self):
         assert resolve_engine("reference", "invalidate", 4) == "reference"
         assert resolve_engine("fast", "literal", 4) == "fast"
+
+    def test_jit_resolves_to_fast_without_numba(self):
+        resolved = resolve_engine("jit", "invalidate", 4)
+        if jit_available():
+            assert resolved == "jit"
+        else:
+            assert resolved == "fast"
 
     def test_make_detector_classes(self):
         assert isinstance(make_detector("fast", 4, 16), FastFSDetector)
@@ -95,7 +123,7 @@ class TestEngineResolution:
         assert isinstance(make_detector("auto", 4, 16), FastFSDetector)
 
     def test_engines_constant(self):
-        assert set(ENGINES) == {"auto", "fast", "reference"}
+        assert set(ENGINES) == {"auto", "jit", "fast", "reference"}
 
     def test_model_rejects_bad_engine(self):
         with pytest.raises(ModelError):
@@ -192,30 +220,42 @@ class TestModelLevelEquivalence:
     )
     def test_engines_bit_identical(self, kernel):
         machine = paper_machine()
+        engines = ["reference", "fast"]
+        if jit_available():
+            engines.append("jit")  # the third tier joins the matrix
         results = {}
-        for engine in ("reference", "fast"):
+        for engine in engines:
             model = FalseSharingModel(
                 machine, engine=engine, steady_state=False
             )
             results[engine] = model.analyze(
                 kernel.nest, 4, chunk=1, record_series=True
             )
-        ref, fast = results["reference"], results["fast"]
-        assert ref.fs_cases == fast.fs_cases
-        assert ref.fs_read_cases == fast.fs_read_cases
-        assert ref.fs_write_cases == fast.fs_write_cases
-        for name in _SCALARS:
-            assert getattr(ref.stats, name) == getattr(fast.stats, name)
-        assert dict(ref.stats.fs_by_line) == dict(fast.stats.fs_by_line)
-        assert dict(ref.stats.fs_by_pair) == dict(fast.stats.fs_by_pair)
-        assert ref.per_chunk_run.tolist() == fast.per_chunk_run.tolist()
-        assert ref.engine == "reference" and fast.engine == "fast"
+        ref = results["reference"]
+        assert ref.engine == "reference"
+        for engine in engines[1:]:
+            other = results[engine]
+            assert other.engine == engine
+            assert ref.fs_cases == other.fs_cases
+            assert ref.fs_read_cases == other.fs_read_cases
+            assert ref.fs_write_cases == other.fs_write_cases
+            for name in _SCALARS:
+                assert getattr(ref.stats, name) == getattr(other.stats, name)
+            assert dict(ref.stats.fs_by_line) == dict(other.stats.fs_by_line)
+            assert dict(ref.stats.fs_by_pair) == dict(other.stats.fs_by_pair)
+            assert ref.per_chunk_run.tolist() == other.per_chunk_run.tolist()
 
     def test_result_reports_resolved_engine(self):
+        # Tiny/table-sized trace: the crossover routes "auto" to the
+        # scalar reference path (no vectorization overhead to pay).
         machine = tiny_machine()
         k = heat_diffusion(rows=4, cols=258)
         r = FalseSharingModel(machine, engine="auto").analyze(k.nest, 4)
-        assert r.engine == "fast"
+        assert r.engine == "reference"
+        # Above-crossover grid: "auto" stays on the vectorized tiers.
+        big = heat_diffusion(rows=8, cols=4098)
+        r2 = FalseSharingModel(machine, engine="auto").analyze(big.nest, 4)
+        assert r2.engine == ("jit" if jit_available() else "fast")
 
 
 class TestCacheKeyInvariance:
@@ -236,12 +276,17 @@ class TestCacheKeyInvariance:
         for kwargs in (
             dict(detector_engine="fast"),
             dict(detector_engine="reference"),
+            dict(detector_engine="jit"),
             dict(steady_state=False),
+            dict(sim_jobs=4),
             dict(detector_engine="reference", steady_state=False),
+            dict(detector_engine="jit", sim_jobs=8),
         ):
             keys, jobs = self._keys(**kwargs)
             assert keys == base, kwargs
             for job in jobs:  # knobs travel in the (unhashed) payload
                 assert "detector_engine" not in job.spec
                 assert "steady_state" not in job.spec
+                assert "sim_jobs" not in job.spec
                 assert "detector_engine" in job.payload
+                assert "sim_jobs" in job.payload

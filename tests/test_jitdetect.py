@@ -1,0 +1,255 @@
+"""JIT-tier contracts: the event-stream kernel is bit-identical to the
+reference detector in both modes (run interpreted via the forced-python
+escape hatch, so the automaton is exercised with or without numba),
+state export/import round-trips exactly, compile failures demote to the
+fast engine losslessly, and the guarded import keeps the no-dependency
+path green.  Compiled legs are skipped when numba is absent."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model import jitdetect
+from repro.model.detector import FSDetector
+from repro.model.fastdetect import (
+    MIN_FAST_EVENTS,
+    make_detector,
+    resolve_engine,
+)
+from repro.model.jitdetect import JitFSDetector, jit_available, warmup_jit
+from repro.resilience.errors import ModelError
+from tests.test_fastdetect import (
+    _SCALARS,
+    _full_state,
+    _random_blocks,
+    _run_blocks,
+)
+
+requires_numba = pytest.mark.skipif(
+    not jitdetect.NUMBA_AVAILABLE, reason="numba not installed"
+)
+
+
+@pytest.fixture
+def forced_python_kernel(monkeypatch):
+    """Run the jit automaton interpreted (no numba needed)."""
+    monkeypatch.setattr(jitdetect, "_FORCE_PYTHON_KERNEL", True)
+
+
+def _big_block(rng, T, refs, steps):
+    """One block guaranteed past MIN_FAST_EVENTS so the kernel engages."""
+    return tuple(
+        rng.integers(0, 24, size=(steps, refs)).astype(np.int64)
+        for _ in range(T)
+    )
+
+
+class TestKernelEquivalence:
+    """JitFSDetector ≡ FSDetector on arbitrary traces, both modes."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        T=st.integers(1, 4),
+        cap=st.sampled_from([4, 8, 32]),
+        refs=st.integers(1, 3),
+        mode=st.sampled_from(["invalidate", "literal"]),
+        streaming=st.booleans(),
+    )
+    @settings(
+        max_examples=40, deadline=None,
+        # The fixture only flips an idempotent module flag; not
+        # resetting it between examples is harmless.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_random_trace_equivalence(
+        self, forced_python_kernel, seed, T, cap, refs, mode, streaming
+    ):
+        rng = np.random.default_rng(seed)
+        writes = rng.random(refs) < 0.4
+        order = list(range(T))
+        rng.shuffle(order)
+        blocks = _random_blocks(
+            rng, T, refs, n_blocks=int(rng.integers(1, 4)),
+            max_steps=120, streaming=streaming,
+        )
+        ref = _run_blocks(FSDetector(T, cap, mode=mode), blocks, writes, order)
+        jit = _run_blocks(
+            JitFSDetector(T, cap, mode=mode), blocks, writes, order
+        )
+        assert ref == jit
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_eviction_regime_equivalence(self, forced_python_kernel, seed):
+        rng = np.random.default_rng(seed)
+        T, cap, refs = 3, 8, 2
+        writes = np.array([True, False])
+        blocks = _random_blocks(
+            rng, T, refs, n_blocks=3, max_steps=200, streaming=True
+        )
+        ref_d = FSDetector(T, cap)
+        jit_d = JitFSDetector(T, cap)
+        for mats in blocks:
+            ref_d.process_block(mats, writes)
+            jit_d.process_block(mats, writes)
+            assert _full_state(ref_d) == _full_state(jit_d)
+        assert ref_d.stats.evictions > 0
+
+    def test_kernel_engages_on_large_blocks(self, forced_python_kernel):
+        rng = np.random.default_rng(3)
+        d = JitFSDetector(4, 16)
+        d.process_block(
+            _big_block(rng, 4, 2, MIN_FAST_EVENTS), np.array([True, False])
+        )
+        assert d.jit_blocks == 1
+        assert d.stats.accesses == 4 * MIN_FAST_EVENTS * 2
+
+    def test_tiny_blocks_use_inherited_paths(self, forced_python_kernel):
+        d = JitFSDetector(2, 8)
+        mats = (np.zeros((3, 1), dtype=np.int64),) * 2
+        d.process_block(mats, np.array([True]))
+        assert d.jit_blocks == 0  # below MIN_FAST_EVENTS
+        assert d.stats.accesses == 6
+
+    def test_bad_thread_order_rejected(self, forced_python_kernel):
+        d = JitFSDetector(2, 8)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ModelError):
+            d.process_block(
+                _big_block(rng, 2, 2, MIN_FAST_EVENTS),
+                np.array([True, False]),
+                thread_order=[1, 1],
+            )
+
+    def test_ragged_blocks_equivalent(self, forced_python_kernel):
+        """Threads with different row counts (clipped tails) must match
+        the reference interleaving exactly."""
+        rng = np.random.default_rng(11)
+        writes = np.array([True, False])
+        mats = tuple(
+            rng.integers(0, 20, size=(steps, 2)).astype(np.int64)
+            for steps in (150, 97, 150)
+        )
+        ref_d = FSDetector(3, 8)
+        jit_d = JitFSDetector(3, 8)
+        ref_d.process_block(mats, writes)
+        jit_d.process_block(mats, writes)
+        assert jit_d.jit_blocks == 1
+        assert _full_state(ref_d) == _full_state(jit_d)
+
+
+class TestStateRoundTrip:
+    """export_state/import_state carry the complete detector state."""
+
+    def test_roundtrip_preserves_future(self, forced_python_kernel):
+        rng = np.random.default_rng(5)
+        writes = np.array([True, False])
+        warm = _big_block(rng, 3, 2, 300)
+        cont = _big_block(rng, 3, 2, 250)
+
+        serial = FSDetector(3, 8)
+        serial.process_block(warm, writes)
+        state = serial.export_state()
+
+        resumed = JitFSDetector(3, 8)
+        resumed.import_state(state)
+        assert resumed.state_fingerprint() == serial.state_fingerprint()
+
+        serial.process_block(cont, writes)
+        base = tuple(getattr(serial.stats, n) for n in _SCALARS)
+        resumed.process_block(cont, writes)
+        # import_state leaves stats at zero: only the continuation's
+        # deltas accrue, and they equal the serial continuation's.
+        warm_only = FSDetector(3, 8)
+        warm_only.process_block(warm, writes)
+        warm_base = tuple(getattr(warm_only.stats, n) for n in _SCALARS)
+        for name, total, before in zip(_SCALARS, base, warm_base):
+            assert getattr(resumed.stats, name) == total - before, name
+        assert resumed.state_fingerprint() == serial.state_fingerprint()
+
+    def test_import_validates(self):
+        d = FSDetector(2, 4)
+        with pytest.raises(ModelError):
+            d.import_state({"version": 1, "stacks": [[[1], [True]]]})
+        too_deep = [[list(range(9)), [False] * 9], [[], []]]
+        with pytest.raises(ModelError):
+            d.import_state({"version": 1, "stacks": too_deep})
+        dupes = [[[3, 3], [False, False]], [[], []]]
+        with pytest.raises(ModelError):
+            d.import_state({"version": 1, "stacks": dupes})
+
+
+class TestDemotion:
+    """A failing kernel demotes to the fast engine, losing nothing."""
+
+    def test_kernel_failure_demotes_and_rolls_back(self, monkeypatch):
+        monkeypatch.setattr(jitdetect, "_KERNEL_FAILED", None)
+        monkeypatch.setattr(jitdetect, "_COMPILE_SECONDS", None)
+
+        def boom(*args):
+            raise RuntimeError("simulated compile failure")
+
+        monkeypatch.setattr(jitdetect, "_get_kernel", lambda: boom)
+
+        rng = np.random.default_rng(9)
+        writes = np.array([True, False])
+        block = _big_block(rng, 3, 8, 300)
+
+        ref = FSDetector(3, 8)
+        jit = JitFSDetector(3, 8)
+        ref.process_block(block, writes)
+        jit.process_block(block, writes)  # raises inside → demote → fast
+
+        assert jit.jit_blocks == 0
+        assert jitdetect._KERNEL_FAILED is not None
+        assert not jit_available()
+        # No double counting from the rolled-back attempt.
+        assert _full_state(ref) == _full_state(jit)
+
+    def test_demoted_tier_resolves_to_fast(self, monkeypatch):
+        monkeypatch.setattr(
+            jitdetect, "_KERNEL_FAILED", RuntimeError("already demoted")
+        )
+        assert not jit_available()
+        assert resolve_engine("jit", "invalidate", 4) == "fast"
+        assert warmup_jit() is None
+
+
+class TestGuardedImport:
+    def test_make_detector_jit_never_fails(self):
+        """engine="jit" must build a working detector on every install."""
+        d = make_detector("jit", 2, 8)
+        d.access(0, 1, True)
+        fs = d.access(1, 1, True)
+        assert fs == 1
+
+    def test_warmup_forced_python(self, forced_python_kernel):
+        assert warmup_jit() == 0.0
+
+
+@requires_numba
+class TestCompiled:
+    """Legs that exercise the real numba-compiled kernel."""
+
+    def test_compiled_equivalence_smoke(self):
+        rng = np.random.default_rng(21)
+        writes = np.array([True, False])
+        blocks = [_big_block(rng, 4, 2, 400) for _ in range(3)]
+        ref_d = FSDetector(4, 16)
+        jit_d = JitFSDetector(4, 16)
+        for mats in blocks:
+            ref_d.process_block(mats, writes)
+            jit_d.process_block(mats, writes)
+        assert jit_d.jit_blocks == len(blocks)
+        assert _full_state(ref_d) == _full_state(jit_d)
+
+    def test_compile_time_recorded(self):
+        assert warmup_jit() is not None
+        assert jitdetect.jit_compile_seconds() is not None
+
+    def test_auto_resolves_to_jit(self):
+        assert resolve_engine("auto", "invalidate", 8) == "jit"
+        assert resolve_engine("jit", "invalidate", 8) == "jit"

@@ -1,0 +1,223 @@
+"""Segment-parallel simulation contracts: for every split, worker
+count, failure and fallback, the merged counters, breakdowns, series
+and end state are bit-identical to the serial walk."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.pool import WorkerPool
+from repro.machine import tiny_machine
+from repro.model import FalseSharingModel
+from repro.model.detector import FSDetector, FSStats
+from repro.model.ownership import OwnershipListGenerator
+from repro.model.simparallel import (
+    MIN_SEGMENT_RUNS,
+    plan_segments,
+    segment_eligible,
+    simulate_segmented,
+)
+from repro.resilience.errors import ModelError
+from repro.resilience.faults import FaultPlan, install_plan
+from tests.conftest import make_copy_nest, make_nested_nest
+
+_SCALARS = FSStats._SCALARS
+
+
+def _serial(nest, T, cap, mode, record_series, max_steps=None,
+            block_steps=64):
+    """The model's serial walk, chunk-run series sampling included."""
+    gen = OwnershipListGenerator(
+        nest, T, line_size=64, block_steps=block_steps
+    )
+    det = FSDetector(T, cap, mode=mode)
+    spr = gen.iteration_space.steps_per_chunk_run
+    series = None
+    if record_series:
+        runs_per_block = max(1, block_steps // max(spr, 1))
+        gen.enum.block_steps = runs_per_block * spr
+        series = []
+        for block in gen.blocks(max_steps):
+            n = max((len(m) for m in block.lines), default=0)
+            for off in range(0, n, spr):
+                sub = tuple(m[off:off + spr] for m in block.lines)
+                det.process_block(sub, gen.write_mask)
+                series.append(det.stats.fs_cases)
+    else:
+        for block in gen.blocks(max_steps):
+            det.process_block(block.lines, gen.write_mask)
+    return det, series
+
+
+def _parallel(nest, T, cap, mode, record_series, sim_jobs, bounds=None,
+              max_steps=None, block_steps=64, pool=None):
+    gen = OwnershipListGenerator(
+        nest, T, line_size=64, block_steps=block_steps
+    )
+    det = FSDetector(T, cap, mode=mode)
+    series = simulate_segmented(
+        gen, det, sim_jobs=sim_jobs, engine="reference",
+        max_steps=max_steps, record_series=record_series,
+        pool=pool or WorkerPool(workers=1), segment_bounds=bounds,
+    )
+    return det, series
+
+
+def _assert_identical(ref, par, ref_series, par_series):
+    for name in _SCALARS:
+        assert getattr(ref.stats, name) == getattr(par.stats, name), name
+    assert ref.stats.fs_by_thread == par.stats.fs_by_thread
+    assert ref.stats.fs_by_line == par.stats.fs_by_line
+    assert ref.stats.fs_by_pair == par.stats.fs_by_pair
+    assert ref.state_fingerprint() == par.state_fingerprint()
+    assert ref_series == par_series
+
+
+CASES = [
+    pytest.param(make_copy_nest(n=4096, chunk=1), 4, 4, "invalidate",
+                 id="copy-invalidate"),
+    pytest.param(make_copy_nest(n=4096, chunk=1), 4, 4, "literal",
+                 id="copy-literal"),
+    pytest.param(make_copy_nest(n=4096, chunk=8), 3, 6, "invalidate",
+                 id="copy-chunked"),
+    pytest.param(make_nested_nest(rows=64, cols=128, chunk=1), 4, 5,
+                 "invalidate", id="nested"),
+]
+
+
+class TestSegmentEquivalence:
+    @pytest.mark.parametrize("nest,T,cap,mode", CASES)
+    @pytest.mark.parametrize("record_series", [False, True],
+                             ids=["counts", "series"])
+    def test_parallel_equals_serial(self, nest, T, cap, mode,
+                                    record_series):
+        ref, s_ref = _serial(nest, T, cap, mode, record_series)
+        par, s_par = _parallel(nest, T, cap, mode, record_series,
+                               sim_jobs=4)
+        _assert_identical(ref, par, s_ref, s_par)
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           n_cuts=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_random_split_points(self, seed, n_cuts):
+        """Any run-aligned split merges bit-identically — determination
+        and fingerprint verification do not depend on segment shape."""
+        nest = make_copy_nest(n=2048, chunk=1)
+        T, cap = 4, 4
+        gen = OwnershipListGenerator(nest, T, line_size=64, block_steps=64)
+        spr = gen.iteration_space.steps_per_chunk_run
+        total = gen.enum.max_steps
+        runs = -(-total // spr)
+        rng = np.random.default_rng(seed)
+        cuts = sorted(set(rng.integers(1, runs, size=n_cuts).tolist()))
+        bounds, prev = [], 0
+        for c in cuts + [runs]:
+            bounds.append((prev * spr, min(c * spr, total)))
+            prev = c
+        ref, s_ref = _serial(nest, T, cap, "invalidate", True)
+        par, s_par = _parallel(nest, T, cap, "invalidate", True,
+                               sim_jobs=4, bounds=bounds)
+        _assert_identical(ref, par, s_ref, s_par)
+
+    def test_no_determination_falls_back_serially(self):
+        """Stacks that never fill (working set below capacity) produce
+        no determination points; every segment re-simulates serially and
+        the result is still exact."""
+        nest = make_copy_nest(n=256, chunk=1)
+        ref, s_ref = _serial(nest, 2, 512, "invalidate", True)
+        par, s_par = _parallel(nest, 2, 512, "invalidate", True,
+                               sim_jobs=4)
+        _assert_identical(ref, par, s_ref, s_par)
+
+    def test_truncated_analysis(self):
+        nest = make_copy_nest(n=4096, chunk=1)
+        ref, s_ref = _serial(nest, 4, 4, "invalidate", True, max_steps=300)
+        par, s_par = _parallel(nest, 4, 4, "invalidate", True, 4,
+                               max_steps=300)
+        _assert_identical(ref, par, s_ref, s_par)
+
+    def test_worker_failure_costs_speed_not_correctness(self):
+        """A crashed segment worker (injected fault) degrades to the
+        serial re-simulation of that segment; the merged result is
+        unchanged."""
+        nest = make_copy_nest(n=2048, chunk=1)
+        ref, s_ref = _serial(nest, 4, 4, "invalidate", True)
+        with install_plan(FaultPlan.parse("engine.job:raise:match=segment")):
+            par, s_par = _parallel(nest, 4, 4, "invalidate", True,
+                                   sim_jobs=4,
+                                   pool=WorkerPool(workers=1, retries=0))
+        _assert_identical(ref, par, s_ref, s_par)
+
+    def test_real_process_pool(self):
+        """One leg through actual worker processes (pickled payloads,
+        cross-process merge)."""
+        nest = make_copy_nest(n=4096, chunk=1)
+        ref, s_ref = _serial(nest, 4, 4, "invalidate", True)
+        par, s_par = _parallel(
+            nest, 4, 4, "invalidate", True, sim_jobs=3,
+            pool=WorkerPool(workers=2, inline=False),
+        )
+        _assert_identical(ref, par, s_ref, s_par)
+
+
+class TestPlanning:
+    def test_single_segment_when_small(self):
+        assert plan_segments(100, 10, 1) == [(0, 100)]
+        # 20 runs across 8 jobs would leave sub-minimum segments.
+        assert plan_segments(
+            200, 10, 8, min_segment_runs=MIN_SEGMENT_RUNS
+        ) == [(0, 200)]
+        assert plan_segments(0, 10, 4) == []
+
+    def test_partition_is_exact_and_aligned(self):
+        bounds = plan_segments(10_000, 10, 4, min_segment_runs=16)
+        assert len(bounds) == 4
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10_000
+        for (_, a_stop), (b_start, _) in zip(bounds, bounds[1:]):
+            assert a_stop == b_start
+            assert b_start % 10 == 0
+
+    def test_ragged_total_steps(self):
+        bounds = plan_segments(1003, 10, 3, min_segment_runs=8)
+        assert bounds[-1][1] == 1003
+        covered = sum(b - a for a, b in bounds)
+        assert covered == 1003
+
+    def test_eligibility_gates(self):
+        nest = make_copy_nest(n=4096, chunk=1)
+        gen = OwnershipListGenerator(nest, 4, line_size=64)
+        total = gen.enum.max_steps
+        assert segment_eligible(gen, 4, 4, total)
+        assert not segment_eligible(gen, 4, 1, total)  # serial knob
+        # Working set fits in the stacks: nothing would determine.
+        assert not segment_eligible(gen, 100_000, 4, total)
+        # Too little work to split.
+        assert not segment_eligible(gen, 4, 4, 8)
+
+
+class TestModelIntegration:
+    def test_model_results_invariant_under_sim_jobs(self):
+        machine = tiny_machine(num_cores=4, cache_lines=16)
+        nest = make_copy_nest(n=8192, chunk=1)
+        r1 = FalseSharingModel(machine, steady_state=False).analyze(
+            nest, 4, record_series=True
+        )
+        r2 = FalseSharingModel(
+            machine, steady_state=False, sim_jobs=3
+        ).analyze(nest, 4, record_series=True)
+        assert r1.fs_cases == r2.fs_cases
+        assert r1.accesses == r2.accesses
+        assert r1.stats.fs_by_pair == r2.stats.fs_by_pair
+        assert r1.per_chunk_run.tolist() == r2.per_chunk_run.tolist()
+        assert r1.engine == r2.engine
+
+    def test_per_call_override(self):
+        machine = tiny_machine(num_cores=4, cache_lines=16)
+        nest = make_copy_nest(n=8192, chunk=1)
+        model = FalseSharingModel(machine, steady_state=False)
+        base = model.analyze(nest, 4)
+        assert model.analyze(nest, 4, sim_jobs=3).fs_cases == base.fs_cases
+
+    def test_sim_jobs_validated(self):
+        with pytest.raises(ModelError):
+            FalseSharingModel(tiny_machine(), sim_jobs=0)
